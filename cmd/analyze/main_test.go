@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"context"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+)
+
+func TestRunOverSavedDatasets(t *testing.T) {
+	dir := t.TempDir()
+	w, err := gamma.NewWorld(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels, err := gamma.SelectTargets(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := gamma.RunVolunteer(context.Background(), w, "TW", sels["TW"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveDataset(filepath.Join(dir, "tw.json.gz"), ds); err != nil {
+		t.Fatal(err)
+	}
+	// JSON mode (quietest path; report mode writes to stdout).
+	if err := run(42, dir, nil, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Country-profile mode.
+	if err := run(42, dir, nil, false, "TW"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(42, dir, nil, false, "XX"); err == nil {
+		t.Error("unknown country profile must fail")
+	}
+	if err := run(42, t.TempDir(), nil, true, ""); err == nil {
+		t.Error("empty data dir must fail")
+	}
+}

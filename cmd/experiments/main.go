@@ -1,0 +1,77 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation: it builds the world, runs all 23 volunteers, analyzes the
+// combined data, prints the full report, and emits the paper-vs-measured
+// comparison table used in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments -seed 42                 # report + comparison to stdout
+//	experiments -seed 42 -md out.md      # write the comparison as Markdown
+//	experiments -seed 42 -quiet -md out.md
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/report"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 42, "study seed")
+		md       = flag.String("md", "", "write the paper-vs-measured table to this Markdown file")
+		quiet    = flag.Bool("quiet", false, "suppress the full report, print only the comparison")
+		ablation = flag.Bool("ablation", false, "also run the constraint-ablation experiment")
+		figDir   = flag.String("figdir", "", "write fig3/5/6/8 as SVG files into this directory")
+	)
+	flag.Parse()
+	if err := run(*seed, *md, *quiet, *ablation, *figDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, md string, quiet, runAblation bool, figDir string) error {
+	fmt.Fprintf(os.Stderr, "running the full study (23 countries, seed %d)...\n", seed)
+	study, err := gamma.RunStudy(context.Background(), seed)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		gamma.FullReport(study, os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("== Paper vs measured ==")
+	gamma.WriteExperimentsMarkdown(study, os.Stdout)
+
+	if runAblation {
+		fmt.Println()
+		metrics, err := gamma.RunAblation(study)
+		if err != nil {
+			return err
+		}
+		report.Ablation(os.Stdout, metrics)
+	}
+
+	if figDir != "" {
+		if err := gamma.WriteFigures(study, figDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "SVG figures written to %s\n", figDir)
+	}
+
+	if md != "" {
+		f, err := os.Create(md)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		gamma.WriteExperimentsMarkdown(study, f)
+		fmt.Fprintf(os.Stderr, "comparison table written to %s\n", md)
+	}
+	return nil
+}

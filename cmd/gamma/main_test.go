@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/core"
+)
+
+func TestRunRecordsDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "lk.json.gz")
+	if err := run("LK", 42, out, false, false, "", 25); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := core.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Pages) != 25 {
+		t.Fatalf("chunked run recorded %d pages, want 25", len(ds.Pages))
+	}
+	// Resume continues from the same file.
+	if err := run("LK", 42, out, true, true, filepath.Join(dir, "har"), 10); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = core.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Pages) != 35 {
+		t.Fatalf("resume+chunk recorded %d pages, want 35", len(ds.Pages))
+	}
+	if ds.VolunteerIP != "" {
+		t.Error("anonymize flag should strip the IP")
+	}
+	hars, _ := os.ReadDir(filepath.Join(dir, "har"))
+	if len(hars) == 0 {
+		t.Error("HAR directory empty")
+	}
+	for _, h := range hars {
+		if !strings.HasSuffix(h.Name(), ".har") {
+			t.Errorf("unexpected HAR file %s", h.Name())
+		}
+	}
+}
+
+func TestRunRejectsUnknownCountry(t *testing.T) {
+	if err := run("XX", 42, filepath.Join(t.TempDir(), "x.json"), false, false, "", 0); err == nil {
+		t.Error("unknown country must fail")
+	}
+}

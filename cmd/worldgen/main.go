@@ -1,0 +1,115 @@
+// Command worldgen builds the synthetic world and dumps inventories of its
+// pieces — useful for inspecting what a given seed produces before running
+// the study against it.
+//
+// Usage:
+//
+//	worldgen -seed 42                       # summary
+//	worldgen -seed 42 -what volunteers      # volunteer vantage points
+//	worldgen -seed 42 -what orgs            # tracker organizations
+//	worldgen -seed 42 -what sites -country PK
+//	worldgen -seed 42 -what hosts | head
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/websim"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 42, "world seed")
+		what     = flag.String("what", "summary", "summary | volunteers | orgs | sites | hosts | probes | rankings")
+		country  = flag.String("country", "", "filter sites/rankings by country code")
+		validate = flag.Bool("validate", false, "run the world self-check and exit non-zero on problems")
+	)
+	flag.Parse()
+	if *validate {
+		if err := runValidate(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "worldgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*seed, *what, *country); err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+}
+
+func runValidate(seed uint64) error {
+	w, err := gamma.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	problems := w.Validate()
+	if len(problems) == 0 {
+		fmt.Printf("world (seed %d) is internally consistent\n", seed)
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "  -", p)
+	}
+	return fmt.Errorf("%d consistency problems", len(problems))
+}
+
+func run(seed uint64, what, country string) error {
+	w, err := gamma.NewWorld(seed)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	switch what {
+	case "summary":
+		summary := map[string]any{
+			"seed":              w.Seed,
+			"countries":         len(w.Registry.Codes()),
+			"source_countries":  len(w.SourceCountries()),
+			"sites":             w.Web.Len(),
+			"hosts":             len(w.Net.Hosts()),
+			"atlas_probes":      w.Mesh.Len(),
+			"organizations":     w.Orgs.Len(),
+			"tracker_hostnames": len(w.TrackerHostnames),
+			"easylist_rules":    len(w.EasyList.Rules),
+			"easyprivacy_rules": len(w.EasyPrivacy.Rules),
+			"manual_trackers":   len(w.ManualTrackers),
+			"ipmap_entries":     w.IPMap.Len(),
+			"tranco_entries":    len(w.Tranco),
+		}
+		return enc.Encode(summary)
+	case "volunteers":
+		return enc.Encode(w.Volunteers)
+	case "orgs":
+		return enc.Encode(w.Orgs.Orgs())
+	case "sites":
+		var sites []websim.Site
+		for _, s := range w.Web.Sites() {
+			if country == "" || s.Country == country {
+				sites = append(sites, s)
+			}
+		}
+		return enc.Encode(sites)
+	case "hosts":
+		return enc.Encode(w.Net.Hosts())
+	case "probes":
+		return enc.Encode(w.Mesh.Probes())
+	case "rankings":
+		if country == "" {
+			return fmt.Errorf("rankings needs -country")
+		}
+		return enc.Encode(map[string]any{
+			"similarweb": w.Rankings.Similarweb[country],
+			"semrush":    w.Rankings.Semrush[country],
+			"ahrefs":     w.Rankings.Ahrefs[country],
+		})
+	default:
+		return fmt.Errorf("unknown -what %q", what)
+	}
+}

@@ -1,0 +1,81 @@
+// Browsers exercises Gamma's multi-browser support (§3: the suite "supports
+// running measurements across major browsers, including Chrome, Firefox,
+// and privacy-focused Brave"). It loads one country's target sites under
+// Chrome (no blocking) and under Brave (EasyList/EasyPrivacy blocking) and
+// compares the tracker exposure each browser actually permits — the
+// user-facing recommendation in §7 quantified.
+//
+//	go run ./examples/browsers [country]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/browser"
+	"github.com/gamma-suite/gamma/internal/filterlist"
+)
+
+func main() {
+	country := "QA"
+	if len(os.Args) > 1 {
+		country = os.Args[1]
+	}
+
+	world, err := gamma.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selections, err := gamma.SelectTargets(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, ok := selections[country]
+	if !ok {
+		log.Fatalf("no volunteer in %q", country)
+	}
+	vol := world.Volunteers[country]
+
+	run := func(kind browser.Kind, blocker *filterlist.Engine) (loaded, trackerReqs, blocked int) {
+		cfg := browser.DefaultConfig(world.Seed, vol.VantageID)
+		cfg.Kind = kind
+		cfg.Country = country
+		cfg.Blocker = blocker
+		b := browser.New(world.Web, cfg)
+		for _, tg := range sel.Targets() {
+			pl := b.Load(tg.Domain)
+			if !pl.OK {
+				continue
+			}
+			loaded++
+			for _, r := range pl.Requests {
+				if _, isTracker := world.TrackerHostnames[r.Domain]; !isTracker {
+					continue
+				}
+				if r.Blocked {
+					blocked++
+				} else {
+					trackerReqs++
+				}
+			}
+		}
+		return
+	}
+
+	engine := filterlist.NewEngine(world.EasyList, world.EasyPrivacy)
+	chromeLoaded, chromeTrackers, _ := run(browser.Chrome, nil)
+	braveLoaded, braveTrackers, braveBlocked := run(browser.Brave, engine)
+
+	fmt.Printf("browser comparison for %s (%d targets)\n\n", country, len(sel.Targets()))
+	fmt.Printf("  %-8s %8s %18s %14s\n", "browser", "loaded", "tracker requests", "blocked")
+	fmt.Printf("  %-8s %8d %18d %14s\n", "chrome", chromeLoaded, chromeTrackers, "-")
+	fmt.Printf("  %-8s %8d %18d %14d\n", "brave", braveLoaded, braveTrackers, braveBlocked)
+	if chromeTrackers > 0 {
+		cut := 100 * float64(chromeTrackers-braveTrackers) / float64(chromeTrackers)
+		fmt.Printf("\nBrave's filter lists suppress %.0f%% of tracker requests — the §7\n", cut)
+		fmt.Println("user recommendation (privacy-focused browsers) in numbers. Note the")
+		fmt.Println("remainder: list-based blocking misses what the lists miss (§4.2).")
+	}
+}

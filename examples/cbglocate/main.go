@@ -1,0 +1,98 @@
+// Cbglocate demonstrates the granular technical audit the paper
+// recommends to policymakers (§7): instead of trusting a geolocation
+// database, it actively multilaterates tracker servers from Atlas probes.
+// For a sample of tracker endpoints it launches traceroutes from several
+// probes, turns the cleaned delays into speed-of-light constraint discs
+// (internal/cbg), and compares the estimated jurisdiction against both the
+// IPmap database claim and the simulator's ground truth.
+//
+//	go run ./examples/cbglocate
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sort"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/cbg"
+	"github.com/gamma-suite/gamma/internal/dnssim"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+func main() {
+	world, err := gamma.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample tracker endpoints as seen from Pakistan.
+	vol := world.Volunteers["PK"]
+	client := dnssim.Client{Country: "PK", City: vol.City}
+	var hostnames []string
+	for h := range world.TrackerHostnames {
+		hostnames = append(hostnames, h)
+	}
+	sort.Strings(hostnames)
+
+	// Probes spread across regions give the tightest intersection.
+	probeCities := []string{"Paris, FR", "Frankfurt, DE", "Dubai, AE", "Singapore, SG", "Ashburn, US", "Johannesburg, ZA"}
+
+	fmt.Println("endpoint                              ipmap-claim  cbg-estimate         truth  verdict")
+	shown, agree := 0, 0
+	seen := map[netip.Addr]bool{}
+	for _, hostname := range hostnames {
+		if shown >= 12 {
+			break
+		}
+		addr, err := world.DNS.Resolve(hostname, client)
+		if err != nil || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+
+		var ms []cbg.Measurement
+		for _, cityID := range probeCities {
+			city, ok := world.Registry.City(cityID)
+			if !ok {
+				continue
+			}
+			probe, ok := world.Mesh.ProbeInCountry(city.Country, city.Coord)
+			if !ok {
+				continue
+			}
+			res, err := world.Mesh.Traceroute(probe, addr)
+			if err != nil || !res.Reached {
+				continue
+			}
+			norm := tracert.FromResult(res)
+			ms = append(ms, cbg.Measurement{
+				Probe: probe.City.Coord,
+				RTTMs: geoloc.CleanLatency(norm),
+			})
+		}
+		if len(ms) < 3 {
+			continue
+		}
+		est := cbg.Locate(ms, cbg.DefaultConfig())
+		if !est.Feasible {
+			continue
+		}
+		estCity, _, _ := cbg.NearestCity(est, world.Registry)
+		claim, _ := world.IPMap.Lookup(addr)
+		truth, _ := world.Net.HostByAddr(addr)
+
+		verdict := "✗"
+		if estCity.Country == truth.City.Country {
+			verdict = "✓"
+			agree++
+		}
+		shown++
+		fmt.Printf("%-36s  %-11s  %-19s  %-5s  %s (r=%.0fkm, %d probes)\n",
+			hostname, claim.Country, estCity.ID(), truth.City.Country, verdict, est.RadiusKm, len(ms))
+	}
+	fmt.Printf("\nCBG matched the true hosting country for %d/%d sampled endpoints\n", agree, shown)
+	fmt.Println("(active multilateration needs no database — exactly the audit §7 proposes)")
+}

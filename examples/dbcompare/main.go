@@ -1,0 +1,45 @@
+// Dbcompare reproduces the geolocation-database reliability comparison the
+// paper leans on in §4.1 ("studies have shown they are not fully
+// reliable"): it scores the RIPE-IPmap-style database and three
+// commercial-style alternatives against the simulator's ground truth, then
+// shows how many local/non-local verdicts flip when a study trusts a
+// different provider — the error the multi-constraint framework exists to
+// contain.
+//
+//	go run ./examples/dbcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	gamma "github.com/gamma-suite/gamma"
+)
+
+func main() {
+	world, err := gamma.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("database      coverage   country-acc  city-acc   median-err")
+	fmt.Println("------------  ---------  -----------  ---------  ----------")
+	for _, acc := range gamma.CompareGeoDBs(world) {
+		fmt.Printf("%-12s  %8.1f%%  %10.1f%%  %8.1f%%  %7.0f km\n",
+			acc.DB, acc.CoveragePct, acc.CountryPct, acc.CityPct, acc.MedianErrKm)
+	}
+
+	// How many classification verdicts flip per provider, for one country?
+	var addrs []netip.Addr
+	for _, h := range world.Net.Hosts() {
+		addrs = append(addrs, h.Addr)
+	}
+	fmt.Printf("\nlocal/non-local verdict flips vs ripe-ipmap (PK vantage, %d servers):\n", len(addrs))
+	for _, name := range []string{"maxmind-sim", "dbip-sim", "ipinfo-sim"} {
+		flips := gamma.ClassifyWithDB(world, "PK", world.AltDBs[name], addrs)
+		fmt.Printf("  %-12s %4d flips (%.1f%%)\n", name, flips, 100*float64(flips)/float64(len(addrs)))
+	}
+	fmt.Println("\n=> provider choice alone moves hundreds of verdicts — why §4.1 validates")
+	fmt.Println("   every non-local claim with latency, probe, and reverse-DNS constraints.")
+}

@@ -1,0 +1,67 @@
+// Flowmap reproduces the study's RQ2 flow analysis (Figures 5 and 6): it
+// runs the full study, then maps where tracking data travels — the
+// destination-country hubs, the single-source destinations the paper
+// highlights (New Zealand feeding Australia, Thailand feeding Malaysia,
+// Russia feeding Finland), and the continent-level picture in which Europe
+// is the only universal sink and Africa receives no inward flow at all.
+//
+//	go run ./examples/flowmap
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/analysis"
+	"github.com/gamma-suite/gamma/internal/report"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "running the full 23-country study (seed 42)...")
+	study, err := gamma.RunStudy(context.Background(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := study.Result
+
+	shares := analysis.Fig5DestShares(res)
+	flows := analysis.Fig5CountryFlows(res)
+	report.Fig5(os.Stdout, shares[:min(12, len(shares))], flows, 12)
+
+	// Single-source destinations: countries that receive almost all their
+	// flow from one neighbour.
+	fmt.Println("\nsingle-source destinations (>=80% of sites from one country):")
+	perDest := map[string]map[string]int{}
+	for _, f := range flows {
+		if perDest[f.Dest] == nil {
+			perDest[f.Dest] = map[string]int{}
+		}
+		perDest[f.Dest][f.Source] += f.Sites
+	}
+	for dest, srcs := range perDest {
+		total, top, topSrc := 0, 0, ""
+		for src, n := range srcs {
+			total += n
+			if n > top {
+				top, topSrc = n, src
+			}
+		}
+		if total >= 10 && float64(top) >= 0.8*float64(total) {
+			fmt.Printf("  %s <- %s (%d of %d sites)\n", dest, topSrc, top, total)
+		}
+	}
+
+	fmt.Println()
+	cont := analysis.Fig6ContinentFlows(res, study.World.Registry)
+	report.Fig6(os.Stdout, cont)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

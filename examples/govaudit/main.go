@@ -1,0 +1,111 @@
+// Govaudit reproduces the study's government-website angle (RQ1): citizens
+// often have no alternative to official portals, so trackers there expose
+// real users. The example measures a set of countries, then reports — per
+// country — the share of government sites embedding foreign trackers, the
+// worst offenders, and which organizations receive the data.
+//
+//	go run ./examples/govaudit            # default country sample
+//	go run ./examples/govaudit UG NZ AE   # specific countries
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+)
+
+func main() {
+	countries := []string{"NZ", "UG", "AE", "AU", "RU"}
+	if len(os.Args) > 1 {
+		countries = os.Args[1:]
+	}
+
+	world, err := gamma.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selections, err := gamma.SelectTargets(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var datasets []*core.Dataset
+	for _, cc := range countries {
+		sel, ok := selections[cc]
+		if !ok {
+			log.Fatalf("no volunteer in %q; choices: %v", cc, world.SourceCountries())
+		}
+		ds, err := gamma.RunVolunteer(context.Background(), world, cc, sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	result, err := gamma.Analyze(world, datasets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cc := range countries {
+		cr := result.Countries[cc]
+		type offender struct {
+			site  string
+			count int
+			dests map[string]bool
+			orgs  map[string]bool
+		}
+		var offenders []offender
+		govTotal, govTracked := 0, 0
+		for _, s := range cr.Sites {
+			if s.Kind != core.KindGovernment || !s.LoadOK {
+				continue
+			}
+			govTotal++
+			nl := s.NonLocalTrackers()
+			if len(nl) == 0 {
+				continue
+			}
+			govTracked++
+			o := offender{site: s.Site, count: len(nl), dests: map[string]bool{}, orgs: map[string]bool{}}
+			for _, d := range nl {
+				o.dests[d.DestCountry] = true
+				if d.Org != "" {
+					o.orgs[d.Org] = true
+				}
+			}
+			offenders = append(offenders, o)
+		}
+		sort.Slice(offenders, func(i, j int) bool { return offenders[i].count > offenders[j].count })
+
+		fmt.Printf("\n=== %s: %d/%d government sites embed foreign trackers ===\n", cc, govTracked, govTotal)
+		for i, o := range offenders {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(offenders)-5)
+				break
+			}
+			fmt.Printf("  %-28s %2d foreign tracker domains -> %s (orgs: %s)\n",
+				o.site, o.count, keys(o.dests), keys(o.orgs))
+		}
+	}
+}
+
+func keys(m map[string]bool) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	s := ""
+	for i, k := range out {
+		if i > 0 {
+			s += ", "
+		}
+		s += k
+	}
+	return s
+}

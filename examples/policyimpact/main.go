@@ -1,0 +1,47 @@
+// Policyimpact reproduces the study's RQ5 / Table 1 analysis: does a
+// country's data-localization regulation predict how much of its web
+// tracking leaves the country? The example runs the full 23-country study,
+// joins the measured non-local rates with each country's regulation class
+// (consent-required, prior-approval, approved-countries, comparable-
+// protections, none), and tests for a policy effect — finding, like the
+// paper, none in the expected direction.
+//
+//	go run ./examples/policyimpact
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/analysis"
+	"github.com/gamma-suite/gamma/internal/report"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "running the full 23-country study (seed 42)...")
+	study, err := gamma.RunStudy(context.Background(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prev := analysis.Fig3Prevalence(study.Result)
+	rows := analysis.Table1(prev, gamma.PolicyRegistry(study.World))
+	report.Table1(os.Stdout, rows)
+
+	fmt.Println()
+	means := analysis.MeanByPolicyType(rows)
+	strictMean := (means["CS"] + means["PA"]) / 2
+	looseMean := (means["TA"] + means["NR"]) / 2
+	fmt.Printf("mean non-local rate, strict regimes (CS/PA): %.1f%%\n", strictMean)
+	fmt.Printf("mean non-local rate, permissive regimes (TA/NR): %.1f%%\n", looseMean)
+	if strictMean > looseMean {
+		fmt.Println("=> as in the paper: stricter data-localization law does NOT mean")
+		fmt.Println("   fewer foreign trackers — adherence is driven by infrastructure")
+		fmt.Println("   availability (nearby data centers), not by regulation.")
+	} else {
+		fmt.Println("=> permissive countries show more non-local trackers in this world.")
+	}
+}

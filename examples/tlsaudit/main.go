@@ -1,0 +1,139 @@
+// Tlsaudit exercises Gamma's optional C3 security probes (§3: the suite
+// "supports the deployment of other probes, e.g., ping and TLS using Nmap
+// and Testssl, to evaluate network latency, reachability and security
+// parameters"). It runs one country's measurement with TLS scanning and
+// ping enabled, then contrasts the TLS hygiene of tracker infrastructure
+// against the websites that embed it — and reports ping latency to local
+// vs foreign servers.
+//
+//	go run ./examples/tlsaudit [country]
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/tlsprobe"
+)
+
+func main() {
+	country := "UG"
+	if len(os.Args) > 1 {
+		country = os.Args[1]
+	}
+
+	world, err := gamma.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selections, err := gamma.SelectTargets(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, ok := selections[country]
+	if !ok {
+		log.Fatalf("no volunteer in %q", country)
+	}
+
+	env, cfg, err := gamma.VolunteerEnv(world, country)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gamma.EnableSecurityProbes(world, country, &env, &cfg); err != nil {
+		log.Fatal(err)
+	}
+	cfg.Targets = sel.Targets()
+	suite, err := core.New(cfg, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := suite.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Partition scans: tracker endpoints vs everything else.
+	var trackerScans, otherScans []tlsprobe.ScanResult
+	var pings []core.PingRecord
+	for _, p := range ds.Pages {
+		pings = append(pings, p.Pings...)
+		for _, scan := range p.TLSScans {
+			if _, isTracker := world.TrackerHostnames[scan.Hostname]; isTracker {
+				trackerScans = append(trackerScans, scan)
+			} else {
+				otherScans = append(otherScans, scan)
+			}
+		}
+	}
+
+	fmt.Printf("TLS audit for %s: %d tracker scans, %d site/CDN scans\n\n",
+		country, len(trackerScans), len(otherScans))
+	printSummary("tracker infrastructure", tlsprobe.Summarize(trackerScans))
+	printSummary("websites & CDNs", tlsprobe.Summarize(otherScans))
+
+	// Worst offenders.
+	fmt.Println("\nworst graded endpoints:")
+	all := append(append([]tlsprobe.ScanResult{}, trackerScans...), otherScans...)
+	sort.Slice(all, func(i, j int) bool { return gradeRank(all[i].Grade) > gradeRank(all[j].Grade) })
+	shown := 0
+	for _, s := range all {
+		if !s.Reachable || gradeRank(s.Grade) < 2 || shown >= 6 {
+			continue
+		}
+		shown++
+		fmt.Printf("  %-36s %-2s", s.Hostname, s.Grade)
+		for i, f := range s.Findings {
+			if i >= 2 {
+				fmt.Printf("; ...")
+				break
+			}
+			if i > 0 {
+				fmt.Printf(";")
+			}
+			fmt.Printf(" %s", f.Message)
+		}
+		fmt.Println()
+	}
+
+	okPings, sum := 0, 0.0
+	for _, p := range pings {
+		if p.OK {
+			okPings++
+			sum += p.RTTMs
+		}
+	}
+	if okPings > 0 {
+		fmt.Printf("\nping: %d/%d servers answered, mean RTT %.1f ms\n",
+			okPings, len(pings), sum/float64(okPings))
+	}
+}
+
+func printSummary(label string, s tlsprobe.Summary) {
+	fmt.Printf("%-24s %d reachable of %d:", label, s.Reachable, s.Scanned)
+	for _, g := range []tlsprobe.Grade{tlsprobe.GradeAPlus, tlsprobe.GradeA, tlsprobe.GradeB, tlsprobe.GradeC, tlsprobe.GradeF} {
+		if n := s.ByGrade[g]; n > 0 {
+			fmt.Printf("  %s:%d", g, n)
+		}
+	}
+	fmt.Println()
+}
+
+func gradeRank(g tlsprobe.Grade) int {
+	switch g {
+	case tlsprobe.GradeF:
+		return 4
+	case tlsprobe.GradeC:
+		return 3
+	case tlsprobe.GradeB:
+		return 2
+	case tlsprobe.GradeA:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,360 @@
+// Package gamma is the public API of the Gamma web-tracking measurement
+// suite — a full reproduction of "Where in the World Are My Trackers?
+// Mapping Web Tracking Flow Across Diverse Geographic Regions" (IMC 2025).
+//
+// The package wires three layers together:
+//
+//   - a deterministic synthetic world (countries, tracker organizations
+//     with GeoDNS steering, a web of regional and government sites, an
+//     Atlas-style probe mesh, and geolocation databases with realistic
+//     errors), built by NewWorld;
+//   - the Gamma measurement suite itself (browser sessions, DNS/rDNS
+//     collection, normalized traceroutes), run per volunteer by
+//     RunVolunteer;
+//   - the Box-2 analysis pipeline (multi-constraint geolocation, tracker
+//     identification, flow analysis), run by Analyze.
+//
+// RunStudy executes the entire study across all 23 source countries:
+//
+//	study, err := gamma.RunStudy(context.Background(), 42)
+//	if err != nil { ... }
+//	fmt.Println(study.Result.Funnel.Trackers)
+//
+// The drivers behind the suite are interfaces (core.Browser, core.Resolver,
+// core.Prober); a field deployment would implement them with Selenium, the
+// system resolver and the OS traceroute tools, exactly as the paper's tool
+// does.
+package gamma
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/gamma-suite/gamma/internal/browser"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/dnssim"
+	"github.com/gamma-suite/gamma/internal/filterlist"
+	"github.com/gamma-suite/gamma/internal/netsim"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/rng"
+	"github.com/gamma-suite/gamma/internal/targets"
+	"github.com/gamma-suite/gamma/internal/tracert"
+	"github.com/gamma-suite/gamma/internal/websim"
+	"github.com/gamma-suite/gamma/internal/worldgen"
+)
+
+// World is the synthetic study environment. See worldgen for its contents.
+type World = worldgen.World
+
+// Dataset is a volunteer's uploaded recording.
+type Dataset = core.Dataset
+
+// Result is the analyzed study corpus.
+type Result = pipeline.Result
+
+// Selection is a country's chosen target list.
+type Selection = targets.Selection
+
+// NewWorld builds the calibrated synthetic world for a seed. Identical
+// seeds produce identical worlds.
+func NewWorld(seed uint64) (*World, error) { return worldgen.Build(seed) }
+
+// SelectTargets runs the §3.2 target-selection method for every source
+// country: top-50 regional sites from the ranking sources (with adult and
+// banned sites removed) plus up to 50 government sites from the
+// Tranco-style list with the search fallback.
+func SelectTargets(w *World) (map[string]Selection, error) {
+	src := targets.Sources{
+		Similarweb: w.Rankings.Similarweb,
+		Semrush:    w.Rankings.Semrush,
+		Ahrefs:     w.Rankings.Ahrefs,
+	}
+	out := make(map[string]Selection, len(w.SourceCountries()))
+	for _, cc := range w.SourceCountries() {
+		banned := map[string]bool{}
+		for _, d := range w.BannedSites[cc] {
+			banned[d] = true
+		}
+		exclude := func(domain string) bool {
+			if banned[domain] {
+				return true
+			}
+			site, ok := w.Web.Site(domain)
+			return ok && site.Category == "adult"
+		}
+		sel, err := targets.Select(cc, src, w.Tranco, w.GovIndex[cc], exclude)
+		if err != nil {
+			return nil, fmt.Errorf("gamma: select targets for %s: %w", cc, err)
+		}
+		out[cc] = sel
+	}
+	return out, nil
+}
+
+// --- simulation-backed drivers ---
+
+type simBrowser struct{ b *browser.Browser }
+
+func (s simBrowser) Load(_ context.Context, site string) (core.PageRecord, error) {
+	pl := s.b.Load(site)
+	rec := core.PageRecord{
+		Site:       pl.SiteDomain,
+		URL:        pl.SiteURL,
+		OK:         pl.OK,
+		FailReason: pl.FailReason,
+		DurationMs: pl.DurationMs,
+	}
+	for _, r := range pl.Requests {
+		rec.Requests = append(rec.Requests, core.RequestRecord{
+			URL: r.URL, Domain: r.Domain, Type: r.Type,
+			Initiator: r.Initiator, Blocked: r.Blocked,
+			ThirdParty: r.ThirdParty, SetCookies: r.SetCookies,
+		})
+	}
+	return rec, nil
+}
+
+type simResolver struct {
+	dns    *dnssim.Server
+	client dnssim.Client
+}
+
+func (s simResolver) Resolve(_ context.Context, domain string) (netip.Addr, error) {
+	return s.dns.Resolve(domain, s.client)
+}
+
+// ResolveChain exposes CNAME chains (core.ChainResolver).
+func (s simResolver) ResolveChain(_ context.Context, domain string) (netip.Addr, []string, error) {
+	return s.dns.ResolveChain(domain, s.client)
+}
+
+func (s simResolver) Reverse(_ context.Context, addr netip.Addr) (string, bool) {
+	return s.dns.ReversePTR(addr)
+}
+
+// simProber launches simulated traceroutes and round-trips them through
+// the OS-specific output format the volunteer's machine would produce,
+// exercising the tracert portability layer on the hot path.
+type simProber struct {
+	net       *netsim.Network
+	vantageID string
+	format    tracert.Format
+}
+
+func (s simProber) Traceroute(_ context.Context, dst netip.Addr) (tracert.Normalized, error) {
+	res, err := s.net.Traceroute(s.vantageID, dst)
+	if err != nil {
+		return tracert.Normalized{}, err
+	}
+	text, err := tracert.Render(res, s.format)
+	if err != nil {
+		return tracert.Normalized{}, err
+	}
+	return tracert.Parse(text)
+}
+
+// volunteerOS picks the probe-output dialect for a volunteer's machine:
+// Windows tracert, a scapy-based prober, mtr, or plain traceroute.
+func volunteerOS(seed uint64, cc string) tracert.Format {
+	r := rng.New(seed, "volunteer-os", cc)
+	switch r.IntN(4) {
+	case 0:
+		return tracert.FormatWindows
+	case 1:
+		return tracert.FormatScapy
+	case 2:
+		return tracert.FormatMTR
+	default:
+		return tracert.FormatLinux
+	}
+}
+
+// VolunteerEnv assembles the suite drivers for one source country's
+// primary volunteer.
+func VolunteerEnv(w *World, cc string) (core.Env, core.Config, error) {
+	vol, ok := w.Volunteers[cc]
+	if !ok {
+		return core.Env{}, core.Config{}, fmt.Errorf("gamma: no volunteer in %s", cc)
+	}
+	return VolunteerEnvFor(w, vol)
+}
+
+// VolunteerEnvFor assembles the suite drivers for any volunteer — primary
+// or secondary (worlds built with SecondaryVantages recruit two per
+// country, lifting the paper's single-ISP limitation).
+func VolunteerEnvFor(w *World, vol *worldgen.Volunteer) (core.Env, core.Config, error) {
+	cc := vol.Country
+	bcfg := browser.DefaultConfig(w.Seed, vol.VantageID)
+	bcfg.Country = cc
+	bcfg.LoadFailureProb = vol.LoadFailureProb
+	env := core.Env{
+		Browser: simBrowser{b: browser.New(w.Web, bcfg)},
+		Resolver: simResolver{dns: w.DNS, client: dnssim.Client{
+			Country: cc, City: vol.City,
+		}},
+		Clock: core.StudyClock(),
+	}
+	if !vol.TracerouteOptOut {
+		env.Prober = simProber{
+			net:       w.Net,
+			vantageID: vol.VantageID,
+			format:    volunteerOS(w.Seed, cc),
+		}
+	}
+
+	optOuts := make(map[string]bool, len(vol.OptOutSites))
+	for _, d := range vol.OptOutSites {
+		optOuts[d] = true
+	}
+	cfg := core.Config{
+		VolunteerID:       vol.VantageID,
+		Country:           cc,
+		City:              vol.City.ID(),
+		VolunteerIP:       vol.Addr.String(),
+		OptOutSites:       optOuts,
+		TracerouteEnabled: !vol.TracerouteOptOut,
+		Parallelism:       1, // the study ran volunteers single-threaded
+	}
+	return env, cfg, nil
+}
+
+// RunVolunteer executes Gamma for one country against its selected
+// targets, returning the dataset the volunteer would upload.
+func RunVolunteer(ctx context.Context, w *World, cc string, sel Selection) (*Dataset, error) {
+	vol, ok := w.Volunteers[cc]
+	if !ok {
+		return nil, fmt.Errorf("gamma: no volunteer in %s", cc)
+	}
+	return RunVolunteerAs(ctx, w, vol, sel)
+}
+
+// RunVolunteerAs executes Gamma as a specific volunteer.
+func RunVolunteerAs(ctx context.Context, w *World, vol *worldgen.Volunteer, sel Selection) (*Dataset, error) {
+	return RunVolunteerSession(ctx, w, vol, sel, "")
+}
+
+// RunVolunteerSession executes Gamma as a volunteer under a session tag:
+// distinct tags draw different ad rotations and load-failure outcomes,
+// modelling repeated visits (the paper recommends multiple runs per site
+// to smooth single-visit variability).
+func RunVolunteerSession(ctx context.Context, w *World, vol *worldgen.Volunteer, sel Selection, session string) (*Dataset, error) {
+	env, cfg, err := VolunteerEnvFor(w, vol)
+	if err != nil {
+		return nil, err
+	}
+	if session != "" {
+		bcfg := browser.DefaultConfig(w.Seed, vol.VantageID+"/"+session)
+		bcfg.Country = vol.Country
+		bcfg.LoadFailureProb = vol.LoadFailureProb
+		env.Browser = simBrowser{b: browser.New(w.Web, bcfg)}
+		cfg.VolunteerID = vol.VantageID + "/" + session
+	}
+	cfg.Targets = sel.Targets()
+	suite, err := core.New(cfg, env)
+	if err != nil {
+		return nil, err
+	}
+	return suite.Run(ctx)
+}
+
+// PipelineEnv derives the Box-2 environment from a world.
+func PipelineEnv(w *World) pipeline.Env {
+	regional := make(map[string]*filterlist.Engine, len(w.RegionalLists))
+	for cc, l := range w.RegionalLists {
+		regional[cc] = filterlist.NewEngine(l)
+	}
+	return pipeline.Env{
+		Reg:           w.Registry,
+		Net:           w.Net,
+		IPMap:         w.IPMap,
+		Ref:           w.RefLat,
+		Mesh:          w.Mesh,
+		Lists:         filterlist.NewEngine(w.EasyList, w.EasyPrivacy),
+		RegionalLists: regional,
+		Orgs:          w.Orgs,
+	}
+}
+
+// Analyze runs the Box-2 pipeline over volunteer datasets.
+func Analyze(w *World, datasets []*Dataset) (*Result, error) {
+	return pipeline.Process(PipelineEnv(w), datasets)
+}
+
+// Study bundles a complete end-to-end run.
+type Study struct {
+	World      *World
+	Selections map[string]Selection
+	Datasets   map[string]*Dataset
+	Result     *Result
+}
+
+// RunStudy builds a world, selects targets, runs every volunteer, and
+// analyzes the combined data — the entire paper in one call.
+func RunStudy(ctx context.Context, seed uint64) (*Study, error) {
+	w, err := NewWorld(seed)
+	if err != nil {
+		return nil, err
+	}
+	sels, err := SelectTargets(w)
+	if err != nil {
+		return nil, err
+	}
+	study := &Study{World: w, Selections: sels, Datasets: make(map[string]*Dataset)}
+	// Volunteers are independent; run them concurrently. All world
+	// components are read-only (or internally locked) during measurement,
+	// and every stochastic draw is keyed by stable strings, so the result
+	// is identical to the sequential run.
+	countries := w.SourceCountries()
+	results := make([]*Dataset, len(countries))
+	errs := make([]error, len(countries))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, cc := range countries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cc string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = RunVolunteer(ctx, w, cc, sels[cc])
+		}(i, cc)
+	}
+	wg.Wait()
+	var all []*Dataset
+	for i, cc := range countries {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("gamma: volunteer %s: %w", cc, errs[i])
+		}
+		study.Datasets[cc] = results[i]
+		all = append(all, results[i])
+	}
+	study.Result, err = Analyze(w, all)
+	if err != nil {
+		return nil, err
+	}
+	return study, nil
+}
+
+// SiteKindOf reports a domain's site kind in the world ("regional",
+// "government", "global"), for reporting.
+func SiteKindOf(w *World, domain string) (string, bool) {
+	site, ok := w.Web.Site(strings.ToLower(domain))
+	if !ok {
+		return "", false
+	}
+	return site.Kind.String(), true
+}
+
+// WebSiteCategory exposes a site's category for reporting.
+func WebSiteCategory(w *World, domain string) (string, bool) {
+	site, ok := w.Web.Site(domain)
+	if !ok {
+		return "", false
+	}
+	return site.Category, true
+}
+
+var _ = websim.Kind(0) // keep websim linked for documentation references

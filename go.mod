@@ -1,0 +1,3 @@
+module github.com/gamma-suite/gamma
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package ablation quantifies what each stage of the multi-constraint
+// geolocation cascade (§4.1) contributes. It reruns the Box-2 pipeline
+// with individual constraints disabled and scores every variant against
+// the simulator's ground truth:
+//
+//   - precision: of the servers the framework retained as non-local, how
+//     many are truly hosted outside the measuring country? The validated
+//     framework the paper adopts reports 100% precision on foreign
+//     servers; the ablation shows which constraints that depends on.
+//   - destination accuracy: of the true positives, how many are attributed
+//     to the correct hosting country (the input to every flow figure)?
+//   - recall: how many of the truly-foreign observed servers survive the
+//     cascade? Conservativeness costs recall — the paper calls its results
+//     "a lower bound" for exactly this reason.
+package ablation
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// Variant is one cascade configuration under test.
+type Variant struct {
+	Name   string
+	Config geoloc.Config
+}
+
+// DefaultVariants covers the full cascade, each constraint removed in
+// turn, and the bare database.
+func DefaultVariants() []Variant {
+	full := geoloc.DefaultConfig()
+	v := func(name string, mod func(*geoloc.Config)) Variant {
+		cfg := full
+		mod(&cfg)
+		return Variant{Name: name, Config: cfg}
+	}
+	return []Variant{
+		v("full cascade", func(*geoloc.Config) {}),
+		v("no reverse-DNS", func(c *geoloc.Config) { c.DisableRDNSConstraint = true }),
+		v("no destination probe", func(c *geoloc.Config) { c.DisableDestinationConstraint = true }),
+		v("no reference latency", func(c *geoloc.Config) { c.DisableReferenceCheck = true }),
+		v("no source constraint", func(c *geoloc.Config) {
+			c.DisableSourceConstraint = true
+			c.DisableReferenceCheck = true
+		}),
+		v("database only", func(c *geoloc.Config) {
+			c.DisableSourceConstraint = true
+			c.DisableReferenceCheck = true
+			c.DisableDestinationConstraint = true
+			c.DisableRDNSConstraint = true
+		}),
+	}
+}
+
+// Truth answers ground-truth questions about an address. ok is false when
+// the address is unknown (no precision judgement possible).
+type Truth func(addr netip.Addr) (country string, ok bool)
+
+// Metrics scores one variant.
+type Metrics struct {
+	Variant        string  `json:"variant"`
+	Retained       int     `json:"retained"`
+	TruePositives  int     `json:"true_positives"`
+	FalsePositives int     `json:"false_positives"`
+	WrongDest      int     `json:"wrong_dest"`
+	TrueForeign    int     `json:"true_foreign"` // observed servers truly abroad
+	PrecisionPct   float64 `json:"precision_pct"`
+	DestAccPct     float64 `json:"dest_accuracy_pct"`
+	RecallPct      float64 `json:"recall_pct"`
+}
+
+// Run executes the pipeline once per variant and scores it.
+func Run(env pipeline.Env, datasets []*core.Dataset, truth Truth, variants []Variant) ([]Metrics, error) {
+	if len(variants) == 0 {
+		variants = DefaultVariants()
+	}
+	var out []Metrics
+	for _, v := range variants {
+		venv := env
+		venv.GeolocConfig = v.Config
+		// The pipeline anonymizes datasets in place; work on copies so the
+		// caller's data survives repeated runs.
+		copies := make([]*core.Dataset, len(datasets))
+		for i, ds := range datasets {
+			cp := *ds
+			copies[i] = &cp
+		}
+		res, err := pipeline.Process(venv, copies)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: variant %q: %w", v.Name, err)
+		}
+		out = append(out, score(v.Name, res, truth))
+	}
+	return out, nil
+}
+
+func score(name string, res *pipeline.Result, truth Truth) Metrics {
+	m := Metrics{Variant: name}
+	for _, cc := range res.CountryCodes() {
+		cr := res.Countries[cc]
+		for _, obs := range cr.Verdicts {
+			addr, err := netip.ParseAddr(obs.Addr)
+			if err != nil {
+				continue
+			}
+			trueCountry, known := truth(addr)
+			if !known {
+				continue
+			}
+			trulyForeign := trueCountry != cc
+			if trulyForeign {
+				m.TrueForeign++
+			}
+			if obs.Class != geoloc.NonLocal {
+				continue
+			}
+			m.Retained++
+			if trulyForeign {
+				m.TruePositives++
+				if obs.DestCountry != trueCountry {
+					m.WrongDest++
+				}
+			} else {
+				m.FalsePositives++
+			}
+		}
+	}
+	m.PrecisionPct = stats.Percent(m.TruePositives, m.TruePositives+m.FalsePositives)
+	m.DestAccPct = stats.Percent(m.TruePositives-m.WrongDest, m.TruePositives)
+	m.RecallPct = stats.Percent(m.TruePositives, m.TrueForeign)
+	return m
+}

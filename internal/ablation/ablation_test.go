@@ -1,0 +1,95 @@
+package ablation_test
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/ablation"
+	"github.com/gamma-suite/gamma/internal/core"
+)
+
+func runAblation(t *testing.T) []ablation.Metrics {
+	t.Helper()
+	w, err := gamma.NewWorld(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels, err := gamma.SelectTargets(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datasets []*core.Dataset
+	for _, cc := range []string{"PK", "NZ", "RU"} {
+		ds, err := gamma.RunVolunteer(context.Background(), w, cc, sels[cc])
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	truth := func(addr netip.Addr) (string, bool) {
+		h, ok := w.Net.HostByAddr(addr)
+		if !ok {
+			return "", false
+		}
+		return h.City.Country, true
+	}
+	metrics, err := ablation.Run(gamma.PipelineEnv(w), datasets, truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metrics
+}
+
+func TestAblationShapes(t *testing.T) {
+	metrics := runAblation(t)
+	byName := map[string]ablation.Metrics{}
+	for _, m := range metrics {
+		byName[m.Variant] = m
+	}
+	full := byName["full cascade"]
+	dbOnly := byName["database only"]
+
+	if full.Retained == 0 || dbOnly.Retained == 0 {
+		t.Fatalf("variants retained nothing: %+v", metrics)
+	}
+	// The full cascade trades recall for precision: it must retain fewer
+	// claims than the bare database but be at least as precise.
+	if full.Retained >= dbOnly.Retained {
+		t.Errorf("full cascade retained %d >= database-only %d", full.Retained, dbOnly.Retained)
+	}
+	if full.PrecisionPct < dbOnly.PrecisionPct {
+		t.Errorf("full cascade precision %.1f%% below database-only %.1f%%",
+			full.PrecisionPct, dbOnly.PrecisionPct)
+	}
+	// The validated framework is near-perfectly precise on foreign servers.
+	if full.PrecisionPct < 99 {
+		t.Errorf("full cascade precision = %.2f%%, want ~100%%", full.PrecisionPct)
+	}
+	// And conservative: recall well below 100.
+	if full.RecallPct >= 95 {
+		t.Errorf("full cascade recall = %.1f%%, expected conservative discards", full.RecallPct)
+	}
+	// Destination attribution should also be better under the cascade.
+	if full.DestAccPct < dbOnly.DestAccPct {
+		t.Errorf("full cascade dest accuracy %.1f%% below database-only %.1f%%",
+			full.DestAccPct, dbOnly.DestAccPct)
+	}
+	// Every recorded variant scored some ground-truth-known servers.
+	for _, m := range metrics {
+		if m.TrueForeign == 0 {
+			t.Errorf("variant %q saw no truly-foreign servers", m.Variant)
+		}
+	}
+}
+
+func TestAblationVariantCount(t *testing.T) {
+	vs := ablation.DefaultVariants()
+	if len(vs) != 6 {
+		t.Fatalf("variants = %d, want 6", len(vs))
+	}
+	if vs[0].Name != "full cascade" {
+		t.Errorf("first variant = %q", vs[0].Name)
+	}
+}

@@ -1,0 +1,523 @@
+// Package analysis computes every table and figure in the paper's
+// evaluation (§5–§7) from the pipeline's analyzed corpus: target
+// composition and load success (Fig 2), non-local tracker prevalence and
+// its reg/gov correlation (Fig 3), per-site distributions (Fig 4),
+// country- and continent-level flow matrices (Figs 5–6), hosting-country
+// domain counts (Fig 7), organization flows (Fig 8), per-domain frequency
+// (Fig 9), the data-localization policy table (Table 1), and the §6.5/§6.7
+// organization and first-party statistics.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// ---------- Figure 2 ----------
+
+// Composition is one country's target-list make-up (Fig 2a).
+type Composition struct {
+	Country    string `json:"country"`
+	Regional   int    `json:"regional"`
+	Government int    `json:"government"`
+}
+
+// Fig2Composition tallies T_reg and T_gov sizes per country.
+func Fig2Composition(res *pipeline.Result) []Composition {
+	var out []Composition
+	for _, cc := range res.CountryCodes() {
+		cr := res.Countries[cc]
+		c := Composition{Country: cc}
+		for _, s := range cr.Sites {
+			if s.OptedOut {
+				continue
+			}
+			if s.Kind == core.KindGovernment {
+				c.Government++
+			} else {
+				c.Regional++
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// LoadSuccess is one country's page-load success rate (Fig 2b).
+type LoadSuccess struct {
+	Country string  `json:"country"`
+	Pct     float64 `json:"pct"`
+}
+
+// Fig2LoadSuccess computes the share of (non-opted-out) targets whose page
+// load succeeded.
+func Fig2LoadSuccess(res *pipeline.Result) []LoadSuccess {
+	var out []LoadSuccess
+	for _, cc := range res.CountryCodes() {
+		cr := res.Countries[cc]
+		out = append(out, LoadSuccess{
+			Country: cc,
+			Pct:     stats.Percent(cr.LoadedOK, cr.Targets-cr.OptOuts),
+		})
+	}
+	return out
+}
+
+// ---------- Figure 3 ----------
+
+// Prevalence is one country's share of sites embedding at least one
+// non-local tracker, split by site kind (Fig 3).
+type Prevalence struct {
+	Country       string  `json:"country"`
+	RegionalPct   float64 `json:"regional_pct"`
+	GovernmentPct float64 `json:"government_pct"`
+	OverallPct    float64 `json:"overall_pct"` // Table 1's Non-Local column
+}
+
+// siteHasNonLocalTracker reports whether a loaded site embeds ≥1 retained
+// non-local tracker.
+func siteHasNonLocalTracker(s pipeline.SiteResult) bool {
+	return len(s.NonLocalTrackers()) > 0
+}
+
+// Fig3Prevalence computes per-country prevalence over loaded sites.
+func Fig3Prevalence(res *pipeline.Result) []Prevalence {
+	var out []Prevalence
+	for _, cc := range res.CountryCodes() {
+		cr := res.Countries[cc]
+		var regTot, regHit, govTot, govHit int
+		for _, s := range cr.Sites {
+			if !s.LoadOK {
+				continue
+			}
+			hit := siteHasNonLocalTracker(s)
+			if s.Kind == core.KindGovernment {
+				govTot++
+				if hit {
+					govHit++
+				}
+			} else {
+				regTot++
+				if hit {
+					regHit++
+				}
+			}
+		}
+		out = append(out, Prevalence{
+			Country:       cc,
+			RegionalPct:   stats.Percent(regHit, regTot),
+			GovernmentPct: stats.Percent(govHit, govTot),
+			OverallPct:    stats.Percent(regHit+govHit, regTot+govTot),
+		})
+	}
+	return out
+}
+
+// Fig3Correlation returns the Pearson correlation between the regional and
+// government prevalence vectors (the paper reports 0.89).
+func Fig3Correlation(prev []Prevalence) (float64, error) {
+	xs := make([]float64, len(prev))
+	ys := make([]float64, len(prev))
+	for i, p := range prev {
+		xs[i], ys[i] = p.RegionalPct, p.GovernmentPct
+	}
+	return stats.Pearson(xs, ys)
+}
+
+// MeanStd summarizes a prevalence column (the paper: regional 46.16%
+// σ 33.77, government 40.21% σ 31.5).
+func MeanStd(values []float64) (mean, sigma float64) {
+	return stats.Mean(values), stats.StdDev(values)
+}
+
+// ---------- Figure 4 ----------
+
+// Distribution is a country's per-site non-local tracker-count summary.
+type Distribution struct {
+	Country    string        `json:"country"`
+	Regional   stats.BoxPlot `json:"regional"`
+	Government stats.BoxPlot `json:"government"`
+	Combined   stats.BoxPlot `json:"combined"`
+	Skewness   float64       `json:"skewness"`
+}
+
+// Fig4Distribution summarizes, per country, the number of non-local
+// tracker domains on each site that has at least one.
+func Fig4Distribution(res *pipeline.Result) []Distribution {
+	var out []Distribution
+	for _, cc := range res.CountryCodes() {
+		cr := res.Countries[cc]
+		var reg, gov, all []float64
+		for _, s := range cr.Sites {
+			if !s.LoadOK {
+				continue
+			}
+			n := len(s.NonLocalTrackers())
+			if n == 0 {
+				continue
+			}
+			all = append(all, float64(n))
+			if s.Kind == core.KindGovernment {
+				gov = append(gov, float64(n))
+			} else {
+				reg = append(reg, float64(n))
+			}
+		}
+		out = append(out, Distribution{
+			Country:    cc,
+			Regional:   stats.NewBoxPlot(reg),
+			Government: stats.NewBoxPlot(gov),
+			Combined:   stats.NewBoxPlot(all),
+			Skewness:   stats.Skewness(all),
+		})
+	}
+	return out
+}
+
+// ---------- Figure 5 ----------
+
+// Flow is one source→destination edge weighted by websites.
+type Flow struct {
+	Source string `json:"source"`
+	Dest   string `json:"dest"`
+	Sites  int    `json:"sites"`
+}
+
+// Fig5CountryFlows computes the website-weighted flow matrix: for each
+// source country and destination, the number of sites with at least one
+// retained non-local tracker hosted there.
+func Fig5CountryFlows(res *pipeline.Result) []Flow {
+	counts := map[[2]string]int{}
+	for _, cc := range res.CountryCodes() {
+		for _, s := range res.Countries[cc].Sites {
+			if !s.LoadOK {
+				continue
+			}
+			seen := map[string]bool{}
+			for _, d := range s.NonLocalTrackers() {
+				if d.DestCountry == "" || seen[d.DestCountry] {
+					continue
+				}
+				seen[d.DestCountry] = true
+				counts[[2]string{cc, d.DestCountry}]++
+			}
+		}
+	}
+	out := make([]Flow, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, Flow{Source: k[0], Dest: k[1], Sites: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+// DestShare is a destination's share of tracking websites (Fig 5 text:
+// France 43%, UK 24%, Germany 23%...).
+type DestShare struct {
+	Dest          string  `json:"dest"`
+	SitePct       float64 `json:"site_pct"`
+	Sites         int     `json:"sites"`
+	SourceCount   int     `json:"source_countries"`
+	GovSourceOnly string  `json:"gov_source_only,omitempty"` // set when exactly one source's gov sites flow here
+}
+
+// Fig5DestShares aggregates flows per destination: the percentage of all
+// sites with non-local trackers that use at least one tracker hosted
+// there, and how many source countries feed it.
+func Fig5DestShares(res *pipeline.Result) []DestShare {
+	sitesWithNL := 0
+	destSites := map[string]int{}
+	destSources := map[string]map[string]bool{}
+	govSources := map[string]map[string]bool{}
+	for _, cc := range res.CountryCodes() {
+		for _, s := range res.Countries[cc].Sites {
+			if !s.LoadOK {
+				continue
+			}
+			nl := s.NonLocalTrackers()
+			if len(nl) == 0 {
+				continue
+			}
+			sitesWithNL++
+			seen := map[string]bool{}
+			for _, d := range nl {
+				if d.DestCountry == "" || seen[d.DestCountry] {
+					continue
+				}
+				seen[d.DestCountry] = true
+				destSites[d.DestCountry]++
+				if destSources[d.DestCountry] == nil {
+					destSources[d.DestCountry] = map[string]bool{}
+				}
+				destSources[d.DestCountry][cc] = true
+				if s.Kind == core.KindGovernment {
+					if govSources[d.DestCountry] == nil {
+						govSources[d.DestCountry] = map[string]bool{}
+					}
+					govSources[d.DestCountry][cc] = true
+				}
+			}
+		}
+	}
+	var out []DestShare
+	for dest, n := range destSites {
+		ds := DestShare{
+			Dest:        dest,
+			Sites:       n,
+			SitePct:     stats.Percent(n, sitesWithNL),
+			SourceCount: len(destSources[dest]),
+		}
+		if len(govSources[dest]) == 1 {
+			for cc := range govSources[dest] {
+				ds.GovSourceOnly = cc
+			}
+		}
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+// SitesWithNonLocal counts loaded sites with ≥1 retained non-local tracker.
+func SitesWithNonLocal(res *pipeline.Result) int {
+	n := 0
+	for _, cc := range res.CountryCodes() {
+		for _, s := range res.Countries[cc].Sites {
+			if s.LoadOK && siteHasNonLocalTracker(s) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ---------- Figure 6 ----------
+
+// ContinentFlow is one continent→continent edge.
+type ContinentFlow struct {
+	Source geo.Continent `json:"source"`
+	Dest   geo.Continent `json:"dest"`
+	Sites  int           `json:"sites"`
+}
+
+// Fig6ContinentFlows lifts the country flows to continents.
+func Fig6ContinentFlows(res *pipeline.Result, reg *geo.Registry) []ContinentFlow {
+	counts := map[[2]geo.Continent]int{}
+	for _, f := range Fig5CountryFlows(res) {
+		src, ok1 := reg.ContinentOf(f.Source)
+		dst, ok2 := reg.ContinentOf(f.Dest)
+		if !ok1 || !ok2 {
+			continue
+		}
+		counts[[2]geo.Continent{src, dst}] += f.Sites
+	}
+	out := make([]ContinentFlow, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, ContinentFlow{Source: k[0], Dest: k[1], Sites: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+// InwardFlowContinents returns the continents that receive tracking flow
+// from at least one *other* continent (the paper: Africa receives none;
+// Europe receives from all).
+func InwardFlowContinents(flows []ContinentFlow) map[geo.Continent][]geo.Continent {
+	in := map[geo.Continent]map[geo.Continent]bool{}
+	for _, f := range flows {
+		if f.Source == f.Dest {
+			continue
+		}
+		if in[f.Dest] == nil {
+			in[f.Dest] = map[geo.Continent]bool{}
+		}
+		in[f.Dest][f.Source] = true
+	}
+	out := map[geo.Continent][]geo.Continent{}
+	for dest, srcs := range in {
+		for s := range srcs {
+			out[dest] = append(out[dest], s)
+		}
+		sort.Slice(out[dest], func(i, j int) bool { return out[dest][i] < out[dest][j] })
+	}
+	return out
+}
+
+// ---------- Figure 7 ----------
+
+// HostingCount is a destination country's count of distinct non-local
+// tracking domains hosted there (Fig 7: Kenya 210, Germany 172...).
+type HostingCount struct {
+	Dest    string `json:"dest"`
+	Domains int    `json:"domains"`
+}
+
+// Fig7HostingCounts counts distinct retained non-local tracker domains per
+// hosting country.
+func Fig7HostingCounts(res *pipeline.Result) []HostingCount {
+	perDest := map[string]map[string]bool{}
+	for _, cc := range res.CountryCodes() {
+		for _, obs := range res.Countries[cc].Verdicts {
+			if obs.Class != geoloc.NonLocal || !obs.IsTracker || obs.DestCountry == "" {
+				continue
+			}
+			if perDest[obs.DestCountry] == nil {
+				perDest[obs.DestCountry] = map[string]bool{}
+			}
+			perDest[obs.DestCountry][obs.Domain] = true
+		}
+	}
+	out := make([]HostingCount, 0, len(perDest))
+	for dest, set := range perDest {
+		out = append(out, HostingCount{Dest: dest, Domains: len(set)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domains != out[j].Domains {
+			return out[i].Domains > out[j].Domains
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
+// ---------- Figure 8 ----------
+
+// OrgFlow is one source→organization edge weighted by websites.
+type OrgFlow struct {
+	Source string `json:"source"`
+	Org    string `json:"org"`
+	Sites  int    `json:"sites"`
+}
+
+// Fig8OrgFlows computes source→organization flows for retained non-local
+// trackers. Domains without a known owner aggregate under "(unknown)".
+func Fig8OrgFlows(res *pipeline.Result) []OrgFlow {
+	counts := map[[2]string]int{}
+	for _, cc := range res.CountryCodes() {
+		for _, s := range res.Countries[cc].Sites {
+			if !s.LoadOK {
+				continue
+			}
+			seen := map[string]bool{}
+			for _, d := range s.NonLocalTrackers() {
+				org := d.Org
+				if org == "" {
+					org = "(unknown)"
+				}
+				if seen[org] {
+					continue
+				}
+				seen[org] = true
+				counts[[2]string{cc, org}]++
+			}
+		}
+	}
+	out := make([]OrgFlow, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, OrgFlow{Source: k[0], Org: k[1], Sites: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		if out[i].Org != out[j].Org {
+			return out[i].Org < out[j].Org
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// OrgTotals sums Fig 8 flows per organization, sorted descending.
+func OrgTotals(flows []OrgFlow) []OrgFlow {
+	sum := map[string]int{}
+	for _, f := range flows {
+		sum[f.Org] += f.Sites
+	}
+	out := make([]OrgFlow, 0, len(sum))
+	for org, n := range sum {
+		out = append(out, OrgFlow{Org: org, Sites: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sites != out[j].Sites {
+			return out[i].Sites > out[j].Sites
+		}
+		return out[i].Org < out[j].Org
+	})
+	return out
+}
+
+// ExclusiveOrgs returns organizations observed in exactly one source
+// country (the paper found orgs exclusive to Jordan, Qatar, the UK,
+// Rwanda, Uganda and Sri Lanka).
+func ExclusiveOrgs(flows []OrgFlow) map[string]string {
+	sources := map[string]map[string]bool{}
+	for _, f := range flows {
+		if sources[f.Org] == nil {
+			sources[f.Org] = map[string]bool{}
+		}
+		sources[f.Org][f.Source] = true
+	}
+	out := map[string]string{}
+	for org, srcs := range sources {
+		if len(srcs) == 1 && org != "(unknown)" {
+			for cc := range srcs {
+				out[org] = cc
+			}
+		}
+	}
+	return out
+}
+
+// ---------- Figure 9 ----------
+
+// DomainFrequency is, per country, how many sites each non-local tracking
+// domain appears on (Appendix A).
+type DomainFrequency struct {
+	Country string         `json:"country"`
+	Counts  map[string]int `json:"counts"`
+}
+
+// Fig9DomainFrequency computes the per-domain site frequency per country.
+func Fig9DomainFrequency(res *pipeline.Result) []DomainFrequency {
+	var out []DomainFrequency
+	for _, cc := range res.CountryCodes() {
+		df := DomainFrequency{Country: cc, Counts: map[string]int{}}
+		for _, s := range res.Countries[cc].Sites {
+			if !s.LoadOK {
+				continue
+			}
+			for _, d := range s.NonLocalTrackers() {
+				df.Counts[d.Domain]++
+			}
+		}
+		out = append(out, df)
+	}
+	return out
+}

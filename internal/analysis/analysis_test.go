@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+// tracker builds a retained non-local tracker observation.
+func tracker(domain, dest, org, orgCC string, firstParty bool) pipeline.DomainObs {
+	return pipeline.DomainObs{
+		Domain: domain, Class: geoloc.NonLocal, DestCountry: dest,
+		DestCity: dest, IsTracker: true, Org: org, OrgCountry: orgCC,
+		FirstParty: firstParty,
+	}
+}
+
+// testResult fabricates a tiny two-country corpus:
+//
+//	PK: 3 regional sites (2 with FR trackers, 1 clean), 2 gov sites (1 with
+//	    DE tracker), one failed load, one opt-out.
+//	NZ: 2 regional sites, both flowing to AU.
+func testResult() *pipeline.Result {
+	pk := &pipeline.CountryResult{
+		Country: "PK", Targets: 7, OptOuts: 1, LoadedOK: 5,
+		Verdicts: map[string]pipeline.DomainObs{
+			"a.googletagmanager.com": tracker("a.googletagmanager.com", "FR", "Google", "US", false),
+			"b.doubleclick.net":      tracker("b.doubleclick.net", "FR", "Google", "US", false),
+			"c.demdex-edge.net":      tracker("c.demdex-edge.net", "DE", "Adobe", "US", false),
+			"cdn.localsite.pk":       {Domain: "cdn.localsite.pk", Class: geoloc.Local},
+			"static.foreign.example": {Domain: "static.foreign.example", Class: geoloc.NonLocal, DestCountry: "DE", DestCity: "DE"},
+			"dead.example":           {Domain: "dead.example", Class: geoloc.Discarded, Stage: geoloc.StageSourceSOL},
+		},
+		Sites: []pipeline.SiteResult{
+			{Country: "PK", Site: "r1.com.pk", Kind: core.KindRegional, LoadOK: true,
+				Domains: []pipeline.DomainObs{
+					tracker("a.googletagmanager.com", "FR", "Google", "US", false),
+					tracker("b.doubleclick.net", "FR", "Google", "US", false),
+					{Domain: "cdn.localsite.pk", Class: geoloc.Local},
+				}},
+			{Country: "PK", Site: "r2.com.pk", Kind: core.KindRegional, LoadOK: true,
+				Domains: []pipeline.DomainObs{
+					tracker("a.googletagmanager.com", "FR", "Google", "US", false),
+				}},
+			{Country: "PK", Site: "r3.com.pk", Kind: core.KindRegional, LoadOK: true,
+				Domains: []pipeline.DomainObs{
+					{Domain: "cdn.localsite.pk", Class: geoloc.Local},
+				}},
+			{Country: "PK", Site: "g1.gov.pk", Kind: core.KindGovernment, LoadOK: true,
+				Domains: []pipeline.DomainObs{
+					tracker("c.demdex-edge.net", "DE", "Adobe", "US", false),
+				}},
+			{Country: "PK", Site: "g2.gov.pk", Kind: core.KindGovernment, LoadOK: true},
+			{Country: "PK", Site: "failed.com.pk", Kind: core.KindRegional, LoadOK: false},
+			{Country: "PK", Site: "optout.com.pk", Kind: core.KindRegional, OptedOut: true},
+		},
+	}
+	nz := &pipeline.CountryResult{
+		Country: "NZ", Targets: 2, LoadedOK: 2,
+		Verdicts: map[string]pipeline.DomainObs{
+			"x.doubleclick.net": tracker("x.doubleclick.net", "AU", "Google", "US", false),
+			"g.google.co.nz":    tracker("g.google.co.nz", "AU", "Google", "US", true),
+		},
+		Sites: []pipeline.SiteResult{
+			{Country: "NZ", Site: "kiwi.co.nz", Kind: core.KindRegional, LoadOK: true,
+				Domains: []pipeline.DomainObs{
+					tracker("x.doubleclick.net", "AU", "Google", "US", false),
+				}},
+			{Country: "NZ", Site: "google.co.nz", Kind: core.KindRegional, LoadOK: true,
+				Domains: []pipeline.DomainObs{
+					tracker("g.google.co.nz", "AU", "Google", "US", true),
+				}},
+		},
+	}
+	return &pipeline.Result{Countries: map[string]*pipeline.CountryResult{"PK": pk, "NZ": nz}}
+}
+
+func TestFig2(t *testing.T) {
+	res := testResult()
+	comp := Fig2Composition(res)
+	if len(comp) != 2 {
+		t.Fatalf("composition rows = %d", len(comp))
+	}
+	// NZ sorts before PK.
+	if comp[1].Country != "PK" || comp[1].Regional != 4 || comp[1].Government != 2 {
+		t.Errorf("PK composition = %+v", comp[1])
+	}
+	ls := Fig2LoadSuccess(res)
+	if math.Abs(ls[1].Pct-100*5.0/6.0) > 0.01 {
+		t.Errorf("PK load success = %v", ls[1].Pct)
+	}
+	if ls[0].Pct != 100 {
+		t.Errorf("NZ load success = %v", ls[0].Pct)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	prev := Fig3Prevalence(testResult())
+	byCC := map[string]Prevalence{}
+	for _, p := range prev {
+		byCC[p.Country] = p
+	}
+	pk := byCC["PK"]
+	if math.Abs(pk.RegionalPct-200.0/3) > 0.01 { // 2 of 3 loaded regional
+		t.Errorf("PK regional prevalence = %v", pk.RegionalPct)
+	}
+	if pk.GovernmentPct != 50 {
+		t.Errorf("PK government prevalence = %v", pk.GovernmentPct)
+	}
+	if math.Abs(pk.OverallPct-60) > 0.01 { // 3 of 5 loaded
+		t.Errorf("PK overall = %v", pk.OverallPct)
+	}
+	if byCC["NZ"].RegionalPct != 100 {
+		t.Errorf("NZ regional prevalence = %v", byCC["NZ"].RegionalPct)
+	}
+	if _, err := Fig3Correlation(prev); err != nil {
+		t.Logf("correlation on 2 points: %v (expected, NZ gov has no sites)", err)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	dist := Fig4Distribution(testResult())
+	var pk Distribution
+	for _, d := range dist {
+		if d.Country == "PK" {
+			pk = d
+		}
+	}
+	if pk.Combined.N != 3 { // r1 (2), r2 (1), g1 (1): 3 sites with >=1
+		t.Errorf("PK sites with trackers = %d", pk.Combined.N)
+	}
+	if pk.Regional.Median != 1.5 {
+		t.Errorf("PK regional median = %v", pk.Regional.Median)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	res := testResult()
+	flows := Fig5CountryFlows(res)
+	want := map[[2]string]int{
+		{"PK", "FR"}: 2, {"PK", "DE"}: 1, {"NZ", "AU"}: 2,
+	}
+	if len(flows) != len(want) {
+		t.Fatalf("flows = %+v", flows)
+	}
+	for _, f := range flows {
+		if want[[2]string{f.Source, f.Dest}] != f.Sites {
+			t.Errorf("flow %+v unexpected", f)
+		}
+	}
+	shares := Fig5DestShares(res)
+	if shares[0].Dest != "AU" && shares[0].Dest != "FR" {
+		t.Errorf("top destination = %+v", shares[0])
+	}
+	if SitesWithNonLocal(res) != 5 {
+		t.Errorf("sites with non-local = %d, want 5", SitesWithNonLocal(res))
+	}
+	for _, s := range shares {
+		if s.Dest == "FR" && math.Abs(s.SitePct-40) > 0.01 { // 2 of 5
+			t.Errorf("FR share = %v", s.SitePct)
+		}
+		if s.Dest == "DE" && s.GovSourceOnly != "PK" {
+			t.Errorf("DE gov-source-only = %q", s.GovSourceOnly)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	res := testResult()
+	flows := Fig6ContinentFlows(res, geo.Default())
+	var asiaEurope, oceaniaOceania int
+	for _, f := range flows {
+		if f.Source == geo.Asia && f.Dest == geo.Europe {
+			asiaEurope = f.Sites
+		}
+		if f.Source == geo.Oceania && f.Dest == geo.Oceania {
+			oceaniaOceania = f.Sites
+		}
+	}
+	if asiaEurope != 3 {
+		t.Errorf("Asia->Europe = %d, want 3", asiaEurope)
+	}
+	if oceaniaOceania != 2 {
+		t.Errorf("Oceania->Oceania = %d, want 2", oceaniaOceania)
+	}
+	inward := InwardFlowContinents(flows)
+	if len(inward[geo.Europe]) == 0 {
+		t.Error("Europe should receive inward flow")
+	}
+	if len(inward[geo.Africa]) != 0 {
+		t.Error("Africa should receive no inward flow in this corpus")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	counts := Fig7HostingCounts(testResult())
+	byDest := map[string]int{}
+	for _, h := range counts {
+		byDest[h.Dest] = h.Domains
+	}
+	// static.foreign.example is non-local but NOT a tracker: excluded.
+	if byDest["DE"] != 1 || byDest["FR"] != 2 || byDest["AU"] != 2 {
+		t.Errorf("hosting counts = %v", byDest)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	flows := Fig8OrgFlows(testResult())
+	totals := OrgTotals(flows)
+	if totals[0].Org != "Google" || totals[0].Sites != 4 {
+		t.Errorf("top org = %+v", totals[0])
+	}
+	excl := ExclusiveOrgs(flows)
+	if excl["Adobe"] != "PK" {
+		t.Errorf("Adobe should be exclusive to PK: %v", excl)
+	}
+	if _, ok := excl["Google"]; ok {
+		t.Error("Google is multi-country, not exclusive")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	freqs := Fig9DomainFrequency(testResult())
+	for _, df := range freqs {
+		if df.Country == "PK" {
+			if df.Counts["a.googletagmanager.com"] != 2 {
+				t.Errorf("PK gtm frequency = %d", df.Counts["a.googletagmanager.com"])
+			}
+		}
+	}
+}
+
+func TestTable1AndTrend(t *testing.T) {
+	prev := Fig3Prevalence(testResult())
+	rows := Table1(prev, map[string]PolicyInfo{
+		"PK": {Type: "TA", Enacted: false},
+		"NZ": {Type: "TA", Enacted: true},
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Country != "NZ" { // same strictness, alphabetical
+		t.Errorf("row order: %+v", rows)
+	}
+	if _, err := PolicyTrend(rows); err == nil {
+		t.Log("trend computed on degenerate data (same strictness) — expected error, got none")
+	}
+	means := MeanByPolicyType(rows)
+	if len(means) != 1 {
+		t.Errorf("means = %v", means)
+	}
+}
+
+func TestOwnership(t *testing.T) {
+	res := testResult()
+	// Mark one tracker as AWS-hosted.
+	obs := res.Countries["PK"].Verdicts["c.demdex-edge.net"]
+	obs.HostASN = awsASN
+	res.Countries["PK"].Verdicts["c.demdex-edge.net"] = obs
+	own := Ownership(res)
+	if own.Orgs != 2 {
+		t.Errorf("orgs = %d, want 2 (Google, Adobe)", own.Orgs)
+	}
+	if own.HQSharePct["US"] != 100 {
+		t.Errorf("US HQ share = %v", own.HQSharePct)
+	}
+	if own.AWSTrackers != 1 {
+		t.Errorf("AWS trackers = %d", own.AWSTrackers)
+	}
+}
+
+func TestFirstParty(t *testing.T) {
+	fp := FirstParty(testResult())
+	if fp.SitesWithNonLocal != 5 {
+		t.Errorf("sites with non-local = %d", fp.SitesWithNonLocal)
+	}
+	if fp.SitesWithFirstParty != 1 {
+		t.Errorf("sites with first-party = %d", fp.SitesWithFirstParty)
+	}
+	if fp.ByOrg["Google"] != 1 {
+		t.Errorf("Google first-party sites = %d", fp.ByOrg["Google"])
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{40, 60})
+	if m != 50 || s != 10 {
+		t.Errorf("MeanStd = %v, %v", m, s)
+	}
+}
+
+func TestCookies(t *testing.T) {
+	ds := &pipeline.Result{} // unused; Cookies works on raw datasets
+	_ = ds
+	datasets := []*core.Dataset{{
+		Country: "PK",
+		Pages: []core.PageResult{
+			{
+				Target: core.Target{Domain: "a.com.pk", Kind: core.KindRegional},
+				Load: core.PageRecord{OK: true, Requests: []core.RequestRecord{
+					{Domain: "t.example", ThirdParty: true, SetCookies: []string{"_uid_google", "_trk_sess"}},
+					{Domain: "static.a.com.pk", ThirdParty: false, SetCookies: []string{"first_party"}},
+					{Domain: "blocked.example", ThirdParty: true, Blocked: true, SetCookies: []string{"_never"}},
+				}},
+			},
+			{
+				Target: core.Target{Domain: "g.gov.pk", Kind: core.KindGovernment},
+				Load: core.PageRecord{OK: true, Requests: []core.RequestRecord{
+					{Domain: "t.example", ThirdParty: true, SetCookies: []string{"_uid_google"}},
+				}},
+			},
+			{
+				Target: core.Target{Domain: "clean.gov.pk", Kind: core.KindGovernment},
+				Load:   core.PageRecord{OK: true},
+			},
+			{Target: core.Target{Domain: "failed.pk"}, Load: core.PageRecord{OK: false}},
+		},
+	}}
+	stats := Cookies(datasets)
+	if len(stats) != 1 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	cs := stats[0]
+	if cs.SitesWithThirdPartyCookiesPct != 100.0*2/3 {
+		t.Errorf("site pct = %v", cs.SitesWithThirdPartyCookiesPct)
+	}
+	if cs.GovSitesWithThirdPartyCookiesPct != 50 {
+		t.Errorf("gov pct = %v", cs.GovSitesWithThirdPartyCookiesPct)
+	}
+	if cs.MeanThirdPartyCookiesPerSite != 1 { // 3 cookies over 3 loaded sites
+		t.Errorf("mean = %v", cs.MeanThirdPartyCookiesPerSite)
+	}
+	if len(cs.TopCookieNames) == 0 || cs.TopCookieNames[0] != "_uid_google" {
+		t.Errorf("top names = %v", cs.TopCookieNames)
+	}
+}
+
+func TestAnswers(t *testing.T) {
+	res := testResult()
+	answers := Answers(res, geo.Default(), map[string]PolicyInfo{
+		"PK": {Type: "TA", Enacted: false},
+		"NZ": {Type: "CS", Enacted: true},
+	})
+	for _, rq := range []string{"RQ1", "RQ2", "RQ3", "RQ4", "RQ5"} {
+		if answers[rq] == "" {
+			t.Errorf("%s unanswered", rq)
+		}
+	}
+	rendered := RenderAnswers(answers)
+	if !strings.Contains(rendered, "RQ1:") || !strings.Contains(rendered, "RQ5:") {
+		t.Error("rendered answers incomplete")
+	}
+	if !strings.Contains(answers["RQ3"], "Google") {
+		t.Errorf("RQ3 should name the top org: %s", answers["RQ3"])
+	}
+}

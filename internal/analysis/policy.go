@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// PolicyInfo describes one country's data-localization regulation
+// (Table 1 inputs).
+type PolicyInfo struct {
+	Type    string `json:"type"` // CS, PA, AC, TA, NR
+	Enacted bool   `json:"enacted"`
+	Note    string `json:"note,omitempty"`
+}
+
+// policyStrictness ranks regulation types by decreasing strictness.
+func policyStrictness(t string) int {
+	switch t {
+	case "CS":
+		return 4
+	case "PA":
+		return 3
+	case "AC":
+		return 2
+	case "TA":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// PolicyRow is one row of Table 1.
+type PolicyRow struct {
+	Country     string  `json:"country"`
+	Type        string  `json:"type"`
+	Enacted     bool    `json:"enacted"`
+	NonLocalPct float64 `json:"non_local_pct"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// Table1 joins measured overall non-local prevalence with the policy
+// registry, sorted by decreasing strictness then country (the paper's
+// ordering).
+func Table1(prev []Prevalence, policies map[string]PolicyInfo) []PolicyRow {
+	byCC := map[string]Prevalence{}
+	for _, p := range prev {
+		byCC[p.Country] = p
+	}
+	var out []PolicyRow
+	for cc, pol := range policies {
+		out = append(out, PolicyRow{
+			Country:     cc,
+			Type:        pol.Type,
+			Enacted:     pol.Enacted,
+			NonLocalPct: byCC[cc].OverallPct,
+			Note:        pol.Note,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := policyStrictness(out[i].Type), policyStrictness(out[j].Type)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// PolicyTrend correlates policy strictness with the measured non-local
+// rate using Spearman rank correlation (strictness is ordinal). The paper
+// reports "no obvious impact... in fact, a weak negative trend: more
+// permissive countries have fewer non-local trackers", i.e. a POSITIVE
+// correlation between strictness rank and non-local percentage.
+func PolicyTrend(rows []PolicyRow) (float64, error) {
+	xs := make([]float64, len(rows))
+	ys := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = float64(policyStrictness(r.Type))
+		ys[i] = r.NonLocalPct
+	}
+	return stats.Spearman(xs, ys)
+}
+
+// MeanByPolicyType averages the non-local rate per regulation class.
+func MeanByPolicyType(rows []PolicyRow) map[string]float64 {
+	sums := map[string][]float64{}
+	for _, r := range rows {
+		sums[r.Type] = append(sums[r.Type], r.NonLocalPct)
+	}
+	out := map[string]float64{}
+	for t, vs := range sums {
+		out[t] = stats.Mean(vs)
+	}
+	return out
+}

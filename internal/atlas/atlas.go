@@ -1,0 +1,192 @@
+// Package atlas models a RIPE-Atlas-style open probe mesh: thousands of
+// small probes hosted in volunteers' and operators' networks, dense in the
+// Global North and sparse in the Global South — the coverage asymmetry that
+// motivates Gamma in the first place (§2.2–2.3). The destination-based
+// geolocation constraint (§4.1.2) launches traceroutes from these probes,
+// and in countries where the volunteer's own traceroutes failed (Australia,
+// India, Qatar, Jordan) or were opted out (Egypt), source traceroutes are
+// re-run from the nearest probe — which for Qatar sits in Saudi Arabia and
+// for Jordan in Israel, exactly as the paper reports.
+package atlas
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/netsim"
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+// Probe is one mesh probe, wired to a netsim vantage.
+type Probe struct {
+	ID      int      `json:"id"`
+	City    geo.City `json:"city"`
+	Country string   `json:"country"`
+	ASN     uint32   `json:"asn"`
+	// VantageID is the probe's identity in the data-plane simulator.
+	VantageID string `json:"vantage_id"`
+}
+
+// MeshConfig controls probe density.
+type MeshConfig struct {
+	Seed uint64
+	// PerCountry bounds the probe count per country by continent,
+	// reproducing the Global North / Global South density gap.
+	PerCountry map[geo.Continent][2]int
+	// Exclude lists countries with zero probes regardless of continent.
+	Exclude map[string]bool
+	// BaseASN numbers the host ASes created for probes.
+	BaseASN uint32
+}
+
+// DefaultMeshConfig mirrors the real mesh's skew: dense in Europe and North
+// America, thin in Asia and Oceania, nearly absent in parts of Africa and
+// the Gulf (no probes at all in Qatar or Jordan).
+func DefaultMeshConfig(seed uint64) MeshConfig {
+	return MeshConfig{
+		Seed: seed,
+		PerCountry: map[geo.Continent][2]int{
+			geo.Europe:       {8, 15},
+			geo.NorthAmerica: {6, 12},
+			geo.Asia:         {1, 5},
+			geo.SouthAmerica: {1, 4},
+			geo.Oceania:      {2, 5},
+			geo.Africa:       {1, 2},
+		},
+		Exclude: map[string]bool{"QA": true, "JO": true},
+		BaseASN: 200000,
+	}
+}
+
+// Mesh is the deployed probe network.
+type Mesh struct {
+	net       *netsim.Network
+	probes    []Probe
+	byCountry map[string][]int // country -> indexes into probes
+}
+
+// BuildMesh deploys probes into the network per the configuration.
+func BuildMesh(n *netsim.Network, reg *geo.Registry, cfg MeshConfig) (*Mesh, error) {
+	m := &Mesh{net: n, byCountry: make(map[string][]int)}
+	nextASN := cfg.BaseASN
+	id := 0
+	for _, country := range reg.Countries() {
+		if cfg.Exclude[country.Code] {
+			continue
+		}
+		bounds, ok := cfg.PerCountry[country.Continent]
+		if !ok {
+			continue
+		}
+		r := rng.New(cfg.Seed, "atlas", country.Code)
+		count := bounds[0]
+		if bounds[1] > bounds[0] {
+			count += r.IntN(bounds[1] - bounds[0] + 1)
+		}
+		if count == 0 || len(country.Cities) == 0 {
+			continue
+		}
+		asn := nextASN
+		nextASN++
+		if err := n.AddAS(netsim.AS{
+			Number: asn, Name: fmt.Sprintf("PROBE-HOST-%s", country.Code),
+			Org: "Probe Host ISP " + country.Name, Country: country.Code,
+		}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			id++
+			c := country.Cities[r.IntN(len(country.Cities))]
+			vid := fmt.Sprintf("atlas-%d", id)
+			v := netsim.Vantage{
+				ID:            vid,
+				City:          c,
+				ASN:           asn,
+				AccessDelayMs: rng.Float64InRange(r, 1.5, 8),
+			}
+			if _, err := n.AddVantage(v); err != nil {
+				return nil, err
+			}
+			m.probes = append(m.probes, Probe{
+				ID: id, City: c, Country: country.Code, ASN: asn, VantageID: vid,
+			})
+			m.byCountry[country.Code] = append(m.byCountry[country.Code], len(m.probes)-1)
+		}
+	}
+	return m, nil
+}
+
+// Len returns the number of deployed probes.
+func (m *Mesh) Len() int { return len(m.probes) }
+
+// Probes returns all probes (copy).
+func (m *Mesh) Probes() []Probe {
+	out := make([]Probe, len(m.probes))
+	copy(out, m.probes)
+	return out
+}
+
+// Countries returns the sorted list of countries hosting at least one probe.
+func (m *Mesh) Countries() []string {
+	out := make([]string, 0, len(m.byCountry))
+	for cc := range m.byCountry {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProbeInCountry selects a probe in the given country, preferring the one
+// closest to near (same city when available, per §4.1.2). ok is false when
+// the country has no probes at all.
+func (m *Mesh) ProbeInCountry(cc string, near geo.Coord) (Probe, bool) {
+	idxs := m.byCountry[cc]
+	if len(idxs) == 0 {
+		return Probe{}, false
+	}
+	best, bestDist := -1, math.Inf(1)
+	for _, i := range idxs {
+		d := geo.DistanceKm(m.probes[i].City.Coord, near)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return m.probes[best], true
+}
+
+// NearestProbe selects the probe geographically closest to the coordinate,
+// regardless of country — the fallback the paper used for Qatar (probe in
+// Saudi Arabia) and Jordan (probe in Israel). preferASN breaks near-ties in
+// favour of a probe on the given network when one exists within 1.25x of
+// the best distance.
+func (m *Mesh) NearestProbe(near geo.Coord, preferASN uint32) (Probe, bool) {
+	if len(m.probes) == 0 {
+		return Probe{}, false
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i := range m.probes {
+		d := geo.DistanceKm(m.probes[i].City.Coord, near)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if preferASN != 0 {
+		for i := range m.probes {
+			if m.probes[i].ASN != preferASN {
+				continue
+			}
+			if geo.DistanceKm(m.probes[i].City.Coord, near) <= bestDist*1.25+1 {
+				return m.probes[i], true
+			}
+		}
+	}
+	return m.probes[best], true
+}
+
+// Traceroute launches a traceroute from the probe through the data plane.
+func (m *Mesh) Traceroute(p Probe, dst netip.Addr) (netsim.TraceResult, error) {
+	return m.net.Traceroute(p.VantageID, dst)
+}

@@ -1,0 +1,167 @@
+package atlas
+
+import (
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+func buildMesh(t *testing.T) (*Mesh, *netsim.Network, *geo.Registry) {
+	t.Helper()
+	n := netsim.New(netsim.DefaultConfig(55))
+	reg := geo.Default()
+	m, err := BuildMesh(n, reg, DefaultMeshConfig(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, n, reg
+}
+
+func TestMeshDensitySkew(t *testing.T) {
+	m, _, reg := buildMesh(t)
+	if m.Len() < 100 {
+		t.Fatalf("mesh too small: %d probes", m.Len())
+	}
+	perContinent := map[geo.Continent][]int{}
+	counts := map[string]int{}
+	for _, p := range m.Probes() {
+		counts[p.Country]++
+	}
+	for cc, n := range counts {
+		cont, _ := reg.ContinentOf(cc)
+		perContinent[cont] = append(perContinent[cont], n)
+	}
+	avg := func(xs []int) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return float64(s) / float64(len(xs))
+	}
+	if avg(perContinent[geo.Europe]) <= avg(perContinent[geo.Africa])*2 {
+		t.Errorf("Europe density (%.1f) should far exceed Africa (%.1f)",
+			avg(perContinent[geo.Europe]), avg(perContinent[geo.Africa]))
+	}
+}
+
+func TestExcludedCountriesHaveNoProbes(t *testing.T) {
+	m, _, reg := buildMesh(t)
+	for _, cc := range []string{"QA", "JO"} {
+		capital, _ := reg.Country(cc)
+		if _, ok := m.ProbeInCountry(cc, capital.Capital().Coord); ok {
+			t.Errorf("country %s must have no probes", cc)
+		}
+	}
+}
+
+func TestNearestProbeFallback(t *testing.T) {
+	m, _, reg := buildMesh(t)
+	// Qatar has no probe; the nearest is expected in the Gulf region
+	// (Saudi Arabia, Bahrain, UAE or Kuwait).
+	doha, _ := reg.City("Doha, QA")
+	p, ok := m.NearestProbe(doha.Coord, 0)
+	if !ok {
+		t.Fatal("nearest probe lookup failed")
+	}
+	if p.Country == "QA" {
+		t.Fatal("no probe should exist in Qatar")
+	}
+	d := geo.DistanceKm(p.City.Coord, doha.Coord)
+	if d > 2500 {
+		t.Errorf("nearest probe to Doha is %s at %.0f km — too far", p.City.ID(), d)
+	}
+}
+
+func TestProbeInCountryPrefersNearCity(t *testing.T) {
+	m, _, reg := buildMesh(t)
+	// The US has several cities; the chosen probe must be the closest one.
+	sf, _ := reg.City("San Francisco, US")
+	p, ok := m.ProbeInCountry("US", sf.Coord)
+	if !ok {
+		t.Fatal("US must have probes")
+	}
+	for _, q := range m.Probes() {
+		if q.Country != "US" {
+			continue
+		}
+		if geo.DistanceKm(q.City.Coord, sf.Coord) < geo.DistanceKm(p.City.Coord, sf.Coord)-1e-9 {
+			t.Fatalf("probe %d in %s is closer to SF than selected %s", q.ID, q.City.ID(), p.City.ID())
+		}
+	}
+}
+
+func TestProbeTraceroute(t *testing.T) {
+	m, n, reg := buildMesh(t)
+	_ = n.AddAS(netsim.AS{Number: 999, Name: "dst", Org: "dst", Country: "DE"})
+	fra, _ := reg.City("Frankfurt, DE")
+	h, err := n.AddHost(netsim.Host{City: fra, ASN: 999, Responsive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m.ProbeInCountry("DE", fra.Coord)
+	if !ok {
+		t.Fatal("Germany must have probes")
+	}
+	reached := false
+	for i := 0; i < 5 && !reached; i++ {
+		res, err := m.Traceroute(p, h.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reached = res.Reached
+		if res.Reached {
+			// In-country trace: RTT must be small (same city here).
+			if res.LastHopRTT() > 30 {
+				t.Errorf("same-city probe trace RTT %.2f ms is too large", res.LastHopRTT())
+			}
+		}
+	}
+	if !reached {
+		t.Error("probe traceroute to responsive in-country host never reached")
+	}
+}
+
+func TestMeshDeterministic(t *testing.T) {
+	m1, _, _ := buildMesh(t)
+	m2, _, _ := buildMesh(t)
+	if m1.Len() != m2.Len() {
+		t.Fatal("mesh must be deterministic")
+	}
+	p1, p2 := m1.Probes(), m2.Probes()
+	for i := range p1 {
+		if p1[i].City.ID() != p2[i].City.ID() || p1[i].Country != p2[i].Country {
+			t.Fatal("probe placement must be deterministic")
+		}
+	}
+}
+
+func TestCountriesSorted(t *testing.T) {
+	m, _, _ := buildMesh(t)
+	cs := m.Countries()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatal("Countries() must be sorted and unique")
+		}
+	}
+	if len(cs) < 40 {
+		t.Errorf("expected probes in at least 40 countries, got %d", len(cs))
+	}
+}
+
+func TestNearestProbePreferASN(t *testing.T) {
+	m, _, reg := buildMesh(t)
+	ldn, _ := reg.City("London, GB")
+	base, ok := m.NearestProbe(ldn.Coord, 0)
+	if !ok {
+		t.Fatal("no probes at all")
+	}
+	// Preferring the ASN of the nearest probe must return a probe on it.
+	p, ok := m.NearestProbe(ldn.Coord, base.ASN)
+	if !ok || p.ASN != base.ASN {
+		t.Errorf("ASN preference not honoured: got ASN %d, want %d", p.ASN, base.ASN)
+	}
+}

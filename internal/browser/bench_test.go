@@ -1,0 +1,41 @@
+package browser
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/websim"
+)
+
+func BenchmarkLoadPage(b *testing.B) {
+	w := websim.NewWeb()
+	var resources []websim.Resource
+	for i := 0; i < 20; i++ {
+		resources = append(resources, websim.Resource{
+			URL: fmt.Sprintf("https://t%d.example/x.js", i), Type: "script",
+			Children: []websim.Resource{{URL: fmt.Sprintf("https://c%d.example/y", i), Type: "xhr"}},
+		})
+	}
+	if err := w.AddSite(websim.Site{Domain: "bench.example", RenderMs: 1000, Resources: resources}); err != nil {
+		b.Fatal(err)
+	}
+	br := New(w, DefaultConfig(1, "bench"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pl := br.Load("bench.example"); !pl.OK {
+			b.Fatal("load failed")
+		}
+	}
+}
+
+func BenchmarkParseHTML(b *testing.B) {
+	var resources []websim.Resource
+	for i := 0; i < 30; i++ {
+		resources = append(resources, websim.Resource{URL: fmt.Sprintf("https://t%d.example/x.js", i), Type: "script"})
+	}
+	doc := websim.Site{Domain: "bench.example", Resources: resources}.HTML()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParseHTML(doc)
+	}
+}

@@ -1,0 +1,124 @@
+package browser
+
+import (
+	"strings"
+)
+
+// ResourceRef is a subresource reference extracted from page markup.
+type ResourceRef struct {
+	URL  string
+	Type string // script, img, css, iframe, xhr
+}
+
+// ParseHTML scans an HTML document for subresource references: script
+// src, img src, stylesheet link href, iframe src, and data-endpoint
+// attributes (XHR endpoints the page's bootstrap fetches). The scanner is a
+// forgiving tag tokenizer in the spirit of real browsers: unknown tags,
+// stray text and malformed attributes are skipped, never fatal.
+func ParseHTML(doc string) []ResourceRef {
+	var out []ResourceRef
+	for i := 0; i < len(doc); {
+		lt := strings.IndexByte(doc[i:], '<')
+		if lt < 0 {
+			break
+		}
+		i += lt + 1
+		if i >= len(doc) {
+			break
+		}
+		if doc[i] == '!' || doc[i] == '/' { // doctype, comment, closing tag
+			if gt := strings.IndexByte(doc[i:], '>'); gt >= 0 {
+				i += gt + 1
+			} else {
+				break
+			}
+			continue
+		}
+		gt := strings.IndexByte(doc[i:], '>')
+		if gt < 0 {
+			break
+		}
+		tag := doc[i : i+gt]
+		i += gt + 1
+
+		name, attrs := splitTag(tag)
+		switch name {
+		case "script":
+			if src := attrs["src"]; src != "" {
+				out = append(out, ResourceRef{URL: src, Type: "script"})
+			}
+		case "img":
+			if src := attrs["src"]; src != "" {
+				out = append(out, ResourceRef{URL: src, Type: "img"})
+			}
+		case "link":
+			if strings.EqualFold(attrs["rel"], "stylesheet") && attrs["href"] != "" {
+				out = append(out, ResourceRef{URL: attrs["href"], Type: "css"})
+			}
+		case "iframe":
+			if src := attrs["src"]; src != "" {
+				out = append(out, ResourceRef{URL: src, Type: "iframe"})
+			}
+		default:
+			if ep := attrs["data-endpoint"]; ep != "" {
+				out = append(out, ResourceRef{URL: ep, Type: "xhr"})
+			}
+		}
+	}
+	return out
+}
+
+// splitTag separates a tag's name from its attribute map.
+func splitTag(tag string) (string, map[string]string) {
+	tag = strings.TrimSuffix(strings.TrimSpace(tag), "/")
+	sp := strings.IndexFunc(tag, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' })
+	if sp < 0 {
+		return strings.ToLower(tag), nil
+	}
+	name := strings.ToLower(tag[:sp])
+	attrs := make(map[string]string)
+	rest := tag[sp+1:]
+	for len(rest) > 0 {
+		rest = strings.TrimLeft(rest, " \t\n")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		spc := strings.IndexAny(rest, " \t\n")
+		if eq < 0 || (spc >= 0 && spc < eq) {
+			// Bare attribute (e.g. async).
+			end := spc
+			if end < 0 {
+				end = len(rest)
+			}
+			attrs[strings.ToLower(rest[:end])] = ""
+			rest = rest[end:]
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(rest[:eq]))
+		rest = strings.TrimLeft(rest[eq+1:], " \t\n")
+		if rest == "" {
+			break
+		}
+		var val string
+		switch rest[0] {
+		case '"', '\'':
+			q := rest[0]
+			end := strings.IndexByte(rest[1:], q)
+			if end < 0 {
+				val, rest = rest[1:], ""
+			} else {
+				val, rest = rest[1:1+end], rest[end+2:]
+			}
+		default:
+			end := strings.IndexAny(rest, " \t\n")
+			if end < 0 {
+				val, rest = rest, ""
+			} else {
+				val, rest = rest[:end], rest[end:]
+			}
+		}
+		attrs[key] = val
+	}
+	return name, attrs
+}

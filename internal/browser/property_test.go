@@ -1,0 +1,62 @@
+package browser
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/gamma-suite/gamma/internal/websim"
+)
+
+// TestHTMLEmbedParseBijection: whatever resource set a site declares, the
+// generated markup parses back to exactly the top-level resources, in
+// order, with their types intact.
+func TestHTMLEmbedParseBijection(t *testing.T) {
+	types := []string{"css", "script", "img", "iframe", "xhr"}
+	f := func(count uint8, typeSeed uint32, pathSeed uint16) bool {
+		n := int(count % 12)
+		var resources []websim.Resource
+		for i := 0; i < n; i++ {
+			typ := types[int(typeSeed>>(uint(i%8)*2))%len(types)]
+			resources = append(resources, websim.Resource{
+				URL:  fmt.Sprintf("https://host-%d.example/res-%d-%d", i, pathSeed, i),
+				Type: typ,
+			})
+		}
+		site := websim.Site{Domain: "prop.example", Resources: resources}
+		refs := ParseHTML(site.HTML())
+		if len(refs) != len(resources) {
+			return false
+		}
+		// The generator emits css+script in <head> then img/iframe/xhr in
+		// <body>; compare as multisets of (url, type).
+		want := map[string]string{}
+		for _, r := range resources {
+			want[r.URL] = r.Type
+		}
+		for _, ref := range refs {
+			if want[ref.URL] != ref.Type {
+				return false
+			}
+			delete(want, ref.URL)
+		}
+		return len(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseHTMLNeverPanics: arbitrary byte soup must parse (to something)
+// without panicking — the browser sees hostile markup in the field.
+func TestParseHTMLNeverPanics(t *testing.T) {
+	f := func(doc string) bool {
+		_ = ParseHTML(doc)
+		_ = ParseHTML("<script src=\"" + doc + "\">")
+		_ = ParseHTML("<" + doc)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package cbg implements constraint-based geolocation (CBG-style
+// multilateration, after Gueye et al. and the delay/topology approach of
+// Katz-Bassett et al. that the paper's SOL constraint cites): each
+// round-trip time from a probe with a known location bounds the target
+// inside a disc whose radius is the speed-of-light distance for that
+// delay; the target must sit in the intersection of all discs.
+//
+// The paper's framework uses single-probe constraints to *validate*
+// database claims; this package closes the loop and *estimates* a server's
+// position outright from multiple vantage points — the granular technical
+// audit §7 recommends to policymakers. It is exercised by the cbglocate
+// example and the geolocation-ablation experiment.
+package cbg
+
+import (
+	"math"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+// Measurement is one probe's delay observation of the target.
+type Measurement struct {
+	Probe geo.Coord `json:"probe"`
+	// RTTMs is the cleaned round-trip time (local-network delay already
+	// subtracted, as in §4.1.1).
+	RTTMs float64 `json:"rtt_ms"`
+}
+
+// radiusKm returns the measurement's constraint radius: the farthest the
+// target can be from the probe.
+func (m Measurement) radiusKm() float64 { return geo.MaxDistanceKm(m.RTTMs) }
+
+// Estimate is the multilateration result.
+type Estimate struct {
+	// Feasible reports whether the constraint discs intersect at all. An
+	// infeasible system means at least one measurement (or assumed probe
+	// location) is wrong.
+	Feasible bool `json:"feasible"`
+	// Center is the centroid of the feasible region.
+	Center geo.Coord `json:"center"`
+	// RadiusKm bounds the feasible region around Center (uncertainty).
+	RadiusKm float64 `json:"radius_km"`
+	// Constraints is the number of measurements used.
+	Constraints int `json:"constraints"`
+}
+
+// Config tunes the grid search.
+type Config struct {
+	// GridSteps is the resolution per axis of the feasibility search.
+	GridSteps int
+	// SlackKm loosens every disc to absorb residual queueing delay.
+	SlackKm float64
+}
+
+// DefaultConfig returns a resolution adequate for country-level decisions.
+func DefaultConfig() Config { return Config{GridSteps: 72, SlackKm: 50} }
+
+// Locate runs the multilateration. With no measurements the result is
+// infeasible.
+func Locate(ms []Measurement, cfg Config) Estimate {
+	if cfg.GridSteps <= 0 {
+		cfg = DefaultConfig()
+	}
+	out := Estimate{Constraints: len(ms)}
+	if len(ms) == 0 {
+		return out
+	}
+
+	// Search inside the bounding box of the tightest disc: the target must
+	// lie within it if the system is feasible.
+	tight := 0
+	for i, m := range ms {
+		if m.radiusKm() < ms[tight].radiusKm() {
+			tight = i
+		}
+	}
+	center := ms[tight].Probe
+	r := ms[tight].radiusKm() + cfg.SlackKm
+	// Convert the radius to degree extents (longitude shrinks with
+	// latitude; guard the poles).
+	dLat := r / 111.0
+	cosLat := math.Cos(center.Lat * math.Pi / 180)
+	if cosLat < 0.1 {
+		cosLat = 0.1
+	}
+	dLon := r / (111.0 * cosLat)
+
+	var sumLat, sumLon float64
+	var feasiblePts []geo.Coord
+	steps := cfg.GridSteps
+	for i := 0; i <= steps; i++ {
+		for j := 0; j <= steps; j++ {
+			pt := geo.Coord{
+				Lat: center.Lat - dLat + 2*dLat*float64(i)/float64(steps),
+				Lon: center.Lon - dLon + 2*dLon*float64(j)/float64(steps),
+			}
+			if pt.Lat > 90 || pt.Lat < -90 {
+				continue
+			}
+			ok := true
+			for _, m := range ms {
+				if geo.DistanceKm(m.Probe, pt) > m.radiusKm()+cfg.SlackKm {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				feasiblePts = append(feasiblePts, pt)
+				sumLat += pt.Lat
+				sumLon += pt.Lon
+			}
+		}
+	}
+	if len(feasiblePts) == 0 {
+		return out
+	}
+	out.Feasible = true
+	out.Center = geo.Coord{
+		Lat: sumLat / float64(len(feasiblePts)),
+		Lon: sumLon / float64(len(feasiblePts)),
+	}
+	for _, pt := range feasiblePts {
+		if d := geo.DistanceKm(out.Center, pt); d > out.RadiusKm {
+			out.RadiusKm = d
+		}
+	}
+	return out
+}
+
+// NearestCity maps an estimate onto the closest known city, returning the
+// city and its distance from the estimate's center.
+func NearestCity(e Estimate, reg *geo.Registry) (geo.City, float64, bool) {
+	if !e.Feasible {
+		return geo.City{}, 0, false
+	}
+	best := geo.City{}
+	bestDist := math.Inf(1)
+	for _, country := range reg.Countries() {
+		for _, c := range country.Cities {
+			if d := geo.DistanceKm(c.Coord, e.Center); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+	}
+	if math.IsInf(bestDist, 1) {
+		return geo.City{}, 0, false
+	}
+	return best, bestDist, true
+}
+
+// CountryCandidates lists the countries that have at least one city within
+// the estimate's uncertainty region, nearest first — the set of plausible
+// hosting jurisdictions, which is what a data-sovereignty audit needs.
+func CountryCandidates(e Estimate, reg *geo.Registry) []string {
+	if !e.Feasible {
+		return nil
+	}
+	type cand struct {
+		cc   string
+		dist float64
+	}
+	var cands []cand
+	for _, country := range reg.Countries() {
+		best := math.Inf(1)
+		for _, c := range country.Cities {
+			if d := geo.DistanceKm(c.Coord, e.Center); d < best {
+				best = d
+			}
+		}
+		if best <= e.RadiusKm+100 {
+			cands = append(cands, cand{country.Code, best})
+		}
+	}
+	// Insertion sort by distance: candidate lists are tiny.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.cc
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package cbg
+
+import (
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+func coord(t *testing.T, cityID string) geo.Coord {
+	t.Helper()
+	c, ok := geo.Default().City(cityID)
+	if !ok {
+		t.Fatalf("missing city %s", cityID)
+	}
+	return c.Coord
+}
+
+// rttFor fabricates a plausible RTT for a true distance (path inflation
+// ~1.8 over fiber at 200 km/ms, i.e. comfortably above the SOL floor).
+func rttFor(distKm float64) float64 { return 2*distKm*1.8/200.0 + 1 }
+
+func TestSingleProbeDisc(t *testing.T) {
+	probe := coord(t, "Frankfurt, DE")
+	est := Locate([]Measurement{{Probe: probe, RTTMs: 10}}, DefaultConfig())
+	if !est.Feasible {
+		t.Fatal("single measurement must be feasible")
+	}
+	// The feasible region is the whole disc: its centroid sits at the probe.
+	if d := geo.DistanceKm(est.Center, probe); d > 100 {
+		t.Errorf("center %.0f km from probe, want near it", d)
+	}
+	maxR := geo.MaxDistanceKm(10)
+	if est.RadiusKm < maxR/2 || est.RadiusKm > maxR*1.5 {
+		t.Errorf("radius %.0f km, want on the order of %.0f", est.RadiusKm, maxR)
+	}
+}
+
+func TestTriangulationConvergesOnTruth(t *testing.T) {
+	truth := coord(t, "Amsterdam, NL")
+	probes := []string{"Frankfurt, DE", "Paris, FR", "London, GB", "Copenhagen, DK"}
+	var ms []Measurement
+	for _, p := range probes {
+		pc := coord(t, p)
+		ms = append(ms, Measurement{Probe: pc, RTTMs: rttFor(geo.DistanceKm(pc, truth))})
+	}
+	est := Locate(ms, DefaultConfig())
+	if !est.Feasible {
+		t.Fatal("well-formed system must be feasible")
+	}
+	if d := geo.DistanceKm(est.Center, truth); d > 400 {
+		t.Errorf("estimate %.0f km from truth, want < 400", d)
+	}
+	city, dist, ok := NearestCity(est, geo.Default())
+	if !ok {
+		t.Fatal("nearest city lookup failed")
+	}
+	if city.Country != "NL" && city.Country != "BE" && city.Country != "DE" {
+		t.Errorf("nearest city %s (%.0f km), want in the Benelux area", city.ID(), dist)
+	}
+	cands := CountryCandidates(est, geo.Default())
+	found := false
+	for _, cc := range cands {
+		if cc == "NL" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NL missing from candidates %v", cands)
+	}
+}
+
+func TestInfeasibleSystem(t *testing.T) {
+	// Two probes on different continents both claiming the target is
+	// within a few hundred kilometers: impossible.
+	ms := []Measurement{
+		{Probe: coord(t, "Tokyo, JP"), RTTMs: 2},
+		{Probe: coord(t, "Paris, FR"), RTTMs: 2},
+	}
+	est := Locate(ms, DefaultConfig())
+	if est.Feasible {
+		t.Error("contradictory constraints must be infeasible")
+	}
+	if NearestCityFeasible(est) {
+		t.Error("infeasible estimate must not map to a city")
+	}
+	if CountryCandidates(est, geo.Default()) != nil {
+		t.Error("infeasible estimate has no candidates")
+	}
+}
+
+// NearestCityFeasible is a test helper wrapping the ok bit.
+func NearestCityFeasible(e Estimate) bool {
+	_, _, ok := NearestCity(e, geo.Default())
+	return ok
+}
+
+func TestMoreProbesTightenTheRegion(t *testing.T) {
+	truth := coord(t, "Singapore, SG")
+	probeIDs := []string{"Kuala Lumpur, MY", "Jakarta, ID", "Bangkok, TH", "Hong Kong, HK", "Manila, PH"}
+	var ms []Measurement
+	var prev float64 = -1
+	for _, id := range probeIDs {
+		pc := coord(t, id)
+		ms = append(ms, Measurement{Probe: pc, RTTMs: rttFor(geo.DistanceKm(pc, truth))})
+		est := Locate(ms, DefaultConfig())
+		if !est.Feasible {
+			t.Fatalf("feasibility lost at %d probes", len(ms))
+		}
+		if prev >= 0 && est.RadiusKm > prev*1.5+100 {
+			t.Errorf("radius grew substantially with more constraints: %.0f -> %.0f", prev, est.RadiusKm)
+		}
+		prev = est.RadiusKm
+	}
+	final := Locate(ms, DefaultConfig())
+	if final.RadiusKm > 1500 {
+		t.Errorf("final uncertainty %.0f km too large for 5 regional probes", final.RadiusKm)
+	}
+}
+
+func TestEmptyMeasurements(t *testing.T) {
+	est := Locate(nil, DefaultConfig())
+	if est.Feasible {
+		t.Error("no measurements must be infeasible")
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	probe := coord(t, "Paris, FR")
+	est := Locate([]Measurement{{Probe: probe, RTTMs: 5}}, Config{})
+	if !est.Feasible {
+		t.Error("zero config must fall back to defaults")
+	}
+}

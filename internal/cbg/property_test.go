@@ -1,0 +1,41 @@
+package cbg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+// TestTruthInsideEstimateProperty: for any true location and any probe set
+// whose RTTs are physically consistent (at or above the SOL floor with
+// realistic inflation), the system is feasible and the true location lies
+// within the estimate's uncertainty region (plus grid resolution slack).
+func TestTruthInsideEstimateProperty(t *testing.T) {
+	var cities []geo.City
+	for _, c := range geo.Default().Countries() {
+		cities = append(cities, c.Cities...)
+	}
+	f := func(truthIdx uint16, probeSeed uint32, probeCount uint8) bool {
+		truth := cities[int(truthIdx)%len(cities)]
+		n := int(probeCount%4) + 2
+		var ms []Measurement
+		for i := 0; i < n; i++ {
+			probe := cities[int(probeSeed>>uint(i*5))%len(cities)]
+			d := geo.DistanceKm(probe.Coord, truth.Coord)
+			// Inflation between 1.6 and 2.4 depending on the seed bits.
+			infl := 1.6 + float64((probeSeed>>uint(i))%9)/10
+			ms = append(ms, Measurement{Probe: probe.Coord, RTTMs: geo.MinRTTMs(d)*infl + 1})
+		}
+		est := Locate(ms, DefaultConfig())
+		if !est.Feasible {
+			return false
+		}
+		// Grid coarseness: allow ~3 cells of slack beyond the radius.
+		slack := est.RadiusKm*0.15 + 600
+		return geo.DistanceKm(est.Center, truth.Coord) <= est.RadiusKm+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package consent
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var testTime = time.Date(2024, 3, 1, 10, 0, 0, 0, time.UTC)
+
+func TestDocumentContents(t *testing.T) {
+	doc := Document(DefaultStudy())
+	for _, want := range []string{
+		"CONSENT TO PARTICIPATE",
+		"23 countries",
+		"traceroutes",
+		"entirely voluntary",
+		"opt out of visiting any website",
+		"anonymized",
+		"isolated",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("consent document missing %q", want)
+		}
+	}
+}
+
+func TestAcceptanceBindsToWording(t *testing.T) {
+	doc := Document(DefaultStudy())
+	a := Accept("vol-eg", doc, testTime, "traceroute")
+	if !a.Covers(doc) {
+		t.Error("acceptance must cover the document it was made for")
+	}
+	if a.Covers(doc + " amended") {
+		t.Error("acceptance must not cover changed wording")
+	}
+	if !a.DeclinedComponent("traceroute") {
+		t.Error("traceroute opt-out missing")
+	}
+	if a.DeclinedComponent("tls") {
+		t.Error("tls was not declined")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	doc := Document(DefaultStudy())
+	a := Accept("vol-pk", doc, testTime)
+	path := filepath.Join(t.TempDir(), "consent.json")
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VolunteerID != "vol-pk" || !got.Covers(doc) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestLoadRejectsIncomplete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := Save(path, Acceptance{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("incomplete acceptance must be rejected")
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	doc := Document(DefaultStudy())
+	if DocumentHash(doc) != DocumentHash(doc) {
+		t.Error("hash must be stable")
+	}
+	if len(DocumentHash(doc)) != 64 {
+		t.Error("hash must be hex sha-256")
+	}
+}

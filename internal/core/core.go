@@ -1,0 +1,384 @@
+// Package core is Gamma itself: the lightweight, highly configurable
+// measurement suite from §3 of the paper. It orchestrates the three
+// components — C1 browser-level interaction, C2 network information
+// gathering (DNS/reverse DNS), and C3 active measurement probes
+// (traceroutes to every resolved IP) — against pluggable drivers, records
+// everything in a portable JSON dataset, supports volunteer opt-outs and
+// resuming interrupted runs, and anonymizes volunteer IPs after analysis.
+//
+// The driver interfaces are the portability boundary the paper describes:
+// in the field they are backed by Selenium, the system resolver, and the
+// OS traceroute/tracert tools; in this repository they are backed by the
+// simulation substrates. core itself imports neither.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/gamma-suite/gamma/internal/tlsprobe"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+// RequestRecord is one network request observed during a page load.
+type RequestRecord struct {
+	URL       string `json:"url"`
+	Domain    string `json:"domain"`
+	Type      string `json:"type"`
+	Initiator string `json:"initiator"`
+	Blocked   bool   `json:"blocked,omitempty"`
+	// ThirdParty marks requests to a different site than the page.
+	ThirdParty bool `json:"third_party,omitempty"`
+	// SetCookies names cookies the response set.
+	SetCookies []string `json:"set_cookies,omitempty"`
+}
+
+// PageRecord is the C1 outcome for one target site.
+type PageRecord struct {
+	Site       string          `json:"site"`
+	URL        string          `json:"url"`
+	OK         bool            `json:"ok"`
+	FailReason string          `json:"fail_reason,omitempty"`
+	DurationMs float64         `json:"duration_ms"`
+	Requests   []RequestRecord `json:"requests,omitempty"`
+}
+
+// Browser drives isolated browser sessions (C1).
+type Browser interface {
+	Load(ctx context.Context, siteDomain string) (PageRecord, error)
+}
+
+// Resolver performs forward and reverse DNS (C2).
+type Resolver interface {
+	Resolve(ctx context.Context, domain string) (netip.Addr, error)
+	Reverse(ctx context.Context, addr netip.Addr) (string, bool)
+}
+
+// ChainResolver is an optional Resolver capability: it reports the CNAME
+// chain a resolution traversed. Gamma records chains when available — they
+// are how the pipeline detects CNAME-cloaked trackers.
+type ChainResolver interface {
+	ResolveChain(ctx context.Context, domain string) (netip.Addr, []string, error)
+}
+
+// Prober launches active measurement probes (C3). Implementations shell
+// out to OS-specific tools; results arrive already normalized through the
+// tracert portability layer.
+type Prober interface {
+	Traceroute(ctx context.Context, dst netip.Addr) (tracert.Normalized, error)
+}
+
+// Clock abstracts time for deterministic datasets.
+type Clock interface{ Now() time.Time }
+
+// FixedClock always returns the same instant; the study anchor is the
+// data-collection date noted in §8 (the day before Jordan's PDPL).
+type FixedClock time.Time
+
+// Now implements Clock.
+func (c FixedClock) Now() time.Time { return time.Time(c) }
+
+// StudyClock returns the study's canonical anchor date.
+func StudyClock() Clock {
+	return FixedClock(time.Date(2024, 3, 16, 9, 0, 0, 0, time.UTC))
+}
+
+// Env bundles the drivers the suite runs against. Prober, TLS and Pinger
+// are optional capabilities (§3: Gamma "supports the deployment of other
+// probes, e.g., ping and TLS").
+type Env struct {
+	Browser  Browser
+	Resolver Resolver
+	Prober   Prober
+	TLS      TLSProber
+	Pinger   Pinger
+	Clock    Clock
+}
+
+func (e Env) validate() error {
+	if e.Browser == nil {
+		return fmt.Errorf("core: Env.Browser is required")
+	}
+	if e.Resolver == nil {
+		return fmt.Errorf("core: Env.Resolver is required")
+	}
+	// Prober may be nil: a volunteer can opt out of traceroutes entirely.
+	if e.Clock == nil {
+		return fmt.Errorf("core: Env.Clock is required")
+	}
+	return nil
+}
+
+// TargetKind classifies targets.
+type TargetKind string
+
+// Target kinds.
+const (
+	KindRegional   TargetKind = "regional"
+	KindGovernment TargetKind = "government"
+)
+
+// Target is one website to measure.
+type Target struct {
+	Domain string     `json:"domain"`
+	Kind   TargetKind `json:"kind"`
+}
+
+// Config tunes a volunteer's run (§3.1).
+type Config struct {
+	VolunteerID string `json:"volunteer_id"`
+	Country     string `json:"country"`
+	// City is the location the volunteer disclosed.
+	City string `json:"city"`
+	// VolunteerIP is logged by the tool (and anonymized after analysis).
+	VolunteerIP string `json:"volunteer_ip"`
+
+	Targets []Target `json:"targets"`
+	// OptOutSites are targets the volunteer declined to visit.
+	OptOutSites map[string]bool `json:"opt_out_sites,omitempty"`
+	// TracerouteEnabled is false when the volunteer opted out of probes.
+	TracerouteEnabled bool `json:"traceroute_enabled"`
+	// TLSScanEnabled adds testssl-style security scans of every resolved
+	// server (off in the paper's main study configuration).
+	TLSScanEnabled bool `json:"tls_scan_enabled,omitempty"`
+	// PingEnabled adds best-of-three ping probes per resolved server.
+	PingEnabled bool `json:"ping_enabled,omitempty"`
+	// Parallelism is the number of simultaneous browser instances; the
+	// study ran volunteers in single-thread mode (1).
+	Parallelism int `json:"parallelism"`
+}
+
+// DNSRecord is one C2 resolution result.
+type DNSRecord struct {
+	Domain string `json:"domain"`
+	Addr   string `json:"addr,omitempty"`
+	RDNS   string `json:"rdns,omitempty"`
+	// CNAMEChain lists the aliases traversed (queried name first), when the
+	// resolver reports them and the chain has more than one link.
+	CNAMEChain []string `json:"cname_chain,omitempty"`
+	Err        string   `json:"err,omitempty"`
+}
+
+// PageResult bundles everything recorded for one target.
+type PageResult struct {
+	Target      Target                `json:"target"`
+	OptedOut    bool                  `json:"opted_out,omitempty"`
+	Load        PageRecord            `json:"load"`
+	DNS         []DNSRecord           `json:"dns,omitempty"`
+	Traceroutes []tracert.Normalized  `json:"traceroutes,omitempty"`
+	TLSScans    []tlsprobe.ScanResult `json:"tls_scans,omitempty"`
+	Pings       []PingRecord          `json:"pings,omitempty"`
+}
+
+// Dataset is the complete recording a volunteer uploads.
+type Dataset struct {
+	SchemaVersion int    `json:"schema_version"`
+	VolunteerID   string `json:"volunteer_id"`
+	Country       string `json:"country"`
+	City          string `json:"city"`
+	// VolunteerIP is the only identifying datum the tool records; it is
+	// blanked by Anonymize after downstream analysis (§3.5).
+	VolunteerIP string       `json:"volunteer_ip,omitempty"`
+	Anonymized  bool         `json:"anonymized,omitempty"`
+	StartedAt   time.Time    `json:"started_at"`
+	Pages       []PageResult `json:"pages"`
+}
+
+// Anonymize strips the volunteer's IP address in place.
+func (d *Dataset) Anonymize() {
+	d.VolunteerIP = ""
+	d.Anonymized = true
+}
+
+// Completed reports which targets already have a result (used by resume).
+func (d *Dataset) Completed() map[string]bool {
+	done := make(map[string]bool, len(d.Pages))
+	for _, p := range d.Pages {
+		done[p.Target.Domain] = true
+	}
+	return done
+}
+
+// LoadedOK counts targets whose page load succeeded.
+func (d *Dataset) LoadedOK() int {
+	n := 0
+	for _, p := range d.Pages {
+		if p.Load.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Suite is a configured Gamma instance.
+type Suite struct {
+	cfg Config
+	env Env
+}
+
+// New validates the configuration and builds a suite.
+func New(cfg Config, env Env) (*Suite, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.VolunteerID == "" {
+		return nil, fmt.Errorf("core: config needs a volunteer ID")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("core: config needs targets")
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.TracerouteEnabled && env.Prober == nil {
+		return nil, fmt.Errorf("core: traceroutes enabled but Env.Prober is nil")
+	}
+	if cfg.TLSScanEnabled && env.TLS == nil {
+		return nil, fmt.Errorf("core: TLS scans enabled but Env.TLS is nil")
+	}
+	if cfg.PingEnabled && env.Pinger == nil {
+		return nil, fmt.Errorf("core: pings enabled but Env.Pinger is nil")
+	}
+	return &Suite{cfg: cfg, env: env}, nil
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Run executes the full measurement and returns a fresh dataset.
+func (s *Suite) Run(ctx context.Context) (*Dataset, error) {
+	ds := &Dataset{
+		SchemaVersion: 1,
+		VolunteerID:   s.cfg.VolunteerID,
+		Country:       s.cfg.Country,
+		City:          s.cfg.City,
+		VolunteerIP:   s.cfg.VolunteerIP,
+		StartedAt:     s.env.Clock.Now(),
+	}
+	return ds, s.Resume(ctx, ds)
+}
+
+// Resume continues an interrupted run, skipping targets already recorded —
+// Gamma "is designed to resume from where it was last stopped" (§3.3).
+func (s *Suite) Resume(ctx context.Context, ds *Dataset) error {
+	return s.ResumeLimit(ctx, ds, 0)
+}
+
+// ResumeLimit resumes but measures at most limit pending targets (0 = all):
+// the "run it in chunks" mode the paper offered volunteers.
+func (s *Suite) ResumeLimit(ctx context.Context, ds *Dataset, limit int) error {
+	done := ds.Completed()
+	var pending []Target
+	for _, t := range s.cfg.Targets {
+		if !done[t.Domain] {
+			pending = append(pending, t)
+		}
+	}
+	if limit > 0 && len(pending) > limit {
+		pending = pending[:limit]
+	}
+	results := make([]PageResult, len(pending))
+	errs := make([]error, len(pending))
+
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, t := range pending {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t Target) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = s.measureTarget(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if errs[i] != nil {
+			return fmt.Errorf("core: target %s: %w", pending[i].Domain, errs[i])
+		}
+		ds.Pages = append(ds.Pages, results[i])
+	}
+	return ctx.Err()
+}
+
+// measureTarget runs C1 -> C2 -> C3 for one site.
+func (s *Suite) measureTarget(ctx context.Context, t Target) (PageResult, error) {
+	out := PageResult{Target: t}
+	if s.cfg.OptOutSites[t.Domain] {
+		out.OptedOut = true
+		out.Load = PageRecord{Site: t.Domain, FailReason: "volunteer opt-out"}
+		return out, nil
+	}
+
+	// C1: browser session.
+	page, err := s.env.Browser.Load(ctx, t.Domain)
+	if err != nil {
+		return out, fmt.Errorf("browser: %w", err)
+	}
+	out.Load = page
+	if !page.OK {
+		return out, nil
+	}
+
+	// C2: forward and reverse DNS for every distinct requested domain.
+	seen := map[string]bool{}
+	resolved := map[string]netip.Addr{}
+	for _, req := range page.Requests {
+		if req.Blocked || seen[req.Domain] {
+			continue
+		}
+		seen[req.Domain] = true
+		rec := DNSRecord{Domain: req.Domain}
+		var addr netip.Addr
+		var err error
+		if chainRes, ok := s.env.Resolver.(ChainResolver); ok {
+			var chain []string
+			addr, chain, err = chainRes.ResolveChain(ctx, req.Domain)
+			if err == nil && len(chain) > 1 {
+				rec.CNAMEChain = chain
+			}
+		} else {
+			addr, err = s.env.Resolver.Resolve(ctx, req.Domain)
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		} else {
+			rec.Addr = addr.String()
+			resolved[req.Domain] = addr
+			if name, ok := s.env.Resolver.Reverse(ctx, addr); ok {
+				rec.RDNS = name
+			}
+		}
+		out.DNS = append(out.DNS, rec)
+	}
+
+	// C3 extras: optional TLS and ping probes.
+	if err := s.runExtraProbes(ctx, &out, resolved); err != nil {
+		return out, err
+	}
+
+	// C3: traceroute to every resolved IP (deduplicated per page).
+	if s.cfg.TracerouteEnabled && s.env.Prober != nil {
+		traced := map[netip.Addr]bool{}
+		for _, rec := range out.DNS {
+			addr, ok := resolved[rec.Domain]
+			if !ok || traced[addr] {
+				continue
+			}
+			traced[addr] = true
+			tr, err := s.env.Prober.Traceroute(ctx, addr)
+			if err != nil {
+				return out, fmt.Errorf("prober: %w", err)
+			}
+			out.Traceroutes = append(out.Traceroutes, tr)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"github.com/gamma-suite/gamma/internal/tlsprobe"
+)
+
+// TLSProber is the optional C3 security probe (Nmap/testssl-style): it
+// evaluates a discovered server's TLS posture for a given SNI hostname.
+type TLSProber interface {
+	Scan(ctx context.Context, addr netip.Addr, hostname string) (tlsprobe.ScanResult, error)
+}
+
+// Pinger is the optional C3 latency/reachability probe.
+type Pinger interface {
+	Ping(ctx context.Context, addr netip.Addr) (rttMs float64, ok bool, err error)
+}
+
+// PingRecord is one ping measurement.
+type PingRecord struct {
+	Addr  string  `json:"addr"`
+	RTTMs float64 `json:"rtt_ms,omitempty"`
+	OK    bool    `json:"ok"`
+}
+
+// runExtraProbes executes the optional C3 probes for a page's resolved
+// servers, deduplicated per address.
+func (s *Suite) runExtraProbes(ctx context.Context, out *PageResult, resolved map[string]netip.Addr) error {
+	if s.cfg.TLSScanEnabled && s.env.TLS != nil {
+		scanned := map[netip.Addr]bool{}
+		for _, rec := range out.DNS {
+			addr, ok := resolved[rec.Domain]
+			if !ok || scanned[addr] {
+				continue
+			}
+			scanned[addr] = true
+			res, err := s.env.TLS.Scan(ctx, addr, rec.Domain)
+			if err != nil {
+				return fmt.Errorf("tls scan: %w", err)
+			}
+			out.TLSScans = append(out.TLSScans, res)
+		}
+	}
+	if s.cfg.PingEnabled && s.env.Pinger != nil {
+		pinged := map[netip.Addr]bool{}
+		for _, rec := range out.DNS {
+			addr, ok := resolved[rec.Domain]
+			if !ok || pinged[addr] {
+				continue
+			}
+			pinged[addr] = true
+			rtt, up, err := s.env.Pinger.Ping(ctx, addr)
+			if err != nil {
+				return fmt.Errorf("ping: %w", err)
+			}
+			out.Pings = append(out.Pings, PingRecord{Addr: addr.String(), RTTMs: rtt, OK: up})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/tlsprobe"
+)
+
+type fakeTLS struct{ scans int }
+
+func (f *fakeTLS) Scan(_ context.Context, addr netip.Addr, hostname string) (tlsprobe.ScanResult, error) {
+	f.scans++
+	return tlsprobe.ScanResult{Addr: addr, Hostname: hostname, Reachable: true, Grade: tlsprobe.GradeA}, nil
+}
+
+type fakePinger struct{ pings int }
+
+func (f *fakePinger) Ping(_ context.Context, addr netip.Addr) (float64, bool, error) {
+	f.pings++
+	return 12.5, true, nil
+}
+
+func TestExtraProbesRun(t *testing.T) {
+	env, _, _ := testEnv()
+	ftls, fping := &fakeTLS{}, &fakePinger{}
+	env.TLS = ftls
+	env.Pinger = fping
+	cfg := testConfig()
+	cfg.TLSScanEnabled = true
+	cfg.PingEnabled = true
+	s, err := New(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scans, pings int
+	for _, p := range ds.Pages {
+		scans += len(p.TLSScans)
+		pings += len(p.Pings)
+		if p.Load.OK && len(p.TLSScans) == 0 {
+			t.Errorf("loaded page %s has no TLS scans", p.Target.Domain)
+		}
+	}
+	// 2 loaded pages x 3 resolved domains each; pings dedupe per address.
+	if scans != 6 {
+		t.Errorf("TLS scans recorded = %d, want 6", scans)
+	}
+	if pings != 6 {
+		t.Errorf("pings recorded = %d, want 6", pings)
+	}
+	if ftls.scans != scans || fping.pings != pings {
+		t.Error("driver call counts disagree with recorded results")
+	}
+	for _, p := range ds.Pages {
+		for _, sc := range p.TLSScans {
+			if sc.Grade != tlsprobe.GradeA {
+				t.Errorf("unexpected grade %s", sc.Grade)
+			}
+		}
+		for _, pg := range p.Pings {
+			if !pg.OK || pg.RTTMs != 12.5 {
+				t.Errorf("unexpected ping record %+v", pg)
+			}
+		}
+	}
+}
+
+func TestExtraProbesValidation(t *testing.T) {
+	env, _, _ := testEnv()
+	cfg := testConfig()
+	cfg.TLSScanEnabled = true
+	if _, err := New(cfg, env); err == nil {
+		t.Error("TLS enabled without driver must fail")
+	}
+	cfg = testConfig()
+	cfg.PingEnabled = true
+	if _, err := New(cfg, env); err == nil {
+		t.Error("ping enabled without driver must fail")
+	}
+}
+
+func TestExtraProbesDisabledByDefault(t *testing.T) {
+	env, _, _ := testEnv()
+	env.TLS = &fakeTLS{}
+	env.Pinger = &fakePinger{}
+	s, err := New(testConfig(), env) // flags off
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Pages {
+		if len(p.TLSScans) != 0 || len(p.Pings) != 0 {
+			t.Fatal("probes must not run when disabled")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SaveDataset writes a dataset as indented JSON, creating parent
+// directories as needed. A ".gz" suffix gzip-compresses the file —
+// volunteers on slow uplinks upload the compressed form.
+func SaveDataset(path string, ds *Dataset) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("core: create dataset dir: %w", err)
+	}
+	raw, err := json.MarshalIndent(ds, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encode dataset: %w", err)
+	}
+	if strings.HasSuffix(path, ".gz") {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			return fmt.Errorf("core: compress dataset: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("core: compress dataset: %w", err)
+		}
+		raw = buf.Bytes()
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("core: write dataset: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadDataset reads a dataset saved by SaveDataset, transparently
+// decompressing ".gz" files.
+func LoadDataset(path string) (*Dataset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read dataset: %w", err)
+	}
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress dataset: %w", err)
+		}
+		raw, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress dataset: %w", err)
+		}
+	}
+	var ds Dataset
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		return nil, fmt.Errorf("core: decode dataset %s: %w", path, err)
+	}
+	if ds.SchemaVersion != 1 {
+		return nil, fmt.Errorf("core: unsupported dataset schema %d", ds.SchemaVersion)
+	}
+	return &ds, nil
+}

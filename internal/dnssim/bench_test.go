@@ -1,0 +1,50 @@
+package dnssim
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+func benchServer(b *testing.B) (*Server, Client) {
+	b.Helper()
+	n := netsim.New(netsim.DefaultConfig(1))
+	reg := geo.Default()
+	if err := n.AddAS(netsim.AS{Number: 1, Name: "b", Org: "b", Country: "US"}); err != nil {
+		b.Fatal(err)
+	}
+	s := NewServer(n)
+	cities := []string{"Ashburn, US", "Frankfurt, DE", "Singapore, SG", "Sao Paulo, BR"}
+	var pops []netip.Addr
+	for _, id := range cities {
+		c, _ := reg.City(id)
+		h, err := n.AddHost(netsim.Host{City: c, ASN: 1, Responsive: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pops = append(pops, h.Addr)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := s.Register(Service{
+			Domain: fmt.Sprintf("svc-%d.example", i), Wildcard: true,
+			PoPs: pops, Nearest: i%2 == 0,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	khi, _ := reg.City("Karachi, PK")
+	return s, Client{Country: "PK", City: khi}
+}
+
+func BenchmarkResolveNearest(b *testing.B) {
+	s, cl := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Resolve("www.svc-1000.example", cl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

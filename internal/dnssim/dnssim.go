@@ -1,0 +1,218 @@
+// Package dnssim is the name-resolution substrate. It models exactly the
+// behaviours that make in-country measurement necessary (§1 of the paper):
+// geolocation-based DNS (GeoDNS) and CDN steering answer the same name with
+// different server addresses depending on where the client asks from, so a
+// domain's "location" is a function of the vantage point. It also serves
+// reverse DNS (PTR) records, which the geolocation pipeline mines for
+// location hints (§4.1.3).
+package dnssim
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+// Client describes the resolving client for GeoDNS decisions.
+type Client struct {
+	Country string   // ISO code of the client's network
+	City    geo.City // client city (EDNS client-subnet granularity)
+}
+
+// Service is one DNS name backed by one or more server deployments.
+type Service struct {
+	// Domain is the fully-qualified name, e.g. "www.google-analytics.com".
+	Domain string
+	// Wildcard makes the service answer for any subdomain of Domain too.
+	Wildcard bool
+	// PoPs are candidate server addresses (hosts registered in netsim).
+	PoPs []netip.Addr
+	// ByCountry overrides steering for specific client countries. This is
+	// how the world model expresses, e.g., "Google serves Egyptian clients
+	// from Frankfurt even though Paris is closer" (§7).
+	ByCountry map[string]netip.Addr
+	// Nearest picks the geographically closest PoP when no override
+	// applies; otherwise the first PoP acts as the fixed origin.
+	Nearest bool
+	// CNAME aliases this name to another: resolution follows the chain.
+	// First-party-looking subdomains CNAMEd onto tracker infrastructure
+	// ("CNAME cloaking") evade list-based blocking; the analysis pipeline
+	// detects them from the chains Gamma records.
+	CNAME string
+}
+
+// Server is the combined authoritative + recursive resolver for the world.
+// It is safe for concurrent resolution after registration completes.
+type Server struct {
+	net *netsim.Network
+
+	mu    sync.RWMutex
+	zones map[string]*Service
+	ptr   map[netip.Addr]string
+}
+
+// NewServer creates a resolver over the given data plane.
+func NewServer(n *netsim.Network) *Server {
+	return &Server{
+		net:   n,
+		zones: make(map[string]*Service),
+		ptr:   make(map[netip.Addr]string),
+	}
+}
+
+// Register installs a service. All PoPs must exist as netsim hosts so that
+// nearest-PoP steering can consult their locations. A CNAME service
+// carries no PoPs of its own.
+func (s *Server) Register(svc Service) error {
+	if svc.Domain == "" {
+		return fmt.Errorf("dnssim: service needs a domain")
+	}
+	if svc.CNAME != "" {
+		if len(svc.PoPs) > 0 {
+			return fmt.Errorf("dnssim: service %q has both CNAME and PoPs", svc.Domain)
+		}
+		key := strings.ToLower(svc.Domain)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, dup := s.zones[key]; dup {
+			return fmt.Errorf("dnssim: duplicate service %q", svc.Domain)
+		}
+		cp := svc
+		cp.Domain = key
+		cp.CNAME = strings.ToLower(svc.CNAME)
+		s.zones[key] = &cp
+		return nil
+	}
+	if len(svc.PoPs) == 0 {
+		return fmt.Errorf("dnssim: service %q has no PoPs", svc.Domain)
+	}
+	for _, p := range svc.PoPs {
+		if _, ok := s.net.HostByAddr(p); !ok {
+			return fmt.Errorf("dnssim: service %q PoP %s is not a registered host", svc.Domain, p)
+		}
+	}
+	for cc, p := range svc.ByCountry {
+		if _, ok := s.net.HostByAddr(p); !ok {
+			return fmt.Errorf("dnssim: service %q override for %s -> %s is not a registered host", svc.Domain, cc, p)
+		}
+	}
+	key := strings.ToLower(svc.Domain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.zones[key]; dup {
+		return fmt.Errorf("dnssim: duplicate service %q", svc.Domain)
+	}
+	cp := svc
+	cp.Domain = key
+	s.zones[key] = &cp
+	return nil
+}
+
+// lookup finds the service answering for name: exact match first, then the
+// nearest wildcard ancestor.
+func (s *Server) lookup(name string) (*Service, bool) {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if svc, ok := s.zones[name]; ok {
+		return svc, true
+	}
+	for h := name; ; {
+		dot := strings.IndexByte(h, '.')
+		if dot < 0 {
+			return nil, false
+		}
+		h = h[dot+1:]
+		if svc, ok := s.zones[h]; ok && svc.Wildcard {
+			return svc, true
+		}
+	}
+}
+
+// Resolve answers an A query for name as seen by the client, following
+// CNAME chains. NXDOMAIN is reported as an error.
+func (s *Server) Resolve(name string, client Client) (netip.Addr, error) {
+	addr, _, err := s.ResolveChain(name, client)
+	return addr, err
+}
+
+// ResolveChain resolves a name and returns the CNAME chain traversed (the
+// queried name first, the name that finally answered last). Gamma records
+// the chain; the pipeline mines it for cloaked trackers.
+func (s *Server) ResolveChain(name string, client Client) (netip.Addr, []string, error) {
+	chain := []string{strings.ToLower(strings.TrimSuffix(name, "."))}
+	for depth := 0; depth < 8; depth++ {
+		svc, ok := s.lookup(chain[len(chain)-1])
+		if !ok {
+			return netip.Addr{}, chain, fmt.Errorf("dnssim: NXDOMAIN %q", chain[len(chain)-1])
+		}
+		if svc.CNAME != "" {
+			chain = append(chain, svc.CNAME)
+			continue
+		}
+		addr, err := s.answer(svc, client)
+		return addr, chain, err
+	}
+	return netip.Addr{}, chain, fmt.Errorf("dnssim: CNAME chain too long for %q", name)
+}
+
+// answer picks the A record a non-CNAME service serves the client.
+func (s *Server) answer(svc *Service, client Client) (netip.Addr, error) {
+	if addr, ok := svc.ByCountry[client.Country]; ok {
+		return addr, nil
+	}
+	if !svc.Nearest || len(svc.PoPs) == 1 {
+		return svc.PoPs[0], nil
+	}
+	best, bestDist := svc.PoPs[0], math.Inf(1)
+	for _, p := range svc.PoPs {
+		h, ok := s.net.HostByAddr(p)
+		if !ok {
+			continue
+		}
+		d := geo.DistanceKm(client.City.Coord, h.City.Coord)
+		if d < bestDist {
+			best, bestDist = p, d
+		}
+	}
+	return best, nil
+}
+
+// SetPTR installs a reverse-DNS record for an address.
+func (s *Server) SetPTR(addr netip.Addr, hostname string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hostname == "" {
+		delete(s.ptr, addr)
+		return
+	}
+	s.ptr[addr] = strings.ToLower(hostname)
+}
+
+// ReversePTR answers a PTR query. Many operators publish none; ok is false
+// in that case.
+func (s *Server) ReversePTR(addr netip.Addr) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name, ok := s.ptr[addr]
+	return name, ok
+}
+
+// Domains returns every registered service name, sorted (for tests and
+// deterministic dumps).
+func (s *Server) Domains() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.zones))
+	for d := range s.zones {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,272 @@
+package dnssim
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+type fixture struct {
+	net    *netsim.Network
+	dns    *Server
+	paris  netsim.Host
+	mumbai netsim.Host
+	sydney netsim.Host
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	n := netsim.New(netsim.DefaultConfig(5))
+	reg := geo.Default()
+	if err := n.AddAS(netsim.AS{Number: 15169, Name: "GOOGLE", Org: "Google LLC", Country: "US"}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cityID string) netsim.Host {
+		c, ok := reg.City(cityID)
+		if !ok {
+			t.Fatalf("missing city %s", cityID)
+		}
+		h, err := n.AddHost(netsim.Host{City: c, ASN: 15169, Responsive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	return &fixture{
+		net:    n,
+		dns:    NewServer(n),
+		paris:  mk("Paris, FR"),
+		mumbai: mk("Mumbai, IN"),
+		sydney: mk("Sydney, AU"),
+	}
+}
+
+func client(t *testing.T, cityID, cc string) Client {
+	t.Helper()
+	c, ok := geo.Default().City(cityID)
+	if !ok {
+		t.Fatalf("missing city %s", cityID)
+	}
+	return Client{Country: cc, City: c}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	f := newFixture(t)
+	if err := f.dns.Register(Service{Domain: "", PoPs: []netip.Addr{f.paris.Addr}}); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if err := f.dns.Register(Service{Domain: "a.example"}); err == nil {
+		t.Error("no PoPs should fail")
+	}
+	if err := f.dns.Register(Service{Domain: "a.example", PoPs: []netip.Addr{netip.MustParseAddr("203.0.113.1")}}); err == nil {
+		t.Error("unknown PoP host should fail")
+	}
+	if err := f.dns.Register(Service{Domain: "a.example", PoPs: []netip.Addr{f.paris.Addr},
+		ByCountry: map[string]netip.Addr{"FR": netip.MustParseAddr("203.0.113.2")}}); err == nil {
+		t.Error("unknown override host should fail")
+	}
+	if err := f.dns.Register(Service{Domain: "ok.example", PoPs: []netip.Addr{f.paris.Addr}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.dns.Register(Service{Domain: "OK.example", PoPs: []netip.Addr{f.paris.Addr}}); err == nil {
+		t.Error("duplicate (case-insensitive) domain should fail")
+	}
+}
+
+func TestNearestPoPSteering(t *testing.T) {
+	f := newFixture(t)
+	err := f.dns.Register(Service{
+		Domain:  "cdn.tracker.example",
+		PoPs:    []netip.Addr{f.paris.Addr, f.mumbai.Addr, f.sydney.Addr},
+		Nearest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		client Client
+		want   netip.Addr
+	}{
+		{client(t, "London, GB", "GB"), f.paris.Addr},
+		{client(t, "Colombo, LK", "LK"), f.mumbai.Addr},
+		{client(t, "Auckland, NZ", "NZ"), f.sydney.Addr},
+		{client(t, "Kigali, RW", "RW"), f.mumbai.Addr}, // nearest of the three
+	}
+	for _, tc := range cases {
+		got, err := f.dns.Resolve("cdn.tracker.example", tc.client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("client %s: resolved %s, want %s", tc.client.Country, got, tc.want)
+		}
+	}
+}
+
+func TestCountryOverrideBeatsNearest(t *testing.T) {
+	f := newFixture(t)
+	// The paper's Egypt case: Google serves Egypt from Germany although
+	// nearer PoPs exist.
+	err := f.dns.Register(Service{
+		Domain:    "ads.example",
+		PoPs:      []netip.Addr{f.paris.Addr, f.mumbai.Addr},
+		ByCountry: map[string]netip.Addr{"EG": f.sydney.Addr},
+		Nearest:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.dns.Resolve("ads.example", client(t, "Cairo, EG", "EG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f.sydney.Addr {
+		t.Errorf("override not applied: got %s", got)
+	}
+	got, _ = f.dns.Resolve("ads.example", client(t, "London, GB", "GB"))
+	if got != f.paris.Addr {
+		t.Errorf("non-override client should use nearest: got %s", got)
+	}
+}
+
+func TestSingleOriginService(t *testing.T) {
+	f := newFixture(t)
+	err := f.dns.Register(Service{Domain: "origin.example", PoPs: []netip.Addr{f.mumbai.Addr, f.paris.Addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearest=false: always the first PoP regardless of client.
+	for _, cl := range []Client{client(t, "London, GB", "GB"), client(t, "Sydney, AU", "AU")} {
+		got, err := f.dns.Resolve("origin.example", cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != f.mumbai.Addr {
+			t.Errorf("fixed origin: got %s, want %s", got, f.mumbai.Addr)
+		}
+	}
+}
+
+func TestWildcardLookup(t *testing.T) {
+	f := newFixture(t)
+	err := f.dns.Register(Service{Domain: "googlesyndication.example", Wildcard: true, PoPs: []netip.Addr{f.paris.Addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.dns.Resolve("693.safeframe.googlesyndication.example", client(t, "Doha, QA", "QA"))
+	if err != nil {
+		t.Fatalf("wildcard resolution failed: %v", err)
+	}
+	if got != f.paris.Addr {
+		t.Errorf("got %s", got)
+	}
+	// Non-wildcard services do not answer for subdomains.
+	err = f.dns.Register(Service{Domain: "exact.example", PoPs: []netip.Addr{f.paris.Addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dns.Resolve("sub.exact.example", client(t, "Doha, QA", "QA")); err == nil {
+		t.Error("non-wildcard service must not answer subdomains")
+	}
+}
+
+func TestNXDOMAIN(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.dns.Resolve("no.such.domain", client(t, "Tokyo, JP", "JP")); err == nil {
+		t.Error("expected NXDOMAIN error")
+	}
+}
+
+func TestPTR(t *testing.T) {
+	f := newFixture(t)
+	if _, ok := f.dns.ReversePTR(f.paris.Addr); ok {
+		t.Error("no PTR should be published initially")
+	}
+	f.dns.SetPTR(f.paris.Addr, "Edge-PAR1.Tracker.Example")
+	name, ok := f.dns.ReversePTR(f.paris.Addr)
+	if !ok || name != "edge-par1.tracker.example" {
+		t.Errorf("PTR = %q (%v)", name, ok)
+	}
+	f.dns.SetPTR(f.paris.Addr, "")
+	if _, ok := f.dns.ReversePTR(f.paris.Addr); ok {
+		t.Error("empty SetPTR should delete the record")
+	}
+}
+
+func TestDomainsSorted(t *testing.T) {
+	f := newFixture(t)
+	for _, d := range []string{"b.example", "a.example", "c.example"} {
+		if err := f.dns.Register(Service{Domain: d, PoPs: []netip.Addr{f.paris.Addr}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := f.dns.Domains()
+	if len(ds) != 3 || ds[0] != "a.example" || ds[2] != "c.example" {
+		t.Errorf("Domains() = %v", ds)
+	}
+}
+
+func TestResolveTrailingDot(t *testing.T) {
+	f := newFixture(t)
+	if err := f.dns.Register(Service{Domain: "dot.example", PoPs: []netip.Addr{f.paris.Addr}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.dns.Resolve("dot.example.", client(t, "Tokyo, JP", "JP")); err != nil {
+		t.Errorf("trailing dot should resolve: %v", err)
+	}
+}
+
+func TestCNAMEChainResolution(t *testing.T) {
+	f := newFixture(t)
+	if err := f.dns.Register(Service{Domain: "tracker.example", Wildcard: true, PoPs: []netip.Addr{f.paris.Addr}}); err != nil {
+		t.Fatal(err)
+	}
+	// First-party-looking name cloaked onto the tracker.
+	if err := f.dns.Register(Service{Domain: "metrics.news.example", CNAME: "pixel.tracker.example"}); err != nil {
+		t.Fatal(err)
+	}
+	addr, chain, err := f.dns.ResolveChain("metrics.news.example", client(t, "Doha, QA", "QA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != f.paris.Addr {
+		t.Errorf("cloaked name resolved to %s", addr)
+	}
+	if len(chain) != 2 || chain[0] != "metrics.news.example" || chain[1] != "pixel.tracker.example" {
+		t.Errorf("chain = %v", chain)
+	}
+	// Plain Resolve follows the chain too.
+	got, err := f.dns.Resolve("metrics.news.example", client(t, "Doha, QA", "QA"))
+	if err != nil || got != f.paris.Addr {
+		t.Errorf("Resolve through CNAME = %s (%v)", got, err)
+	}
+}
+
+func TestCNAMEValidation(t *testing.T) {
+	f := newFixture(t)
+	if err := f.dns.Register(Service{Domain: "x.example", CNAME: "y.example", PoPs: []netip.Addr{f.paris.Addr}}); err == nil {
+		t.Error("CNAME with PoPs must fail")
+	}
+	// Dangling CNAME resolves to NXDOMAIN at query time.
+	if err := f.dns.Register(Service{Domain: "dangling.example", CNAME: "missing.example"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.dns.ResolveChain("dangling.example", client(t, "Doha, QA", "QA")); err == nil {
+		t.Error("dangling CNAME should be NXDOMAIN")
+	}
+}
+
+func TestCNAMELoopGuard(t *testing.T) {
+	f := newFixture(t)
+	if err := f.dns.Register(Service{Domain: "a.loop.example", CNAME: "b.loop.example"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.dns.Register(Service{Domain: "b.loop.example", CNAME: "a.loop.example"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.dns.ResolveChain("a.loop.example", client(t, "Doha, QA", "QA")); err == nil {
+		t.Error("CNAME loop must error, not hang")
+	}
+}

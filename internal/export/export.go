@@ -1,0 +1,204 @@
+// Package export materializes the study's public artifacts: the paper
+// releases its tool and data ([2] in the references), and this package
+// writes the analyzed corpus as CSV files — one per table/figure — that
+// downstream researchers can load without any Go tooling. Volunteer IPs
+// never appear in exports (§3.5 anonymization).
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/gamma-suite/gamma/internal/analysis"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+// writeCSV writes one file with a header row.
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// Artifacts writes every figure's and table's data into dir and returns the
+// file names written.
+func Artifacts(res *pipeline.Result, reg *geo.Registry, policies map[string]analysis.PolicyInfo, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	var written []string
+	emit := func(name string, header []string, rows [][]string) error {
+		if err := writeCSV(filepath.Join(dir, name), header, rows); err != nil {
+			return err
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	// funnel.csv
+	f := res.Funnel
+	if err := emit("funnel.csv",
+		[]string{"stage", "count"},
+		[][]string{
+			{"targets", itoa(f.Targets)},
+			{"targets_after_opt_out", itoa(f.TargetsAfterOptOut)},
+			{"unique_targets", itoa(f.UniqueTargets)},
+			{"loaded_ok", itoa(f.LoadedOK)},
+			{"domain_observations", itoa(f.DomainObservations)},
+			{"unique_domains", itoa(f.UniqueDomains)},
+			{"unique_ips", itoa(f.UniqueIPs)},
+			{"source_traceroutes", itoa(f.SourceTraceroutes)},
+			{"dest_traceroutes", itoa(f.DestTraceroutes)},
+			{"non_local_claimed", itoa(f.NonLocalClaimed)},
+			{"after_sol_constraints", itoa(f.AfterSOL)},
+			{"after_rdns_constraint", itoa(f.AfterRDNS)},
+			{"trackers", itoa(f.Trackers)},
+			{"cloaked_trackers", itoa(f.CloakedTrackers)},
+		}); err != nil {
+		return written, err
+	}
+
+	// fig2.csv
+	comp := analysis.Fig2Composition(res)
+	loads := analysis.Fig2LoadSuccess(res)
+	loadBy := map[string]float64{}
+	for _, l := range loads {
+		loadBy[l.Country] = l.Pct
+	}
+	var rows [][]string
+	for _, c := range comp {
+		rows = append(rows, []string{c.Country, itoa(c.Regional), itoa(c.Government), ftoa(loadBy[c.Country])})
+	}
+	if err := emit("fig2.csv", []string{"country", "regional_targets", "government_targets", "load_success_pct"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig3.csv
+	rows = nil
+	for _, p := range analysis.Fig3Prevalence(res) {
+		rows = append(rows, []string{p.Country, ftoa(p.RegionalPct), ftoa(p.GovernmentPct), ftoa(p.OverallPct)})
+	}
+	if err := emit("fig3.csv", []string{"country", "regional_pct", "government_pct", "overall_pct"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig4.csv
+	rows = nil
+	for _, d := range analysis.Fig4Distribution(res) {
+		b := d.Combined
+		rows = append(rows, []string{
+			d.Country, itoa(b.N), ftoa(b.Min), ftoa(b.Q1), ftoa(b.Median),
+			ftoa(b.Q3), ftoa(b.Max), ftoa(b.Mean), ftoa(b.StdDev), itoa(len(b.Outliers)),
+		})
+	}
+	if err := emit("fig4.csv", []string{"country", "sites", "min", "q1", "median", "q3", "max", "mean", "stddev", "outliers"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig5_flows.csv / fig5_shares.csv
+	rows = nil
+	for _, fl := range analysis.Fig5CountryFlows(res) {
+		rows = append(rows, []string{fl.Source, fl.Dest, itoa(fl.Sites)})
+	}
+	if err := emit("fig5_flows.csv", []string{"source", "destination", "sites"}, rows); err != nil {
+		return written, err
+	}
+	rows = nil
+	for _, s := range analysis.Fig5DestShares(res) {
+		rows = append(rows, []string{s.Dest, ftoa(s.SitePct), itoa(s.Sites), itoa(s.SourceCount)})
+	}
+	if err := emit("fig5_shares.csv", []string{"destination", "site_pct", "sites", "source_countries"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig6.csv
+	rows = nil
+	for _, fl := range analysis.Fig6ContinentFlows(res, reg) {
+		rows = append(rows, []string{string(fl.Source), string(fl.Dest), itoa(fl.Sites)})
+	}
+	if err := emit("fig6.csv", []string{"source_continent", "dest_continent", "sites"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig7.csv
+	rows = nil
+	for _, h := range analysis.Fig7HostingCounts(res) {
+		rows = append(rows, []string{h.Dest, itoa(h.Domains)})
+	}
+	if err := emit("fig7.csv", []string{"hosting_country", "distinct_tracking_domains"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig8.csv
+	rows = nil
+	for _, fl := range analysis.Fig8OrgFlows(res) {
+		rows = append(rows, []string{fl.Source, fl.Org, itoa(fl.Sites)})
+	}
+	if err := emit("fig8.csv", []string{"source", "organization", "sites"}, rows); err != nil {
+		return written, err
+	}
+
+	// fig9.csv
+	rows = nil
+	for _, df := range analysis.Fig9DomainFrequency(res) {
+		for domain, n := range df.Counts {
+			rows = append(rows, []string{df.Country, domain, itoa(n)})
+		}
+	}
+	if err := emit("fig9.csv", []string{"country", "domain", "sites"}, rows); err != nil {
+		return written, err
+	}
+
+	// table1.csv
+	rows = nil
+	for _, r := range analysis.Table1(analysis.Fig3Prevalence(res), policies) {
+		enacted := "yes"
+		if !r.Enacted {
+			enacted = "no"
+		}
+		rows = append(rows, []string{r.Country, r.Type, enacted, ftoa(r.NonLocalPct), r.Note})
+	}
+	if err := emit("table1.csv", []string{"country", "policy_type", "enacted", "non_local_pct", "note"}, rows); err != nil {
+		return written, err
+	}
+
+	// trackers.csv — the identified tracker domains with attribution.
+	rows = nil
+	for _, cc := range res.CountryCodes() {
+		for _, obs := range res.Countries[cc].Verdicts {
+			if obs.Class != geoloc.NonLocal || !obs.IsTracker {
+				continue
+			}
+			rows = append(rows, []string{
+				cc, obs.Domain, obs.DestCountry, obs.DestCity,
+				obs.Org, obs.OrgCountry, obs.TrackerSource,
+				strconv.FormatBool(obs.Cloaked),
+			})
+		}
+	}
+	if err := emit("trackers.csv",
+		[]string{"source_country", "domain", "dest_country", "dest_city", "org", "org_hq", "identified_via", "cloaked"},
+		rows); err != nil {
+		return written, err
+	}
+	return written, nil
+}

@@ -1,0 +1,76 @@
+package export_test
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/export"
+)
+
+func TestArtifacts(t *testing.T) {
+	w, err := gamma.NewWorld(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels, err := gamma.SelectTargets(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datasets []*core.Dataset
+	for _, cc := range []string{"PK", "NZ"} {
+		ds, err := gamma.RunVolunteer(t.Context(), w, cc, sels[cc])
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	res, err := gamma.Analyze(w, datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	written, err := export.Artifacts(res, w.Registry, gamma.PolicyRegistry(w), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"funnel.csv", "fig2.csv", "fig3.csv", "fig4.csv", "fig5_flows.csv",
+		"fig5_shares.csv", "fig6.csv", "fig7.csv", "fig8.csv", "fig9.csv",
+		"table1.csv", "trackers.csv",
+	}
+	if len(written) != len(want) {
+		t.Fatalf("written = %v", written)
+	}
+	for _, name := range want {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		records, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s is not valid CSV: %v", name, err)
+		}
+		if len(records) < 2 && name != "fig9.csv" {
+			t.Errorf("%s has no data rows", name)
+		}
+	}
+
+	// The tracker export never leaks volunteer IPs and marks attribution.
+	raw, _ := os.ReadFile(filepath.Join(dir, "trackers.csv"))
+	content := string(raw)
+	for _, vol := range w.Volunteers {
+		if vol.Addr.IsValid() && strings.Contains(content, vol.Addr.String()) {
+			t.Error("volunteer IP leaked into public artifact")
+		}
+	}
+	if !strings.Contains(content, "easylist") && !strings.Contains(content, "manual") {
+		t.Error("tracker attribution missing")
+	}
+}

@@ -1,0 +1,57 @@
+package filterlist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildBigEngine assembles an EasyList-scale engine (~10k rules).
+func buildBigEngine(n int) *Engine {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&sb, "||tracker-%d.example^\n", i)
+		case 1:
+			fmt.Fprintf(&sb, "||ads-%d.example^$third-party\n", i)
+		case 2:
+			fmt.Fprintf(&sb, "/banner-%d/*\n", i)
+		default:
+			fmt.Fprintf(&sb, "@@||safe-%d.example^\n", i)
+		}
+	}
+	return NewEngine(ParseList("bench", sb.String()))
+}
+
+func BenchmarkEngineMatchHit(b *testing.B) {
+	e := buildBigEngine(10000)
+	req := Request{URL: "https://sub.tracker-4000.example/x.js", Domain: "sub.tracker-4000.example",
+		PageDomain: "page.example", ThirdParty: true, Type: TypeScript}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Match(req)
+	}
+}
+
+func BenchmarkEngineMatchMiss(b *testing.B) {
+	e := buildBigEngine(10000)
+	req := Request{URL: "https://www.innocent.example/app.js", Domain: "www.innocent.example",
+		PageDomain: "page.example", ThirdParty: true, Type: TypeScript}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Match(req)
+	}
+}
+
+func BenchmarkParseList(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "||tracker-%d.example^$third-party\n", i)
+	}
+	text := sb.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParseList("bench", text)
+	}
+}

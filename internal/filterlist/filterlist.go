@@ -1,0 +1,401 @@
+// Package filterlist implements an Adblock-Plus-compatible filter-list
+// engine: the rule syntax used by EasyList and EasyPrivacy, which the paper
+// (§4.2) uses — together with regional lists — to identify advertising and
+// tracking domains among observed network requests.
+//
+// Supported syntax: `!` comments, `[Adblock ...]` headers, `||` domain
+// anchors, `|` start/end anchors, `*` wildcards, the `^` separator,
+// `@@` exception rules, and the `$` option suffix with third-party,
+// domain=, and resource-type options. Element-hiding rules (`##`, `#@#`)
+// are recognized and skipped, as they never match network requests.
+package filterlist
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// ResourceType classifies the kind of network request being filtered.
+type ResourceType uint16
+
+// Resource types, mirroring the Adblock Plus option names.
+const (
+	TypeOther ResourceType = 1 << iota
+	TypeScript
+	TypeImage
+	TypeStylesheet
+	TypeXHR
+	TypeSubdocument
+	TypeFont
+	TypeMedia
+	TypeDocument
+	TypeAny ResourceType = 0xffff
+)
+
+var typeNames = map[string]ResourceType{
+	"other":          TypeOther,
+	"script":         TypeScript,
+	"image":          TypeImage,
+	"stylesheet":     TypeStylesheet,
+	"xmlhttprequest": TypeXHR,
+	"subdocument":    TypeSubdocument,
+	"font":           TypeFont,
+	"media":          TypeMedia,
+	"document":       TypeDocument,
+}
+
+// Request is a network request to evaluate against the engine.
+type Request struct {
+	URL        string       // full request URL
+	Domain     string       // request hostname
+	PageDomain string       // hostname of the page issuing the request
+	ThirdParty bool         // whether request and page belong to different sites
+	Type       ResourceType // resource type; TypeOther if unknown
+}
+
+// Rule is one parsed network-filter rule.
+type Rule struct {
+	Raw       string // original rule text
+	List      string // name of the list the rule came from
+	Exception bool   // @@ rule
+
+	// anchorDomain is set for ||domain... rules; it allows indexed lookup.
+	anchorDomain string
+	// re matches the request URL (nil when the anchor-domain check suffices).
+	re *regexp.Regexp
+
+	// Options.
+	thirdParty     int8 // 0 unset, +1 require third-party, -1 require first-party
+	types          ResourceType
+	invTypes       ResourceType
+	includeDomains []string
+	excludeDomains []string
+}
+
+// String returns the original rule text.
+func (r *Rule) String() string { return r.Raw }
+
+// List is a named, parsed filter list.
+type List struct {
+	Name    string
+	Rules   []*Rule
+	Skipped int // cosmetic/unsupported lines skipped
+}
+
+// ParseList parses filter-list text. Unparseable lines are skipped and
+// counted rather than failing the whole list, matching ad-blocker behavior.
+func ParseList(name, text string) *List {
+	l := &List{Name: name}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "!") ||
+			(strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]")) {
+			continue
+		}
+		// Element-hiding and snippet rules target page DOM, not requests.
+		if strings.Contains(line, "##") || strings.Contains(line, "#@#") || strings.Contains(line, "#?#") {
+			l.Skipped++
+			continue
+		}
+		r, err := parseRule(line)
+		if err != nil {
+			l.Skipped++
+			continue
+		}
+		r.List = name
+		l.Rules = append(l.Rules, r)
+	}
+	return l
+}
+
+func parseRule(line string) (*Rule, error) {
+	r := &Rule{Raw: line, types: TypeAny}
+	pattern := line
+	if strings.HasPrefix(pattern, "@@") {
+		r.Exception = true
+		pattern = pattern[2:]
+	}
+	// Split off options at the last unescaped '$'. A '$' inside a regexp-style
+	// rule (/.../) is out of scope; EasyList network rules use plain '$'.
+	if i := strings.LastIndex(pattern, "$"); i >= 0 && !strings.Contains(pattern[i:], "/") {
+		opts := pattern[i+1:]
+		pattern = pattern[:i]
+		if err := r.parseOptions(opts); err != nil {
+			return nil, err
+		}
+	}
+	if pattern == "" {
+		return nil, fmt.Errorf("filterlist: empty pattern in %q", line)
+	}
+	if err := r.compile(pattern); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Rule) parseOptions(opts string) error {
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		neg := strings.HasPrefix(opt, "~")
+		name := strings.TrimPrefix(opt, "~")
+		switch {
+		case name == "third-party":
+			if neg {
+				r.thirdParty = -1
+			} else {
+				r.thirdParty = +1
+			}
+		case strings.HasPrefix(name, "domain="):
+			for _, d := range strings.Split(name[len("domain="):], "|") {
+				d = strings.ToLower(strings.TrimSpace(d))
+				if d == "" {
+					continue
+				}
+				if strings.HasPrefix(d, "~") {
+					r.excludeDomains = append(r.excludeDomains, d[1:])
+				} else {
+					r.includeDomains = append(r.includeDomains, d)
+				}
+			}
+		case typeNames[name] != 0:
+			if neg {
+				r.invTypes |= typeNames[name]
+			} else {
+				if r.types == TypeAny {
+					r.types = 0
+				}
+				r.types |= typeNames[name]
+			}
+		default:
+			// Unknown options (popup, websocket, csp=...) are tolerated so
+			// real-world lists parse; the rule simply ignores them.
+		}
+	}
+	return nil
+}
+
+// compile turns the Adblock pattern into either an anchor-domain fast path
+// or a regular expression over the request URL.
+func (r *Rule) compile(pattern string) error {
+	if strings.HasPrefix(pattern, "||") {
+		rest := pattern[2:]
+		// Fast path: ||domain^ or ||domain (possibly with trailing ^ or /).
+		cut := strings.IndexAny(rest, "^/*|")
+		domain := rest
+		if cut >= 0 {
+			domain = rest[:cut]
+		}
+		if domain == "" {
+			return fmt.Errorf("filterlist: anchor rule with no domain: %q", pattern)
+		}
+		r.anchorDomain = strings.ToLower(domain)
+		tail := rest[len(domain):]
+		if tail == "" || tail == "^" || tail == "^*" || tail == "*" {
+			return nil // domain match alone decides
+		}
+		re, err := patternToRegexp("||" + rest)
+		if err != nil {
+			return err
+		}
+		r.re = re
+		return nil
+	}
+	re, err := patternToRegexp(pattern)
+	if err != nil {
+		return err
+	}
+	r.re = re
+	return nil
+}
+
+// patternToRegexp translates Adblock wildcard syntax to a Go regexp.
+func patternToRegexp(pattern string) (*regexp.Regexp, error) {
+	var b strings.Builder
+	i := 0
+	switch {
+	case strings.HasPrefix(pattern, "||"):
+		b.WriteString(`^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?`)
+		i = 2
+	case strings.HasPrefix(pattern, "|"):
+		b.WriteString(`^`)
+		i = 1
+	}
+	endAnchor := false
+	end := len(pattern)
+	if strings.HasSuffix(pattern, "|") && end > i {
+		endAnchor = true
+		end--
+	}
+	for ; i < end; i++ {
+		switch c := pattern[i]; c {
+		case '*':
+			b.WriteString(`.*`)
+		case '^':
+			b.WriteString(`(?:[^a-zA-Z0-9_.%-]|$)`)
+		default:
+			b.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	if endAnchor {
+		b.WriteString(`$`)
+	}
+	return regexp.Compile(`(?i)` + b.String())
+}
+
+// matchesOptions checks the $-options against the request.
+func (r *Rule) matchesOptions(req Request) bool {
+	if r.thirdParty == +1 && !req.ThirdParty {
+		return false
+	}
+	if r.thirdParty == -1 && req.ThirdParty {
+		return false
+	}
+	typ := req.Type
+	if typ == 0 {
+		typ = TypeOther
+	}
+	if r.types&typ == 0 {
+		return false
+	}
+	if r.invTypes&typ != 0 {
+		return false
+	}
+	if len(r.includeDomains) > 0 {
+		ok := false
+		for _, d := range r.includeDomains {
+			if domainOrSub(req.PageDomain, d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range r.excludeDomains {
+		if domainOrSub(req.PageDomain, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether the rule matches the request.
+func (r *Rule) Matches(req Request) bool {
+	if !r.matchesOptions(req) {
+		return false
+	}
+	if r.anchorDomain != "" {
+		if !domainOrSub(req.Domain, r.anchorDomain) {
+			return false
+		}
+		if r.re == nil {
+			return true
+		}
+	}
+	url := req.URL
+	if url == "" {
+		url = "https://" + req.Domain + "/"
+	}
+	return r.re.MatchString(url)
+}
+
+func domainOrSub(host, domain string) bool {
+	host, domain = strings.ToLower(host), strings.ToLower(domain)
+	return host == domain || strings.HasSuffix(host, "."+domain)
+}
+
+// Engine evaluates requests against a set of filter lists, with an index
+// over anchor domains for the common ||domain^ case.
+type Engine struct {
+	lists    []*List
+	byDomain map[string][]*Rule // anchorDomain -> rules
+	generic  []*Rule
+}
+
+// NewEngine builds an engine over the given lists.
+func NewEngine(lists ...*List) *Engine {
+	e := &Engine{byDomain: make(map[string][]*Rule)}
+	for _, l := range lists {
+		e.AddList(l)
+	}
+	return e
+}
+
+// AddList appends a list's rules to the engine.
+func (e *Engine) AddList(l *List) {
+	e.lists = append(e.lists, l)
+	for _, r := range l.Rules {
+		if r.anchorDomain != "" {
+			e.byDomain[r.anchorDomain] = append(e.byDomain[r.anchorDomain], r)
+		} else {
+			e.generic = append(e.generic, r)
+		}
+	}
+}
+
+// NumRules returns the total number of network rules loaded.
+func (e *Engine) NumRules() int {
+	n := len(e.generic)
+	for _, rs := range e.byDomain {
+		n += len(rs)
+	}
+	return n
+}
+
+// Match evaluates the request. It returns whether the request is blocked
+// and the rule that decided (the blocking rule, or the exception rule that
+// rescued the request).
+func (e *Engine) Match(req Request) (bool, *Rule) {
+	var blockRule *Rule
+	consider := func(r *Rule) bool { // returns true to stop: exception wins
+		if !r.Matches(req) {
+			return false
+		}
+		if r.Exception {
+			blockRule = r
+			return true
+		}
+		if blockRule == nil {
+			blockRule = r
+		}
+		return false
+	}
+	// Walk the request hostname's parent domains through the index.
+	host := strings.ToLower(req.Domain)
+	for h := host; h != ""; {
+		for _, r := range e.byDomain[h] {
+			if consider(r) {
+				return false, blockRule
+			}
+		}
+		dot := strings.IndexByte(h, '.')
+		if dot < 0 {
+			break
+		}
+		h = h[dot+1:]
+	}
+	for _, r := range e.generic {
+		if consider(r) {
+			return false, blockRule
+		}
+	}
+	return blockRule != nil && !blockRule.Exception, blockRule
+}
+
+// MatchDomain is the convenience used for tracker identification: it checks
+// whether a bare third-party request to the domain would be blocked.
+func (e *Engine) MatchDomain(domain, pageDomain string) bool {
+	blocked, _ := e.Match(Request{
+		URL:        "https://" + domain + "/",
+		Domain:     domain,
+		PageDomain: pageDomain,
+		ThirdParty: !domainOrSub(domain, pageDomain) && !domainOrSub(pageDomain, domain),
+		Type:       TypeScript,
+	})
+	return blocked
+}

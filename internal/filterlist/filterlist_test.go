@@ -1,0 +1,215 @@
+package filterlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func engine(rules ...string) *Engine {
+	return NewEngine(ParseList("test", strings.Join(rules, "\n")))
+}
+
+func req(url, domain, page string, third bool) Request {
+	return Request{URL: url, Domain: domain, PageDomain: page, ThirdParty: third, Type: TypeScript}
+}
+
+func TestDomainAnchorRule(t *testing.T) {
+	e := engine("||doubleclick.net^")
+	cases := []struct {
+		domain string
+		want   bool
+	}{
+		{"doubleclick.net", true},
+		{"ad.doubleclick.net", true},
+		{"stats.g.doubleclick.net", true},
+		{"notdoubleclick.net", false},
+		{"doubleclick.net.evil.com", false},
+	}
+	for _, tc := range cases {
+		got, _ := e.Match(req("https://"+tc.domain+"/x.js", tc.domain, "example.com", true))
+		if got != tc.want {
+			t.Errorf("domain %q: blocked=%v, want %v", tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestDomainAnchorWithPath(t *testing.T) {
+	e := engine("||example.com/ads/")
+	if got, _ := e.Match(req("https://example.com/ads/banner.png", "example.com", "a.com", true)); !got {
+		t.Error("should block /ads/ path")
+	}
+	if got, _ := e.Match(req("https://example.com/news/", "example.com", "a.com", true)); got {
+		t.Error("should not block /news/ path")
+	}
+}
+
+func TestSubstringAndWildcard(t *testing.T) {
+	e := engine("/advert/*banner")
+	if got, _ := e.Match(req("https://x.com/advert/img/banner.gif", "x.com", "y.com", true)); !got {
+		t.Error("wildcard pattern should match")
+	}
+	if got, _ := e.Match(req("https://x.com/advert/img/logo.gif", "x.com", "y.com", true)); got {
+		t.Error("pattern requires 'banner'")
+	}
+}
+
+func TestSeparator(t *testing.T) {
+	e := engine("||ads.example.com^")
+	// ^ should match ':' '/' '?' or end of string but not a letter.
+	if got, _ := e.Match(req("https://ads.example.com:8080/x", "ads.example.com", "p.com", true)); !got {
+		t.Error("separator should match port colon")
+	}
+}
+
+func TestStartEndAnchors(t *testing.T) {
+	e := engine("|https://tracker.io/pixel.gif|")
+	if got, _ := e.Match(req("https://tracker.io/pixel.gif", "tracker.io", "p.com", true)); !got {
+		t.Error("exact anchored URL should match")
+	}
+	if got, _ := e.Match(req("https://tracker.io/pixel.gif?x=1", "tracker.io", "p.com", true)); got {
+		t.Error("end anchor should prevent suffix match")
+	}
+}
+
+func TestExceptionRule(t *testing.T) {
+	e := engine(
+		"||analytics.example^",
+		"@@||analytics.example/allowed^",
+	)
+	if got, _ := e.Match(req("https://analytics.example/track.js", "analytics.example", "p.com", true)); !got {
+		t.Error("block rule should apply")
+	}
+	blocked, rule := e.Match(req("https://analytics.example/allowed/x.js", "analytics.example", "p.com", true))
+	if blocked {
+		t.Error("exception should rescue the request")
+	}
+	if rule == nil || !rule.Exception {
+		t.Errorf("deciding rule should be the exception, got %v", rule)
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	e := engine("||cdn.site.com^$third-party")
+	if got, _ := e.Match(req("https://cdn.site.com/app.js", "cdn.site.com", "site.com", false)); got {
+		t.Error("first-party request should not match $third-party rule")
+	}
+	if got, _ := e.Match(req("https://cdn.site.com/app.js", "cdn.site.com", "other.com", true)); !got {
+		t.Error("third-party request should match")
+	}
+	e2 := engine("||cdn.site.com^$~third-party")
+	if got, _ := e2.Match(req("https://cdn.site.com/app.js", "cdn.site.com", "other.com", true)); got {
+		t.Error("third-party request should not match $~third-party rule")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	e := engine("||widget.io^$domain=news.example|~sports.news.example")
+	if got, _ := e.Match(req("https://widget.io/w.js", "widget.io", "news.example", true)); !got {
+		t.Error("should match on included domain")
+	}
+	if got, _ := e.Match(req("https://widget.io/w.js", "widget.io", "sports.news.example", true)); got {
+		t.Error("excluded subdomain should not match")
+	}
+	if got, _ := e.Match(req("https://widget.io/w.js", "widget.io", "blog.example", true)); got {
+		t.Error("unrelated page domain should not match")
+	}
+}
+
+func TestResourceTypeOption(t *testing.T) {
+	e := engine("||media.example^$image,media")
+	r := Request{URL: "https://media.example/a.png", Domain: "media.example", PageDomain: "p.com", ThirdParty: true, Type: TypeImage}
+	if got, _ := e.Match(r); !got {
+		t.Error("image should match $image rule")
+	}
+	r.Type = TypeScript
+	if got, _ := e.Match(r); got {
+		t.Error("script should not match $image,media rule")
+	}
+	inv := engine("||media.example^$~image")
+	r.Type = TypeImage
+	if got, _ := inv.Match(r); got {
+		t.Error("image should not match $~image rule")
+	}
+	r.Type = TypeScript
+	if got, _ := inv.Match(r); !got {
+		t.Error("script should match $~image rule")
+	}
+}
+
+func TestCommentsHeadersCosmetic(t *testing.T) {
+	l := ParseList("easylist", `[Adblock Plus 2.0]
+! Title: EasyList
+! comment
+example.com##.ad-banner
+example.com#@#.ok
+||realrule.com^
+`)
+	if len(l.Rules) != 1 {
+		t.Fatalf("expected 1 network rule, got %d", len(l.Rules))
+	}
+	if l.Skipped != 2 {
+		t.Errorf("expected 2 skipped cosmetic rules, got %d", l.Skipped)
+	}
+	if l.Rules[0].List != "easylist" {
+		t.Errorf("rule list name = %q", l.Rules[0].List)
+	}
+}
+
+func TestUnknownOptionsTolerated(t *testing.T) {
+	l := ParseList("t", "||popup.example^$popup,websocket")
+	if len(l.Rules) != 1 {
+		t.Fatalf("rule with unknown options should parse, got %d rules", len(l.Rules))
+	}
+}
+
+func TestMatchDomain(t *testing.T) {
+	e := engine("||google-analytics.com^$third-party", "||doubleclick.net^")
+	if !e.MatchDomain("www.google-analytics.com", "shop.example") {
+		t.Error("GA subdomain should be identified as tracker")
+	}
+	if e.MatchDomain("www.google-analytics.com", "google-analytics.com") {
+		t.Error("first-party GA request should not match third-party rule")
+	}
+	if !e.MatchDomain("ad.doubleclick.net", "news.example") {
+		t.Error("doubleclick should match")
+	}
+	if e.MatchDomain("example.org", "news.example") {
+		t.Error("unlisted domain should not match")
+	}
+}
+
+func TestNumRules(t *testing.T) {
+	e := engine("||a.com^", "||b.com^", "/generic/ad")
+	if n := e.NumRules(); n != 3 {
+		t.Errorf("NumRules = %d, want 3", n)
+	}
+}
+
+func TestCaseInsensitiveMatching(t *testing.T) {
+	e := engine("||Tracker.Example^")
+	if got, _ := e.Match(req("https://TRACKER.example/x", "TRACKER.example", "p.com", true)); !got {
+		t.Error("matching should be case-insensitive")
+	}
+}
+
+func TestAnchorDomainNeverMatchesUnrelatedProperty(t *testing.T) {
+	e := engine("||blocked.example^")
+	hosts := []string{"a.com", "blocked.example.com", "xblocked.example", "example", "safe.net"}
+	f := func(i uint) bool {
+		h := hosts[i%uint(len(hosts))]
+		got, _ := e.Match(req("https://"+h+"/", h, "page.com", true))
+		return !got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndMalformedRules(t *testing.T) {
+	l := ParseList("t", "||^\n@@\n$third-party\n")
+	for _, r := range l.Rules {
+		// Whatever parsed must at least not panic when matched.
+		r.Matches(req("https://x.com/", "x.com", "y.com", true))
+	}
+}

@@ -1,0 +1,33 @@
+package filterlist
+
+import "testing"
+
+// FuzzParseList: arbitrary list text must parse without panicking, and the
+// resulting engine must evaluate requests without panicking.
+func FuzzParseList(f *testing.F) {
+	seeds := []string{
+		"||doubleclick.net^",
+		"@@||analytics.example/allowed^$third-party",
+		"/adbanner/*$image,domain=a.com|~b.a.com",
+		"|https://x/|\n!comment\n[Adblock Plus 2.0]",
+		"||^", "$", "@@", "||a^$unknownopt,~third-party",
+		"example.com##.ad", "*$*",
+	}
+	for _, s := range seeds {
+		f.Add(s, "https://tracker.example/x.js", "tracker.example", "page.example")
+	}
+	f.Fuzz(func(t *testing.T, list, url, domain, page string) {
+		l := ParseList("fuzz", list)
+		e := NewEngine(l)
+		blocked, rule := e.Match(Request{
+			URL: url, Domain: domain, PageDomain: page,
+			ThirdParty: true, Type: TypeScript,
+		})
+		if blocked && rule == nil {
+			t.Error("blocked without a deciding rule")
+		}
+		if rule != nil && rule.Exception && blocked {
+			t.Error("exception rule cannot block")
+		}
+	})
+}

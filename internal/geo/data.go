@@ -1,0 +1,201 @@
+package geo
+
+import "sync"
+
+// city is a terse constructor used by the embedded dataset.
+func city(name, cc string, lat, lon float64) City {
+	return City{Name: name, Country: cc, Coord: Coord{Lat: lat, Lon: lon}}
+}
+
+// DefaultCountries returns the embedded geographic dataset: the 23 source
+// countries of the study plus every destination country observed hosting
+// tracking servers (the paper reports destination traceroutes in more than
+// 60 destination countries). Coordinates are approximate city centers.
+func DefaultCountries() []Country {
+	return []Country{
+		// ---- The 23 measurement (source) countries ----
+		{Code: "AZ", Name: "Azerbaijan", Continent: Asia, RadiusKm: 300,
+			Cities: []City{city("Baku", "AZ", 40.41, 49.87)}},
+		{Code: "DZ", Name: "Algeria", Continent: Africa, RadiusKm: 900,
+			Cities: []City{city("Algiers", "DZ", 36.75, 3.06), city("Oran", "DZ", 35.70, -0.63)}},
+		{Code: "EG", Name: "Egypt", Continent: Africa, RadiusKm: 600,
+			Cities: []City{city("Cairo", "EG", 30.04, 31.24), city("Alexandria", "EG", 31.20, 29.92)}},
+		{Code: "RW", Name: "Rwanda", Continent: Africa, RadiusKm: 120,
+			Cities: []City{city("Kigali", "RW", -1.95, 30.06)}},
+		{Code: "UG", Name: "Uganda", Continent: Africa, RadiusKm: 250,
+			Cities: []City{city("Kampala", "UG", 0.35, 32.58)}},
+		{Code: "AR", Name: "Argentina", Continent: SouthAmerica, RadiusKm: 1400,
+			Cities: []City{city("Buenos Aires", "AR", -34.60, -58.38), city("Cordoba", "AR", -31.42, -64.18)}},
+		{Code: "RU", Name: "Russia", Continent: Europe, RadiusKm: 3000,
+			Cities: []City{city("Moscow", "RU", 55.76, 37.62), city("Saint Petersburg", "RU", 59.93, 30.34)}},
+		{Code: "LK", Name: "Sri Lanka", Continent: Asia, RadiusKm: 200,
+			Cities: []City{city("Colombo", "LK", 6.93, 79.86)}},
+		{Code: "TH", Name: "Thailand", Continent: Asia, RadiusKm: 600,
+			Cities: []City{city("Bangkok", "TH", 13.76, 100.50), city("Chiang Mai", "TH", 18.79, 98.98)}},
+		{Code: "AE", Name: "United Arab Emirates", Continent: Asia, RadiusKm: 300,
+			Cities: []City{city("Dubai", "AE", 25.20, 55.27), city("Abu Dhabi", "AE", 24.45, 54.38), city("Al Fujairah", "AE", 25.12, 56.33)}},
+		{Code: "GB", Name: "United Kingdom", Continent: Europe, RadiusKm: 500,
+			Cities: []City{city("London", "GB", 51.51, -0.13), city("Manchester", "GB", 53.48, -2.24)}},
+		{Code: "AU", Name: "Australia", Continent: Oceania, RadiusKm: 2000,
+			Cities: []City{city("Sydney", "AU", -33.87, 151.21), city("Melbourne", "AU", -37.81, 144.96), city("Perth", "AU", -31.95, 115.86)}},
+		{Code: "CA", Name: "Canada", Continent: NorthAmerica, RadiusKm: 2500,
+			Cities: []City{city("Toronto", "CA", 43.65, -79.38), city("Montreal", "CA", 45.50, -73.57), city("Vancouver", "CA", 49.28, -123.12)}},
+		{Code: "IN", Name: "India", Continent: Asia, RadiusKm: 1500,
+			Cities: []City{city("Mumbai", "IN", 19.08, 72.88), city("Delhi", "IN", 28.61, 77.21), city("Chennai", "IN", 13.08, 80.27)}},
+		{Code: "JP", Name: "Japan", Continent: Asia, RadiusKm: 900,
+			Cities: []City{city("Tokyo", "JP", 35.68, 139.69), city("Osaka", "JP", 34.69, 135.50)}},
+		{Code: "JO", Name: "Jordan", Continent: Asia, RadiusKm: 200,
+			Cities: []City{city("Amman", "JO", 31.95, 35.93)}},
+		{Code: "NZ", Name: "New Zealand", Continent: Oceania, RadiusKm: 700,
+			Cities: []City{city("Auckland", "NZ", -36.85, 174.76), city("Wellington", "NZ", -41.29, 174.78)}},
+		{Code: "PK", Name: "Pakistan", Continent: Asia, RadiusKm: 700,
+			Cities: []City{city("Karachi", "PK", 24.86, 67.01), city("Lahore", "PK", 31.55, 74.34), city("Islamabad", "PK", 33.68, 73.05)}},
+		{Code: "QA", Name: "Qatar", Continent: Asia, RadiusKm: 80,
+			Cities: []City{city("Doha", "QA", 25.29, 51.53)}},
+		{Code: "SA", Name: "Saudi Arabia", Continent: Asia, RadiusKm: 900,
+			Cities: []City{city("Riyadh", "SA", 24.71, 46.68), city("Jeddah", "SA", 21.49, 39.19)}},
+		{Code: "TW", Name: "Taiwan", Continent: Asia, RadiusKm: 200,
+			Cities: []City{city("Taipei", "TW", 25.03, 121.57)}},
+		{Code: "US", Name: "United States", Continent: NorthAmerica, RadiusKm: 2200,
+			Cities: []City{city("Ashburn", "US", 39.04, -77.49), city("New York", "US", 40.71, -74.01), city("San Francisco", "US", 37.77, -122.42), city("Dallas", "US", 32.78, -96.80)}},
+		{Code: "LB", Name: "Lebanon", Continent: Asia, RadiusKm: 90,
+			Cities: []City{city("Beirut", "LB", 33.89, 35.50)}},
+
+		// ---- Destination-only countries (tracker hosting, Atlas probes) ----
+		{Code: "FR", Name: "France", Continent: Europe, RadiusKm: 500,
+			Cities: []City{city("Paris", "FR", 48.86, 2.35), city("Marseille", "FR", 43.30, 5.37)}},
+		{Code: "DE", Name: "Germany", Continent: Europe, RadiusKm: 400,
+			Cities: []City{city("Frankfurt", "DE", 50.11, 8.68), city("Berlin", "DE", 52.52, 13.41)}},
+		{Code: "KE", Name: "Kenya", Continent: Africa, RadiusKm: 400,
+			Cities: []City{city("Nairobi", "KE", -1.29, 36.82), city("Mombasa", "KE", -4.04, 39.66)}},
+		{Code: "MY", Name: "Malaysia", Continent: Asia, RadiusKm: 500,
+			Cities: []City{city("Kuala Lumpur", "MY", 3.14, 101.69)}},
+		{Code: "SG", Name: "Singapore", Continent: Asia, RadiusKm: 30,
+			Cities: []City{city("Singapore", "SG", 1.35, 103.82)}},
+		{Code: "HK", Name: "Hong Kong", Continent: Asia, RadiusKm: 40,
+			Cities: []City{city("Hong Kong", "HK", 22.32, 114.17)}},
+		{Code: "OM", Name: "Oman", Continent: Asia, RadiusKm: 400,
+			Cities: []City{city("Muscat", "OM", 23.59, 58.38)}},
+		{Code: "BG", Name: "Bulgaria", Continent: Europe, RadiusKm: 250,
+			Cities: []City{city("Sofia", "BG", 42.70, 23.32)}},
+		{Code: "BR", Name: "Brazil", Continent: SouthAmerica, RadiusKm: 1700,
+			Cities: []City{city("Sao Paulo", "BR", -23.55, -46.63), city("Rio de Janeiro", "BR", -22.91, -43.17)}},
+		{Code: "FI", Name: "Finland", Continent: Europe, RadiusKm: 500,
+			Cities: []City{city("Helsinki", "FI", 60.17, 24.94), city("Hamina", "FI", 60.57, 27.20)}},
+		{Code: "NL", Name: "Netherlands", Continent: Europe, RadiusKm: 150,
+			Cities: []City{city("Amsterdam", "NL", 52.37, 4.89)}},
+		{Code: "IL", Name: "Israel", Continent: Asia, RadiusKm: 200,
+			Cities: []City{city("Tel Aviv", "IL", 32.09, 34.78)}},
+		{Code: "IT", Name: "Italy", Continent: Europe, RadiusKm: 500,
+			Cities: []City{city("Milan", "IT", 45.46, 9.19), city("Rome", "IT", 41.90, 12.50)}},
+		{Code: "IE", Name: "Ireland", Continent: Europe, RadiusKm: 200,
+			Cities: []City{city("Dublin", "IE", 53.35, -6.26)}},
+		{Code: "BE", Name: "Belgium", Continent: Europe, RadiusKm: 120,
+			Cities: []City{city("Brussels", "BE", 50.85, 4.35), city("Saint-Ghislain", "BE", 50.45, 3.82)}},
+		{Code: "GH", Name: "Ghana", Continent: Africa, RadiusKm: 300,
+			Cities: []City{city("Accra", "GH", 5.60, -0.19)}},
+		{Code: "TR", Name: "Turkey", Continent: Asia, RadiusKm: 700,
+			Cities: []City{city("Istanbul", "TR", 41.01, 28.98)}},
+		{Code: "CH", Name: "Switzerland", Continent: Europe, RadiusKm: 150,
+			Cities: []City{city("Zurich", "CH", 47.38, 8.54)}},
+		{Code: "ES", Name: "Spain", Continent: Europe, RadiusKm: 500,
+			Cities: []City{city("Madrid", "ES", 40.42, -3.70)}},
+		{Code: "PL", Name: "Poland", Continent: Europe, RadiusKm: 350,
+			Cities: []City{city("Warsaw", "PL", 52.23, 21.01)}},
+		{Code: "SE", Name: "Sweden", Continent: Europe, RadiusKm: 700,
+			Cities: []City{city("Stockholm", "SE", 59.33, 18.07)}},
+		{Code: "NO", Name: "Norway", Continent: Europe, RadiusKm: 700,
+			Cities: []City{city("Oslo", "NO", 59.91, 10.75)}},
+		{Code: "DK", Name: "Denmark", Continent: Europe, RadiusKm: 150,
+			Cities: []City{city("Copenhagen", "DK", 55.68, 12.57)}},
+		{Code: "CZ", Name: "Czechia", Continent: Europe, RadiusKm: 200,
+			Cities: []City{city("Prague", "CZ", 50.08, 14.44)}},
+		{Code: "AT", Name: "Austria", Continent: Europe, RadiusKm: 250,
+			Cities: []City{city("Vienna", "AT", 48.21, 16.37)}},
+		{Code: "PT", Name: "Portugal", Continent: Europe, RadiusKm: 300,
+			Cities: []City{city("Lisbon", "PT", 38.72, -9.14)}},
+		{Code: "ZA", Name: "South Africa", Continent: Africa, RadiusKm: 700,
+			Cities: []City{city("Johannesburg", "ZA", -26.20, 28.05), city("Cape Town", "ZA", -33.92, 18.42)}},
+		{Code: "NG", Name: "Nigeria", Continent: Africa, RadiusKm: 500,
+			Cities: []City{city("Lagos", "NG", 6.52, 3.38)}},
+		{Code: "MA", Name: "Morocco", Continent: Africa, RadiusKm: 400,
+			Cities: []City{city("Casablanca", "MA", 33.57, -7.59)}},
+		{Code: "ID", Name: "Indonesia", Continent: Asia, RadiusKm: 1500,
+			Cities: []City{city("Jakarta", "ID", -6.21, 106.85)}},
+		{Code: "VN", Name: "Vietnam", Continent: Asia, RadiusKm: 600,
+			Cities: []City{city("Ho Chi Minh City", "VN", 10.82, 106.63)}},
+		{Code: "PH", Name: "Philippines", Continent: Asia, RadiusKm: 600,
+			Cities: []City{city("Manila", "PH", 14.60, 120.98)}},
+		{Code: "KR", Name: "South Korea", Continent: Asia, RadiusKm: 250,
+			Cities: []City{city("Seoul", "KR", 37.57, 126.98)}},
+		{Code: "CN", Name: "China", Continent: Asia, RadiusKm: 2000,
+			Cities: []City{city("Shanghai", "CN", 31.23, 121.47)}},
+		{Code: "MX", Name: "Mexico", Continent: NorthAmerica, RadiusKm: 900,
+			Cities: []City{city("Mexico City", "MX", 19.43, -99.13), city("Queretaro", "MX", 20.59, -100.39)}},
+		{Code: "CL", Name: "Chile", Continent: SouthAmerica, RadiusKm: 1500,
+			Cities: []City{city("Santiago", "CL", -33.45, -70.67)}},
+		{Code: "CO", Name: "Colombia", Continent: SouthAmerica, RadiusKm: 600,
+			Cities: []City{city("Bogota", "CO", 4.71, -74.07)}},
+		{Code: "UY", Name: "Uruguay", Continent: SouthAmerica, RadiusKm: 250,
+			Cities: []City{city("Montevideo", "UY", -34.90, -56.16)}},
+		{Code: "PE", Name: "Peru", Continent: SouthAmerica, RadiusKm: 700,
+			Cities: []City{city("Lima", "PE", -12.05, -77.04)}},
+		{Code: "GR", Name: "Greece", Continent: Europe, RadiusKm: 300,
+			Cities: []City{city("Athens", "GR", 37.98, 23.73)}},
+		{Code: "HU", Name: "Hungary", Continent: Europe, RadiusKm: 200,
+			Cities: []City{city("Budapest", "HU", 47.50, 19.04)}},
+		{Code: "RO", Name: "Romania", Continent: Europe, RadiusKm: 300,
+			Cities: []City{city("Bucharest", "RO", 44.43, 26.10)}},
+		{Code: "UA", Name: "Ukraine", Continent: Europe, RadiusKm: 500,
+			Cities: []City{city("Kyiv", "UA", 50.45, 30.52)}},
+		{Code: "KZ", Name: "Kazakhstan", Continent: Asia, RadiusKm: 1200,
+			Cities: []City{city("Almaty", "KZ", 43.24, 76.95)}},
+		{Code: "KW", Name: "Kuwait", Continent: Asia, RadiusKm: 100,
+			Cities: []City{city("Kuwait City", "KW", 29.38, 47.99)}},
+		{Code: "BH", Name: "Bahrain", Continent: Asia, RadiusKm: 30,
+			Cities: []City{city("Manama", "BH", 26.23, 50.59)}},
+		{Code: "CY", Name: "Cyprus", Continent: Asia, RadiusKm: 100,
+			Cities: []City{city("Nicosia", "CY", 35.19, 33.38)}},
+		{Code: "LU", Name: "Luxembourg", Continent: Europe, RadiusKm: 40,
+			Cities: []City{city("Luxembourg", "LU", 49.61, 6.13)}},
+		{Code: "EE", Name: "Estonia", Continent: Europe, RadiusKm: 180,
+			Cities: []City{city("Tallinn", "EE", 59.44, 24.75)}},
+		{Code: "BD", Name: "Bangladesh", Continent: Asia, RadiusKm: 300,
+			Cities: []City{city("Dhaka", "BD", 23.81, 90.41)}},
+		{Code: "NP", Name: "Nepal", Continent: Asia, RadiusKm: 350,
+			Cities: []City{city("Kathmandu", "NP", 27.72, 85.32)}},
+		{Code: "ET", Name: "Ethiopia", Continent: Africa, RadiusKm: 500,
+			Cities: []City{city("Addis Ababa", "ET", 9.03, 38.74)}},
+		{Code: "TZ", Name: "Tanzania", Continent: Africa, RadiusKm: 500,
+			Cities: []City{city("Dar es Salaam", "TZ", -6.79, 39.21)}},
+		{Code: "SN", Name: "Senegal", Continent: Africa, RadiusKm: 300,
+			Cities: []City{city("Dakar", "SN", 14.72, -17.47)}},
+		{Code: "TN", Name: "Tunisia", Continent: Africa, RadiusKm: 300,
+			Cities: []City{city("Tunis", "TN", 36.81, 10.18)}},
+		{Code: "FJ", Name: "Fiji", Continent: Oceania, RadiusKm: 200,
+			Cities: []City{city("Suva", "FJ", -18.14, 178.44)}},
+	}
+}
+
+// SourceCountryCodes lists the 23 countries where volunteers ran Gamma,
+// in the x-axis order used by the paper's Table 1 grouping.
+func SourceCountryCodes() []string {
+	return []string{
+		"AZ", "DZ", "EG", "RW", "UG", // CS + PA
+		"AR", "RU", "LK", "TH", "AE", "GB", // AC
+		"AU", "CA", "IN", "JP", "JO", "NZ", "PK", "QA", "SA", "TW", "US", // TA
+		"LB", // NR
+	}
+}
+
+var defaultRegistry = sync.OnceValue(func() *Registry {
+	r, err := NewRegistry(DefaultCountries())
+	if err != nil {
+		panic("geo: embedded dataset invalid: " + err.Error())
+	}
+	return r
+})
+
+// Default returns the registry built from the embedded dataset. The result
+// is shared; registries are immutable.
+func Default() *Registry { return defaultRegistry() }

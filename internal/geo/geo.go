@@ -1,0 +1,189 @@
+// Package geo models the physical geography that underpins all latency-based
+// geolocation in the study: countries with ISO 3166-1 alpha-2 codes,
+// continents, cities with coordinates, great-circle distances, and the
+// speed-of-light-in-fiber physical constraint (§4.1 of the paper).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Continent identifies one of the six inhabited continents.
+type Continent string
+
+// The six inhabited continents used for Figure 6 aggregation.
+const (
+	Africa       Continent = "Africa"
+	Asia         Continent = "Asia"
+	Europe       Continent = "Europe"
+	NorthAmerica Continent = "North America"
+	Oceania      Continent = "Oceania"
+	SouthAmerica Continent = "South America"
+)
+
+// Continents lists all continents in a stable order.
+func Continents() []Continent {
+	return []Continent{Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica}
+}
+
+// Coord is a WGS84 latitude/longitude pair in decimal degrees.
+type Coord struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// City is a populated place that can host volunteers, probes, or servers.
+type City struct {
+	Name    string `json:"name"`
+	Country string `json:"country"` // ISO 3166-1 alpha-2
+	Coord   Coord  `json:"coord"`
+}
+
+// ID returns the canonical "City, CC" identifier used throughout the suite.
+func (c City) ID() string { return c.Name + ", " + c.Country }
+
+// Country is a nation participating in the study as a measurement source,
+// a tracker-hosting destination, or both.
+type Country struct {
+	Code      string    `json:"code"` // ISO 3166-1 alpha-2
+	Name      string    `json:"name"`
+	Continent Continent `json:"continent"`
+	Cities    []City    `json:"cities"`
+	// RadiusKm approximates the country's geographic extent; used by the
+	// destination-based constraint to decide whether an in-country RTT is
+	// plausible.
+	RadiusKm float64 `json:"radius_km"`
+}
+
+// Capital returns the country's first (primary) city.
+func (c Country) Capital() City {
+	if len(c.Cities) == 0 {
+		return City{Name: "?", Country: c.Code}
+	}
+	return c.Cities[0]
+}
+
+// Registry is an immutable set of countries and their cities.
+type Registry struct {
+	byCode map[string]*Country
+	byCity map[string]*City
+	codes  []string
+}
+
+// NewRegistry builds a registry from a country list, validating uniqueness.
+func NewRegistry(countries []Country) (*Registry, error) {
+	r := &Registry{
+		byCode: make(map[string]*Country, len(countries)),
+		byCity: make(map[string]*City),
+	}
+	for i := range countries {
+		c := &countries[i]
+		if len(c.Code) != 2 {
+			return nil, fmt.Errorf("geo: country %q has invalid code %q", c.Name, c.Code)
+		}
+		if _, dup := r.byCode[c.Code]; dup {
+			return nil, fmt.Errorf("geo: duplicate country code %q", c.Code)
+		}
+		r.byCode[c.Code] = c
+		r.codes = append(r.codes, c.Code)
+		for j := range c.Cities {
+			city := &c.Cities[j]
+			if city.Country == "" {
+				city.Country = c.Code
+			}
+			if city.Country != c.Code {
+				return nil, fmt.Errorf("geo: city %q claims country %q inside %q", city.Name, city.Country, c.Code)
+			}
+			id := city.ID()
+			if _, dup := r.byCity[id]; dup {
+				return nil, fmt.Errorf("geo: duplicate city %q", id)
+			}
+			r.byCity[id] = city
+		}
+	}
+	sort.Strings(r.codes)
+	return r, nil
+}
+
+// Country returns the country with the given ISO code.
+func (r *Registry) Country(code string) (Country, bool) {
+	c, ok := r.byCode[code]
+	if !ok {
+		return Country{}, false
+	}
+	return *c, true
+}
+
+// City returns the city with the given "Name, CC" identifier.
+func (r *Registry) City(id string) (City, bool) {
+	c, ok := r.byCity[id]
+	if !ok {
+		return City{}, false
+	}
+	return *c, true
+}
+
+// Codes returns all country codes in sorted order.
+func (r *Registry) Codes() []string {
+	out := make([]string, len(r.codes))
+	copy(out, r.codes)
+	return out
+}
+
+// Countries returns all countries sorted by code.
+func (r *Registry) Countries() []Country {
+	out := make([]Country, 0, len(r.codes))
+	for _, code := range r.codes {
+		out = append(out, *r.byCode[code])
+	}
+	return out
+}
+
+// ContinentOf reports the continent for a country code.
+func (r *Registry) ContinentOf(code string) (Continent, bool) {
+	c, ok := r.byCode[code]
+	if !ok {
+		return "", false
+	}
+	return c.Continent, true
+}
+
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle (haversine) distance between two
+// coordinates in kilometers.
+func DistanceKm(a, b Coord) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// SOLKmPerMs is the paper's speed-of-light physical constraint: data in
+// fiber-optic cable cannot cover more than 133 km per millisecond of
+// one-way delay (§4.1, citing Katz-Bassett et al.).
+const SOLKmPerMs = 133.0
+
+// MinRTTMs returns the smallest physically possible round-trip time, in
+// milliseconds, between two points separated by distKm kilometers.
+func MinRTTMs(distKm float64) float64 { return 2 * distKm / SOLKmPerMs }
+
+// MaxDistanceKm returns the farthest a responding host can possibly be,
+// given an observed round-trip time in milliseconds.
+func MaxDistanceKm(rttMs float64) float64 { return rttMs * SOLKmPerMs / 2 }
+
+// ViolatesSOL reports whether an observed RTT is physically impossible for
+// the claimed distance: the implied one-way speed would exceed 133 km/ms.
+// A relative epsilon absorbs floating-point round-off so that a distance
+// exactly at the physical limit never flips to "violation" by one ULP.
+func ViolatesSOL(distKm, rttMs float64) bool {
+	if rttMs <= 0 {
+		return distKm > 0
+	}
+	return distKm > MaxDistanceKm(rttMs)*(1+1e-9)
+}

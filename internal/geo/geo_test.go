@@ -1,0 +1,217 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultRegistryLoads(t *testing.T) {
+	r := Default()
+	if got := len(r.Codes()); got < 70 {
+		t.Fatalf("expected at least 70 countries, got %d", got)
+	}
+}
+
+func TestSourceCountriesPresent(t *testing.T) {
+	r := Default()
+	codes := SourceCountryCodes()
+	if len(codes) != 23 {
+		t.Fatalf("expected 23 source countries, got %d", len(codes))
+	}
+	seen := map[string]bool{}
+	for _, code := range codes {
+		if seen[code] {
+			t.Errorf("duplicate source country %q", code)
+		}
+		seen[code] = true
+		if _, ok := r.Country(code); !ok {
+			t.Errorf("source country %q missing from registry", code)
+		}
+	}
+}
+
+func TestContinentTally(t *testing.T) {
+	// The paper reports 4 African, 2 European, 2 North American, 2 Oceanian,
+	// and 1 South American source country (with the remainder in Asia).
+	r := Default()
+	counts := map[Continent]int{}
+	for _, code := range SourceCountryCodes() {
+		c, ok := r.Country(code)
+		if !ok {
+			t.Fatalf("missing country %q", code)
+		}
+		counts[c.Continent]++
+	}
+	want := map[Continent]int{Africa: 4, Europe: 2, NorthAmerica: 2, Oceania: 2, SouthAmerica: 1, Asia: 12}
+	for cont, n := range want {
+		if counts[cont] != n {
+			t.Errorf("continent %s: got %d source countries, want %d", cont, counts[cont], n)
+		}
+	}
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	r := Default()
+	pair := func(a, b string) float64 {
+		ca, ok := r.City(a)
+		if !ok {
+			t.Fatalf("missing city %q", a)
+		}
+		cb, ok := r.City(b)
+		if !ok {
+			t.Fatalf("missing city %q", b)
+		}
+		return DistanceKm(ca.Coord, cb.Coord)
+	}
+	cases := []struct {
+		a, b     string
+		min, max float64
+	}{
+		{"London, GB", "Paris, FR", 300, 400},
+		{"New York, US", "London, GB", 5400, 5800},
+		{"Auckland, NZ", "Sydney, AU", 2000, 2300},
+		{"Kigali, RW", "Nairobi, KE", 700, 900},
+		{"Bangkok, TH", "Singapore, SG", 1300, 1500},
+		{"Karachi, PK", "Dubai, AE", 1100, 1300},
+	}
+	for _, tc := range cases {
+		d := pair(tc.a, tc.b)
+		if d < tc.min || d > tc.max {
+			t.Errorf("distance %s -> %s = %.0f km, want in [%.0f, %.0f]", tc.a, tc.b, d, tc.min, tc.max)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	clampCoord := func(c Coord) Coord {
+		lat := math.Mod(c.Lat, 90)
+		lon := math.Mod(c.Lon, 180)
+		if math.IsNaN(lat) {
+			lat = 0
+		}
+		if math.IsNaN(lon) {
+			lon = 0
+		}
+		return Coord{Lat: lat, Lon: lon}
+	}
+	symmetric := func(a, b Coord) bool {
+		a, b = clampCoord(a), clampCoord(b)
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("distance not symmetric: %v", err)
+	}
+	nonNegBounded := func(a, b Coord) bool {
+		a, b = clampCoord(a), clampCoord(b)
+		d := DistanceKm(a, b)
+		return d >= 0 && d <= 20038 // half of Earth's circumference
+	}
+	if err := quick.Check(nonNegBounded, nil); err != nil {
+		t.Errorf("distance out of range: %v", err)
+	}
+	identity := func(a Coord) bool {
+		a = clampCoord(a)
+		return DistanceKm(a, a) < 1e-9
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("distance to self nonzero: %v", err)
+	}
+}
+
+func TestSOLConstraint(t *testing.T) {
+	if MinRTTMs(133) != 2.0 {
+		t.Errorf("MinRTTMs(133) = %v, want 2", MinRTTMs(133))
+	}
+	if MaxDistanceKm(2) != 133 {
+		t.Errorf("MaxDistanceKm(2) = %v, want 133", MaxDistanceKm(2))
+	}
+	if !ViolatesSOL(1000, 1) {
+		t.Error("1000 km in 1 ms RTT should violate SOL")
+	}
+	if ViolatesSOL(100, 10) {
+		t.Error("100 km in 10 ms RTT should not violate SOL")
+	}
+	if !ViolatesSOL(1, 0) {
+		t.Error("nonzero distance with zero RTT should violate SOL")
+	}
+	if ViolatesSOL(0, 0) {
+		t.Error("zero distance with zero RTT should not violate SOL")
+	}
+}
+
+func TestSOLRoundTripProperty(t *testing.T) {
+	// For any positive distance, the minimum RTT must never itself violate
+	// the SOL constraint — the physical model is self-consistent.
+	f := func(d float64) bool {
+		d = math.Abs(math.Mod(d, 20000))
+		return !ViolatesSOL(d, MinRTTMs(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	_, err := NewRegistry([]Country{{Code: "XYZ", Name: "Bad"}})
+	if err == nil {
+		t.Error("expected error for 3-letter code")
+	}
+	_, err = NewRegistry([]Country{
+		{Code: "AA", Name: "A"},
+		{Code: "AA", Name: "A2"},
+	})
+	if err == nil {
+		t.Error("expected error for duplicate code")
+	}
+	_, err = NewRegistry([]Country{
+		{Code: "AA", Name: "A", Cities: []City{city("X", "BB", 0, 0)}},
+	})
+	if err == nil {
+		t.Error("expected error for city in wrong country")
+	}
+}
+
+func TestCityLookup(t *testing.T) {
+	r := Default()
+	c, ok := r.City("Nairobi, KE")
+	if !ok {
+		t.Fatal("Nairobi missing")
+	}
+	if c.Country != "KE" {
+		t.Errorf("Nairobi country = %q, want KE", c.Country)
+	}
+	if _, ok := r.City("Atlantis, XX"); ok {
+		t.Error("nonexistent city should not resolve")
+	}
+}
+
+func TestCapital(t *testing.T) {
+	r := Default()
+	fr, _ := r.Country("FR")
+	if fr.Capital().Name != "Paris" {
+		t.Errorf("France capital = %q, want Paris", fr.Capital().Name)
+	}
+	var empty Country
+	if empty.Capital().Name != "?" {
+		t.Error("empty country capital should be placeholder")
+	}
+}
+
+func TestContinentOf(t *testing.T) {
+	r := Default()
+	cases := map[string]Continent{
+		"KE": Africa, "JP": Asia, "DE": Europe, "US": NorthAmerica,
+		"NZ": Oceania, "AR": SouthAmerica,
+	}
+	for code, want := range cases {
+		got, ok := r.ContinentOf(code)
+		if !ok || got != want {
+			t.Errorf("ContinentOf(%s) = %v (%v), want %v", code, got, ok, want)
+		}
+	}
+	if _, ok := r.ContinentOf("XX"); ok {
+		t.Error("unknown country should not have a continent")
+	}
+}

@@ -1,0 +1,153 @@
+// Package geodb models IP-geolocation knowledge sources and their known
+// unreliability (§4.1): an IPmap-style database with seeded error
+// injection, provider-style reference latency tables (Verizon statistics
+// with WonderNetwork fallback), and reverse-DNS hostname geo-hints in the
+// style routers and CDN edges actually publish.
+//
+// The paper's entire constraint cascade exists because these databases are
+// wrong often enough to matter; the simulator therefore injects realistic
+// errors (e.g., a Google edge in Amsterdam geolocated to Al Fujairah) that
+// the downstream constraints must catch.
+package geodb
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/netsim"
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+// DB is an IP-geolocation database: a point-in-time snapshot mapping
+// addresses to cities. It never answers for addresses it has no entry for
+// (RIPE IPmap behaviour), unlike commercial databases that always guess.
+type DB struct {
+	name    string
+	entries map[netip.Addr]geo.City
+}
+
+// New creates an empty database with a provider name.
+func New(name string) *DB {
+	return &DB{name: name, entries: make(map[netip.Addr]geo.City)}
+}
+
+// Name returns the provider name (e.g., "ripe-ipmap").
+func (d *DB) Name() string { return d.name }
+
+// Set records (or overwrites) the location for an address.
+func (d *DB) Set(addr netip.Addr, city geo.City) { d.entries[addr] = city }
+
+// Lookup returns the database's belief about an address.
+func (d *DB) Lookup(addr netip.Addr) (geo.City, bool) {
+	c, ok := d.entries[addr]
+	return c, ok
+}
+
+// Len returns the number of covered addresses.
+func (d *DB) Len() int { return len(d.entries) }
+
+// Addrs returns all covered addresses, sorted, for deterministic dumps.
+func (d *DB) Addrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(d.entries))
+	for a := range d.entries {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// BuildConfig controls error injection when deriving a database from the
+// simulated ground truth.
+type BuildConfig struct {
+	Seed uint64
+	// Coverage is the fraction of hosts the DB has any entry for.
+	Coverage float64
+	// WrongCityProb: entry points to a different city in the same country
+	// (harmless for this study's local/non-local classification).
+	WrongCityProb float64
+	// WrongCountryNearProb: entry points to a city in a *different* country
+	// within NearKm — the dangerous error class the constraint cascade
+	// must catch (e.g., Amsterdam edge attributed to Al Fujairah).
+	WrongCountryNearProb float64
+	// NearKm bounds the near-error distance (default 1100 km).
+	NearKm float64
+	// WrongCountryFarProb: entry points somewhere wildly wrong; usually
+	// caught by the speed-of-light constraints alone.
+	WrongCountryFarProb float64
+}
+
+// DefaultBuildConfig mirrors measured IPmap characteristics.
+func DefaultBuildConfig(seed uint64) BuildConfig {
+	return BuildConfig{
+		Seed:                 seed,
+		Coverage:             0.96,
+		WrongCityProb:        0.22,
+		WrongCountryNearProb: 0.06,
+		WrongCountryFarProb:  0.02,
+		NearKm:               1100,
+	}
+}
+
+// Build derives a database for every host in the network, injecting errors
+// per the configuration. Deterministic in (seed, network contents).
+func Build(name string, n *netsim.Network, reg *geo.Registry, cfg BuildConfig) *DB {
+	db := New(name)
+	cities := allCities(reg)
+	for _, h := range n.Hosts() {
+		r := rng.New(cfg.Seed, "geodb", name, h.Addr.String())
+		if !rng.Bernoulli(r, cfg.Coverage) {
+			continue
+		}
+		truth := h.City
+		switch {
+		case rng.Bernoulli(r, cfg.WrongCountryFarProb):
+			if c, ok := pickCity(r, cities, func(c geo.City) bool {
+				return c.Country != truth.Country && geo.DistanceKm(c.Coord, truth.Coord) > 4000
+			}); ok {
+				db.Set(h.Addr, c)
+				continue
+			}
+		case rng.Bernoulli(r, cfg.WrongCountryNearProb):
+			nearKm := cfg.NearKm
+			if nearKm == 0 {
+				nearKm = 1100
+			}
+			if c, ok := pickCity(r, cities, func(c geo.City) bool {
+				return c.Country != truth.Country && geo.DistanceKm(c.Coord, truth.Coord) <= nearKm
+			}); ok {
+				db.Set(h.Addr, c)
+				continue
+			}
+		case rng.Bernoulli(r, cfg.WrongCityProb):
+			if c, ok := pickCity(r, cities, func(c geo.City) bool {
+				return c.Country == truth.Country && c.Name != truth.Name
+			}); ok {
+				db.Set(h.Addr, c)
+				continue
+			}
+		}
+		db.Set(h.Addr, truth)
+	}
+	return db
+}
+
+func allCities(reg *geo.Registry) []geo.City {
+	var out []geo.City
+	for _, c := range reg.Countries() {
+		out = append(out, c.Cities...)
+	}
+	return out
+}
+
+// pickCity samples a city satisfying the predicate, trying a bounded number
+// of draws before giving up.
+func pickCity(r interface{ IntN(int) int }, cities []geo.City, pred func(geo.City) bool) (geo.City, bool) {
+	for tries := 0; tries < 64; tries++ {
+		c := cities[r.IntN(len(cities))]
+		if pred(c) {
+			return c, true
+		}
+	}
+	return geo.City{}, false
+}

@@ -1,0 +1,71 @@
+package geoloc
+
+import (
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/atlas"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/geodb"
+	"github.com/gamma-suite/gamma/internal/netsim"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+// benchSetup builds a Karachi vantage observing a Paris host with a
+// lossless network, a probe mesh, a perfect IPmap, and a reached trace.
+func benchSetup(b *testing.B) (*geodb.DB, *geodb.RefTable, *atlas.Mesh, *geo.Registry, geo.City, Candidate) {
+	b.Helper()
+	reg := geo.Default()
+	cfg := netsim.DefaultConfig(3)
+	cfg.TraceLossProb = 0
+	net := netsim.New(cfg)
+	if err := net.AddAS(netsim.AS{Number: 1, Name: "b", Org: "b", Country: "FR"}); err != nil {
+		b.Fatal(err)
+	}
+	khi, _ := reg.City("Karachi, PK")
+	paris, _ := reg.City("Paris, FR")
+	host, err := net.AddHost(netsim.Host{City: paris, ASN: 1, Responsive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := net.AddVantage(netsim.Vantage{ID: "b", City: khi, ASN: 1, AccessDelayMs: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh, err := atlas.BuildMesh(net, reg, atlas.DefaultMeshConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ipmap := geodb.Build("ipmap", net, reg, geodb.BuildConfig{Seed: 1, Coverage: 1})
+	ref := geodb.DefaultRefTables(net.BaseRTTMs, 3)
+	res, err := net.Traceroute(v.ID, host.Addr)
+	if err != nil || !res.Reached {
+		b.Fatalf("trace failed: %v reached=%v", err, res.Reached)
+	}
+	norm := tracert.FromResult(res)
+	return ipmap, ref, mesh, reg, khi, Candidate{Domain: "bench.example", Addr: host.Addr, Trace: &norm}
+}
+
+// BenchmarkClassifyNonLocal times one full constraint-cascade evaluation
+// with a cold destination cache each iteration.
+func BenchmarkClassifyNonLocal(b *testing.B) {
+	ipmap, ref, mesh, reg, khi, cand := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw := New(DefaultConfig(), ipmap, ref, mesh, reg)
+		if verdict := fw.Classify("PK", khi, cand); verdict.Class != NonLocal {
+			b.Fatalf("verdict = %v (%v)", verdict.Class, verdict.Stage)
+		}
+	}
+}
+
+// BenchmarkClassifyCached times re-classification with a warm destination
+// cache, the common case inside one country's analysis.
+func BenchmarkClassifyCached(b *testing.B) {
+	ipmap, ref, mesh, reg, khi, cand := benchSetup(b)
+	fw := New(DefaultConfig(), ipmap, ref, mesh, reg)
+	fw.Classify("PK", khi, cand) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw.Classify("PK", khi, cand)
+	}
+}

@@ -1,0 +1,305 @@
+// Package geoloc implements the paper's multi-constraint server
+// geolocation framework (§4.1, after Gamero-Garrido et al.): RIPE-IPmap
+// classification into Local/Non-local, then three validation constraints
+// applied to every non-local claim —
+//
+//  1. the source-based constraint: the volunteer's traceroute must reach
+//     the server, satisfy the 133 km/ms speed-of-light bound for the
+//     claimed distance, and not be faster than 80% of published reference
+//     latency statistics for the city pair;
+//  2. the destination-based constraint: a probe in the claimed country
+//     must reach the server with an RTT small enough to place it within
+//     the claimed country's geographic extent;
+//  3. the reverse-DNS constraint: a geo-hinted PTR record contradicting
+//     the claimed country disqualifies the claim.
+//
+// Anything that fails a constraint is discarded, never reclassified — the
+// framework is conservative by design, trading recall for the 100%
+// precision on foreign servers reported in prior work.
+package geoloc
+
+import (
+	"net/netip"
+	"sync"
+
+	"github.com/gamma-suite/gamma/internal/atlas"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/geodb"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+// Class is the final classification of one server observation.
+type Class string
+
+// Classification outcomes.
+const (
+	Local     Class = "local"
+	NonLocal  Class = "non-local"
+	Discarded Class = "discarded"
+)
+
+// Stage identifies which constraint discarded a claim.
+type Stage string
+
+// Discard stages, in cascade order.
+const (
+	StageNone           Stage = ""
+	StageNoGeolocation  Stage = "no-geolocation"
+	StageSourceMissing  Stage = "source-trace-missing"
+	StageSourceUnreach  Stage = "source-trace-unreached"
+	StageSourceSOL      Stage = "source-sol-violation"
+	StageSourceLatency  Stage = "source-latency-below-reference"
+	StageDestNoProbe    Stage = "destination-no-probe"
+	StageDestUnreach    Stage = "destination-trace-unreached"
+	StageDestSOL        Stage = "destination-sol-violation"
+	StageDestTooFar     Stage = "destination-rtt-exceeds-country"
+	StageRDNSConflict   Stage = "reverse-dns-conflict"
+	StageInvalidAddress Stage = "invalid-address"
+)
+
+// Candidate is one (domain, server) observation from a volunteer dataset.
+type Candidate struct {
+	Domain string
+	Addr   netip.Addr
+	RDNS   string
+	// Trace is the source traceroute to Addr: the volunteer's own, or the
+	// Atlas substitute in countries where volunteer probes failed. Nil
+	// when no source trace exists.
+	Trace *tracert.Normalized
+}
+
+// Verdict is the framework's decision for a candidate.
+type Verdict struct {
+	Domain  string     `json:"domain"`
+	Addr    netip.Addr `json:"addr"`
+	Class   Class      `json:"class"`
+	Stage   Stage      `json:"stage,omitempty"`
+	Claimed geo.City   `json:"claimed,omitempty"`
+	// DestCountry/DestCity are set for retained non-local verdicts.
+	DestCountry string `json:"dest_country,omitempty"`
+	DestCity    string `json:"dest_city,omitempty"`
+	// SourceLatencyMs is the cleaned source latency (last hop minus first
+	// hop when available).
+	SourceLatencyMs float64 `json:"source_latency_ms,omitempty"`
+}
+
+// Config tunes the framework.
+type Config struct {
+	// ReferenceFloor is the fraction of the published city-pair latency
+	// below which an observation is discarded (the study used 0.8).
+	ReferenceFloor float64
+	// CountryRadiusSlack scales the claimed country's radius when checking
+	// the destination RTT bound, and SlackKm adds an absolute allowance
+	// for metro access and queueing.
+	CountryRadiusSlack float64
+	SlackKm            float64
+
+	// Ablation switches: disable individual constraints to measure what
+	// each contributes to the framework's precision (the paper's cascade
+	// is validated as 100%-precise on foreign servers; the ablation
+	// experiment quantifies how much each stage matters).
+	DisableSourceConstraint      bool
+	DisableReferenceCheck        bool
+	DisableDestinationConstraint bool
+	DisableRDNSConstraint        bool
+}
+
+// DefaultConfig returns the study's constraint parameters.
+func DefaultConfig() Config {
+	return Config{ReferenceFloor: 0.8, CountryRadiusSlack: 2.0, SlackKm: 400}
+}
+
+// Framework evaluates candidates against the constraint cascade.
+type Framework struct {
+	cfg   Config
+	ipmap *geodb.DB
+	ref   *geodb.RefTable
+	mesh  *atlas.Mesh
+	reg   *geo.Registry
+
+	mu        sync.Mutex
+	destCache map[netip.Addr]destResult
+}
+
+type destResult struct {
+	stage Stage // StageNone when the destination constraint passed
+}
+
+// New builds a framework. mesh may be nil, in which case the destination
+// constraint degrades to "no probe available" discards.
+func New(cfg Config, ipmap *geodb.DB, ref *geodb.RefTable, mesh *atlas.Mesh, reg *geo.Registry) *Framework {
+	if cfg.ReferenceFloor == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Framework{
+		cfg:       cfg,
+		ipmap:     ipmap,
+		ref:       ref,
+		mesh:      mesh,
+		reg:       reg,
+		destCache: make(map[netip.Addr]destResult),
+	}
+}
+
+// CleanLatency extracts the local-network-corrected latency from a source
+// traceroute: last hop minus first hop when the first hop responded and is
+// smaller, otherwise the raw last hop (§4.1.1).
+func CleanLatency(tr tracert.Normalized) float64 {
+	last := tr.LastHopRTT()
+	first := tr.FirstHopRTT()
+	if first > 0 && first < last {
+		return last - first
+	}
+	return last
+}
+
+// Classify evaluates one candidate observed from a volunteer located in
+// volCountry at volCity.
+func (f *Framework) Classify(volCountry string, volCity geo.City, c Candidate) Verdict {
+	v := Verdict{Domain: c.Domain, Addr: c.Addr}
+	if !c.Addr.IsValid() {
+		v.Class, v.Stage = Discarded, StageInvalidAddress
+		return v
+	}
+	claimed, ok := f.ipmap.Lookup(c.Addr)
+	if !ok {
+		v.Class, v.Stage = Discarded, StageNoGeolocation
+		return v
+	}
+	v.Claimed = claimed
+	if claimed.Country == volCountry {
+		v.Class = Local
+		return v
+	}
+
+	// ---- Source-based constraint (§4.1.1) ----
+	if !f.cfg.DisableSourceConstraint {
+		if c.Trace == nil {
+			v.Class, v.Stage = Discarded, StageSourceMissing
+			return v
+		}
+		if !c.Trace.Reached {
+			v.Class, v.Stage = Discarded, StageSourceUnreach
+			return v
+		}
+		latency := CleanLatency(*c.Trace)
+		v.SourceLatencyMs = latency
+		dist := geo.DistanceKm(volCity.Coord, claimed.Coord)
+		if geo.ViolatesSOL(dist, latency) {
+			v.Class, v.Stage = Discarded, StageSourceSOL
+			return v
+		}
+		if f.ref != nil && !f.cfg.DisableReferenceCheck {
+			if refMs, _, ok := f.ref.Lookup(volCity, claimed); ok && latency < f.cfg.ReferenceFloor*refMs {
+				v.Class, v.Stage = Discarded, StageSourceLatency
+				return v
+			}
+		}
+	}
+
+	// ---- Destination-based constraint (§4.1.2) ----
+	if !f.cfg.DisableDestinationConstraint {
+		if stage := f.destinationConstraint(c.Addr, claimed); stage != StageNone {
+			v.Class, v.Stage = Discarded, stage
+			return v
+		}
+	}
+
+	// ---- Reverse-DNS constraint (§4.1.3) ----
+	// A geo-hinted PTR contradicting the claimed location disqualifies the
+	// claim. The comparison is at city granularity: the paper's examples
+	// discard IPs claimed in Germany whose rDNS suggests Zurich.
+	if c.RDNS != "" && !f.cfg.DisableRDNSConstraint {
+		if hintCity, ok := geodb.ParseHintCity(c.RDNS, f.reg); ok && hintCity.ID() != claimed.ID() {
+			v.Class, v.Stage = Discarded, StageRDNSConflict
+			return v
+		}
+	}
+
+	v.Class = NonLocal
+	v.DestCountry = claimed.Country
+	v.DestCity = claimed.ID()
+	return v
+}
+
+// destinationConstraint launches (and caches) the destination traceroute
+// for a server address against its claimed location.
+func (f *Framework) destinationConstraint(addr netip.Addr, claimed geo.City) Stage {
+	f.mu.Lock()
+	if res, ok := f.destCache[addr]; ok {
+		f.mu.Unlock()
+		return res.stage
+	}
+	f.mu.Unlock()
+
+	stage := f.destinationConstraintUncached(addr, claimed)
+
+	f.mu.Lock()
+	f.destCache[addr] = destResult{stage: stage}
+	f.mu.Unlock()
+	return stage
+}
+
+func (f *Framework) destinationConstraintUncached(addr netip.Addr, claimed geo.City) Stage {
+	if f.mesh == nil {
+		return StageDestNoProbe
+	}
+	probe, ok := f.mesh.ProbeInCountry(claimed.Country, claimed.Coord)
+	if !ok {
+		// No probe anywhere in the claimed country: fall back to the
+		// nearest probe; if even that is too far to be informative, the
+		// claim cannot be validated.
+		probe, ok = f.mesh.NearestProbe(claimed.Coord, 0)
+		if !ok || geo.DistanceKm(probe.City.Coord, claimed.Coord) > 1500 {
+			return StageDestNoProbe
+		}
+	}
+	res, err := f.mesh.Traceroute(probe, addr)
+	if err != nil || !res.Reached {
+		return StageDestUnreach
+	}
+	norm := tracert.FromResult(res)
+	latency := CleanLatency(norm)
+	probeDist := geo.DistanceKm(probe.City.Coord, claimed.Coord)
+	if geo.ViolatesSOL(probeDist, latency) {
+		return StageDestSOL
+	}
+	// The RTT disc around the probe must plausibly stay within the claimed
+	// country's extent; otherwise the claim cannot be confirmed.
+	country, ok := f.reg.Country(claimed.Country)
+	if !ok {
+		return StageDestNoProbe
+	}
+	maxDist := geo.MaxDistanceKm(latency)
+	if maxDist > country.RadiusKm*f.cfg.CountryRadiusSlack+f.cfg.SlackKm {
+		return StageDestTooFar
+	}
+	return StageNone
+}
+
+// FunnelCounts tallies verdicts by class and stage.
+type FunnelCounts struct {
+	Total     int           `json:"total"`
+	Local     int           `json:"local"`
+	NonLocal  int           `json:"non_local"`
+	Discarded int           `json:"discarded"`
+	ByStage   map[Stage]int `json:"by_stage,omitempty"`
+}
+
+// Tally aggregates verdict outcomes.
+func Tally(vs []Verdict) FunnelCounts {
+	out := FunnelCounts{ByStage: map[Stage]int{}}
+	for _, v := range vs {
+		out.Total++
+		switch v.Class {
+		case Local:
+			out.Local++
+		case NonLocal:
+			out.NonLocal++
+		default:
+			out.Discarded++
+			out.ByStage[v.Stage]++
+		}
+	}
+	return out
+}

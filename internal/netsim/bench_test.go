@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+func benchNet(b *testing.B) (*Network, Vantage, Host) {
+	b.Helper()
+	n := New(DefaultConfig(1))
+	reg := geo.Default()
+	if err := n.AddAS(AS{Number: 1, Name: "b", Org: "b", Country: "GB"}); err != nil {
+		b.Fatal(err)
+	}
+	ldn, _ := reg.City("London, GB")
+	tok, _ := reg.City("Tokyo, JP")
+	v, err := n.AddVantage(Vantage{ID: "b", City: ldn, ASN: 1, AccessDelayMs: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := n.AddHost(Host{City: tok, ASN: 1, Responsive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n, v, h
+}
+
+func BenchmarkTraceroute(b *testing.B) {
+	n, v, h := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Traceroute(v.ID, h.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseRTT(b *testing.B) {
+	n, v, h := benchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.BaseRTTMs(v.City, h.City)
+	}
+}

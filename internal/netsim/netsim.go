@@ -1,0 +1,281 @@
+// Package netsim is the data-plane substrate: a deterministic simulator of
+// the Internet's packet-forwarding behaviour as observed by the study's
+// measurement probes. It models autonomous systems, city-placed hosts with
+// public IP addresses, a physically-grounded latency model (fiber
+// propagation never exceeding the 133 km/ms speed-of-light constraint from
+// §4.1), traceroute and ping engines with realistic failure modes, and the
+// country-specific probe blocking the paper encountered (volunteer
+// traceroutes failed in Australia, India, Qatar and Jordan; the volunteer
+// in Egypt opted out of traceroutes entirely).
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+// AS is an autonomous system owning address space and hosts.
+type AS struct {
+	Number  uint32 `json:"asn"`
+	Name    string `json:"name"`
+	Org     string `json:"org"`
+	Country string `json:"country"`
+}
+
+// Host is a server (or router) placed in a city.
+type Host struct {
+	Addr netip.Addr `json:"addr"`
+	City geo.City   `json:"city"`
+	ASN  uint32     `json:"asn"`
+	// RDNS is the PTR hostname, empty when the operator publishes none.
+	RDNS string `json:"rdns,omitempty"`
+	// Responsive reports whether the host answers ICMP (traceroute can
+	// terminate at it). CDN edges usually answer; some origins do not.
+	Responsive bool `json:"responsive"`
+}
+
+// Vantage is a measurement origin: a volunteer machine or an Atlas probe.
+type Vantage struct {
+	ID   string   `json:"id"`
+	City geo.City `json:"city"`
+	ASN  uint32   `json:"asn"`
+	// AccessDelayMs is the local last-mile delay added to every probe
+	// (DSL/cable/wireless access, home router queueing).
+	AccessDelayMs float64 `json:"access_delay_ms"`
+	// TracerouteBlocked models networks whose middleboxes drop outbound
+	// UDP/ICMP probes: every traceroute fails with no responding hops.
+	TracerouteBlocked bool `json:"traceroute_blocked"`
+	// Addr is the public address the vantage appears from (NAT exterior).
+	Addr netip.Addr `json:"addr"`
+}
+
+// Hop is one row of a traceroute result.
+type Hop struct {
+	Index     int        `json:"hop"`
+	Addr      netip.Addr `json:"addr,omitempty"`
+	RTTMs     []float64  `json:"rtt_ms,omitempty"` // one entry per probe packet
+	Responded bool       `json:"responded"`
+}
+
+// BestRTT returns the minimum probe RTT for the hop, or 0 if unresponsive.
+func (h Hop) BestRTT() float64 {
+	if !h.Responded || len(h.RTTMs) == 0 {
+		return 0
+	}
+	best := h.RTTMs[0]
+	for _, v := range h.RTTMs[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// TraceResult is a completed (or failed) traceroute.
+type TraceResult struct {
+	From    string     `json:"from"` // vantage ID
+	Dst     netip.Addr `json:"dst"`
+	Hops    []Hop      `json:"hops"`
+	Reached bool       `json:"reached"`
+}
+
+// FirstHopRTT returns the earliest responding hop's best RTT (the paper
+// subtracts it to remove local-network delay), or 0 if none responded.
+func (t TraceResult) FirstHopRTT() float64 {
+	for _, h := range t.Hops {
+		if h.Responded {
+			return h.BestRTT()
+		}
+	}
+	return 0
+}
+
+// LastHopRTT returns the destination hop's best RTT when the trace reached
+// it, or 0 otherwise.
+func (t TraceResult) LastHopRTT() float64 {
+	if !t.Reached || len(t.Hops) == 0 {
+		return 0
+	}
+	return t.Hops[len(t.Hops)-1].BestRTT()
+}
+
+// Config tunes the simulator's stochastic behaviour.
+type Config struct {
+	Seed uint64
+	// PathInflationMin/Max bound the ratio of fiber-path length to
+	// great-circle distance. The minimum must stay above 1.50 so that true
+	// locations never violate the 133 km/ms SOL constraint (see geo).
+	PathInflationMin float64
+	PathInflationMax float64
+	// FiberKmPerMs is the one-way signal speed in deployed fiber (~2c/3).
+	FiberKmPerMs float64
+	// HopNoResponseProb is the chance an intermediate router hides from
+	// traceroute (common for MPLS cores and filtered routers).
+	HopNoResponseProb float64
+	// TraceLossProb is the chance an otherwise-fine traceroute dies in the
+	// network before reaching a responsive destination.
+	TraceLossProb float64
+	// JitterMaxMs bounds per-probe queueing jitter.
+	JitterMaxMs float64
+}
+
+// DefaultConfig returns production-calibrated defaults.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:              seed,
+		PathInflationMin:  1.55,
+		PathInflationMax:  2.20,
+		FiberKmPerMs:      200.0,
+		HopNoResponseProb: 0.12,
+		TraceLossProb:     0.09,
+		JitterMaxMs:       1.8,
+	}
+}
+
+// Network is the simulated data plane. It is safe for concurrent probing
+// once construction (AddAS/AddHost/AddVantage) has finished.
+type Network struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	ases     map[uint32]*AS
+	hosts    map[netip.Addr]*Host
+	vantages map[string]*Vantage
+	nextIP   uint32 // allocation cursor within 20.0.0.0/6-ish space
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.FiberKmPerMs == 0 {
+		cfg = DefaultConfig(cfg.Seed)
+	}
+	return &Network{
+		cfg:      cfg,
+		ases:     make(map[uint32]*AS),
+		hosts:    make(map[netip.Addr]*Host),
+		vantages: make(map[string]*Vantage),
+		nextIP:   0x14000000, // 20.0.0.0
+	}
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddAS registers an autonomous system.
+func (n *Network) AddAS(as AS) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.ases[as.Number]; dup {
+		return fmt.Errorf("netsim: duplicate ASN %d", as.Number)
+	}
+	n.ases[as.Number] = &as
+	return nil
+}
+
+// ASByNumber returns a registered AS.
+func (n *Network) ASByNumber(asn uint32) (AS, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	as, ok := n.ases[asn]
+	if !ok {
+		return AS{}, false
+	}
+	return *as, true
+}
+
+// AllocAddr mints a fresh unique public address.
+func (n *Network) AllocAddr() netip.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.allocAddrLocked()
+}
+
+func (n *Network) allocAddrLocked() netip.Addr {
+	for {
+		v := n.nextIP
+		n.nextIP++
+		b := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+		// Skip .0 and .255 so addresses look like real host addresses.
+		if b[3] == 0 || b[3] == 255 {
+			continue
+		}
+		addr := netip.AddrFrom4(b)
+		if _, taken := n.hosts[addr]; !taken {
+			return addr
+		}
+	}
+}
+
+// AddHost places a host; a zero Addr allocates one. Returns the host.
+func (n *Network) AddHost(h Host) (Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !h.Addr.IsValid() {
+		h.Addr = n.allocAddrLocked()
+	}
+	if _, dup := n.hosts[h.Addr]; dup {
+		return Host{}, fmt.Errorf("netsim: duplicate host %s", h.Addr)
+	}
+	if _, ok := n.ases[h.ASN]; !ok {
+		return Host{}, fmt.Errorf("netsim: host %s references unknown ASN %d", h.Addr, h.ASN)
+	}
+	hc := h
+	n.hosts[h.Addr] = &hc
+	return h, nil
+}
+
+// HostByAddr returns the host at an address.
+func (n *Network) HostByAddr(addr netip.Addr) (Host, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[addr]
+	if !ok {
+		return Host{}, false
+	}
+	return *h, true
+}
+
+// Hosts returns all hosts sorted by address (stable iteration for tests).
+func (n *Network) Hosts() []Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// AddVantage registers a measurement origin; a zero Addr allocates one.
+func (n *Network) AddVantage(v Vantage) (Vantage, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v.ID == "" {
+		return Vantage{}, fmt.Errorf("netsim: vantage needs an ID")
+	}
+	if _, dup := n.vantages[v.ID]; dup {
+		return Vantage{}, fmt.Errorf("netsim: duplicate vantage %q", v.ID)
+	}
+	if !v.Addr.IsValid() {
+		v.Addr = n.allocAddrLocked()
+	}
+	vc := v
+	n.vantages[v.ID] = &vc
+	return v, nil
+}
+
+// VantageByID returns a registered vantage.
+func (n *Network) VantageByID(id string) (Vantage, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	v, ok := n.vantages[id]
+	if !ok {
+		return Vantage{}, false
+	}
+	return *v, true
+}

@@ -1,0 +1,301 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+func testNetwork(t *testing.T) (*Network, Vantage, Host) {
+	t.Helper()
+	n := New(DefaultConfig(42))
+	reg := geo.Default()
+	if err := n.AddAS(AS{Number: 64500, Name: "TestISP", Org: "Test ISP Ltd", Country: "GB"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddAS(AS{Number: 64501, Name: "TestCloud", Org: "Cloud Inc", Country: "FR"}); err != nil {
+		t.Fatal(err)
+	}
+	london, _ := reg.City("London, GB")
+	paris, _ := reg.City("Paris, FR")
+	host, err := n.AddHost(Host{City: paris, ASN: 64501, Responsive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.AddVantage(Vantage{ID: "vol-gb", City: london, ASN: 64500, AccessDelayMs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, v, host
+}
+
+func TestAllocAddrUnique(t *testing.T) {
+	n := New(DefaultConfig(1))
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 2000; i++ {
+		a := n.AllocAddr()
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		if !a.Is4() {
+			t.Fatalf("expected IPv4, got %s", a)
+		}
+		b := a.As4()
+		if b[3] == 0 || b[3] == 255 {
+			t.Fatalf("allocated network/broadcast-looking address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAddHostValidation(t *testing.T) {
+	n := New(DefaultConfig(1))
+	city, _ := geo.Default().City("Paris, FR")
+	if _, err := n.AddHost(Host{City: city, ASN: 999}); err == nil {
+		t.Error("host with unknown ASN should fail")
+	}
+	_ = n.AddAS(AS{Number: 999, Name: "x", Org: "x", Country: "FR"})
+	h, err := n.AddHost(Host{City: city, ASN: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost(Host{Addr: h.Addr, City: city, ASN: 999}); err == nil {
+		t.Error("duplicate host address should fail")
+	}
+	got, ok := n.HostByAddr(h.Addr)
+	if !ok || got.ASN != 999 {
+		t.Errorf("HostByAddr = %+v (%v)", got, ok)
+	}
+}
+
+func TestVantageValidation(t *testing.T) {
+	n := New(DefaultConfig(1))
+	city, _ := geo.Default().City("Doha, QA")
+	if _, err := n.AddVantage(Vantage{City: city}); err == nil {
+		t.Error("vantage without ID should fail")
+	}
+	v, err := n.AddVantage(Vantage{ID: "p1", City: city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Addr.IsValid() {
+		t.Error("vantage should get an allocated address")
+	}
+	if _, err := n.AddVantage(Vantage{ID: "p1", City: city}); err == nil {
+		t.Error("duplicate vantage ID should fail")
+	}
+}
+
+func TestBaseRTTRespectsSOL(t *testing.T) {
+	n := New(DefaultConfig(7))
+	reg := geo.Default()
+	cities := []string{"London, GB", "Paris, FR", "Tokyo, JP", "Sydney, AU", "Nairobi, KE", "Ashburn, US", "Kigali, RW", "Auckland, NZ"}
+	for _, a := range cities {
+		for _, b := range cities {
+			ca, _ := reg.City(a)
+			cb, _ := reg.City(b)
+			rtt := n.BaseRTTMs(ca, cb)
+			d := geo.DistanceKm(ca.Coord, cb.Coord)
+			if geo.ViolatesSOL(d, rtt) {
+				t.Errorf("BaseRTT %s->%s = %.2f ms violates SOL for %.0f km", a, b, rtt, d)
+			}
+			if rtt <= 0 {
+				t.Errorf("BaseRTT %s->%s = %.2f must be positive", a, b, rtt)
+			}
+		}
+	}
+}
+
+func TestBaseRTTSymmetricAndScales(t *testing.T) {
+	n := New(DefaultConfig(3))
+	reg := geo.Default()
+	ldn, _ := reg.City("London, GB")
+	par, _ := reg.City("Paris, FR")
+	syd, _ := reg.City("Sydney, AU")
+	if n.BaseRTTMs(ldn, par) != n.BaseRTTMs(par, ldn) {
+		t.Error("BaseRTT must be symmetric")
+	}
+	if n.BaseRTTMs(ldn, syd) <= n.BaseRTTMs(ldn, par) {
+		t.Error("longer paths must have larger RTT")
+	}
+}
+
+func TestTracerouteReachesResponsiveHost(t *testing.T) {
+	// Scan across many destinations; with loss ~6% most traces must reach.
+	n := New(DefaultConfig(11))
+	reg := geo.Default()
+	_ = n.AddAS(AS{Number: 1, Name: "isp", Org: "isp", Country: "GB"})
+	ldn, _ := reg.City("London, GB")
+	par, _ := reg.City("Paris, FR")
+	v, _ := n.AddVantage(Vantage{ID: "v", City: ldn, ASN: 1, AccessDelayMs: 4})
+	reached, total := 0, 200
+	for i := 0; i < total; i++ {
+		h, err := n.AddHost(Host{City: par, ASN: 1, Responsive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Traceroute(v.ID, h.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reached {
+			reached++
+			last := res.Hops[len(res.Hops)-1]
+			if last.Addr != h.Addr {
+				t.Fatalf("reached trace must end at destination, got %s", last.Addr)
+			}
+			if res.LastHopRTT() <= 0 {
+				t.Fatal("reached trace must have positive last-hop RTT")
+			}
+			if fh := res.FirstHopRTT(); fh > 0 && fh > res.LastHopRTT()+15 {
+				t.Fatalf("first hop RTT %.2f wildly above last hop %.2f", fh, res.LastHopRTT())
+			}
+		}
+	}
+	if reached < total*80/100 {
+		t.Errorf("only %d/%d traces reached a responsive host", reached, total)
+	}
+	if reached == total {
+		t.Error("expected some traces to fail (loss model)")
+	}
+}
+
+func TestTracerouteLastHopRespectsSOL(t *testing.T) {
+	n := New(DefaultConfig(13))
+	reg := geo.Default()
+	_ = n.AddAS(AS{Number: 1, Name: "isp", Org: "isp", Country: "PK"})
+	khi, _ := reg.City("Karachi, PK")
+	v, _ := n.AddVantage(Vantage{ID: "v", City: khi, ASN: 1, AccessDelayMs: 6})
+	dests := []string{"Paris, FR", "Frankfurt, DE", "Dubai, AE", "Muscat, OM", "Singapore, SG"}
+	for _, cid := range dests {
+		c, _ := reg.City(cid)
+		h, _ := n.AddHost(Host{City: c, ASN: 1, Responsive: true})
+		res, err := n.Traceroute(v.ID, h.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reached {
+			continue
+		}
+		d := geo.DistanceKm(khi.Coord, c.Coord)
+		if geo.ViolatesSOL(d, res.LastHopRTT()) {
+			t.Errorf("trace to %s: RTT %.2f ms violates SOL for %.0f km", cid, res.LastHopRTT(), d)
+		}
+	}
+}
+
+func TestTracerouteBlockedVantage(t *testing.T) {
+	n, _, h := testNetwork(t)
+	reg := geo.Default()
+	sydney, _ := reg.City("Sydney, AU")
+	v, _ := n.AddVantage(Vantage{ID: "vol-au", City: sydney, ASN: 64500, AccessDelayMs: 8, TracerouteBlocked: true})
+	res, err := n.Traceroute(v.ID, h.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Error("blocked vantage must never reach")
+	}
+	for _, hop := range res.Hops {
+		if hop.Responded {
+			t.Error("blocked vantage must see no responding hops")
+		}
+	}
+	if res.FirstHopRTT() != 0 || res.LastHopRTT() != 0 {
+		t.Error("blocked trace must report zero RTTs")
+	}
+}
+
+func TestTracerouteUnknownDestination(t *testing.T) {
+	n, v, _ := testNetwork(t)
+	res, err := n.Traceroute(v.ID, netip.MustParseAddr("203.0.113.7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Error("unknown destination must not be reached")
+	}
+}
+
+func TestTracerouteUnknownVantage(t *testing.T) {
+	n, _, h := testNetwork(t)
+	if _, err := n.Traceroute("nobody", h.Addr); err == nil {
+		t.Error("unknown vantage should error")
+	}
+}
+
+func TestTracerouteUnresponsiveDestination(t *testing.T) {
+	n, v, _ := testNetwork(t)
+	reg := geo.Default()
+	paris, _ := reg.City("Paris, FR")
+	for i := 0; i < 20; i++ {
+		h, _ := n.AddHost(Host{City: paris, ASN: 64501, Responsive: false})
+		res, err := n.Traceroute(v.ID, h.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reached {
+			t.Fatal("unresponsive destination must never be reached")
+		}
+	}
+}
+
+func TestTracerouteDeterministic(t *testing.T) {
+	n1, v1, h1 := testNetwork(t)
+	r1, _ := n1.Traceroute(v1.ID, h1.Addr)
+	n2, v2, h2 := testNetwork(t)
+	r2, _ := n2.Traceroute(v2.ID, h2.Addr)
+	if len(r1.Hops) != len(r2.Hops) || r1.Reached != r2.Reached {
+		t.Fatal("identical seeds must give identical traces")
+	}
+	for i := range r1.Hops {
+		if r1.Hops[i].BestRTT() != r2.Hops[i].BestRTT() {
+			t.Fatal("hop RTTs must be deterministic")
+		}
+	}
+}
+
+func TestPing(t *testing.T) {
+	n, v, h := testNetwork(t)
+	rtt, ok, err := n.Ping(v.ID, h.Addr)
+	if err != nil || !ok {
+		t.Fatalf("ping failed: ok=%v err=%v", ok, err)
+	}
+	if rtt <= v.AccessDelayMs {
+		t.Errorf("ping RTT %.2f must include access delay %.2f", rtt, v.AccessDelayMs)
+	}
+	if _, ok, _ := n.Ping(v.ID, netip.MustParseAddr("203.0.113.9")); ok {
+		t.Error("ping to unknown host must fail")
+	}
+	if _, _, err := n.Ping("nobody", h.Addr); err == nil {
+		t.Error("ping from unknown vantage should error")
+	}
+}
+
+func TestHostsSorted(t *testing.T) {
+	n, _, _ := testNetwork(t)
+	reg := geo.Default()
+	paris, _ := reg.City("Paris, FR")
+	for i := 0; i < 10; i++ {
+		if _, err := n.AddHost(Host{City: paris, ASN: 64501, Responsive: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hosts := n.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if !hosts[i-1].Addr.Less(hosts[i].Addr) {
+			t.Fatal("Hosts() must be sorted by address")
+		}
+	}
+}
+
+func TestHopBestRTT(t *testing.T) {
+	h := Hop{Responded: true, RTTMs: []float64{5.2, 4.1, 6.3}}
+	if h.BestRTT() != 4.1 {
+		t.Errorf("BestRTT = %v, want 4.1", h.BestRTT())
+	}
+	if (Hop{}).BestRTT() != 0 {
+		t.Error("unresponsive hop BestRTT should be 0")
+	}
+}

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+const maxHops = 30
+
+// pathInflation returns the deterministic fiber-path stretch factor for an
+// unordered city pair. Real paths are never great circles; the factor stays
+// above Config.PathInflationMin (> 1.50), which guarantees that probes to a
+// host's true location can never appear faster than the 133 km/ms SOL bound.
+func (n *Network) pathInflation(a, b geo.City) float64 {
+	ka, kb := a.ID(), b.ID()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	r := rng.New(n.cfg.Seed, "path-inflation", ka, kb)
+	return rng.Float64InRange(r, n.cfg.PathInflationMin, n.cfg.PathInflationMax)
+}
+
+// hopCount returns the number of router hops on the path between two cities.
+// Like pathInflation it is symmetric in its arguments.
+func (n *Network) hopCount(a, b geo.City) int {
+	d := geo.DistanceKm(a.Coord, b.Coord)
+	ka, kb := a.ID(), b.ID()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	r := rng.New(n.cfg.Seed, "hop-count", ka, kb)
+	h := 3 + int(d/900) + r.IntN(4)
+	if h > 22 {
+		h = 22
+	}
+	return h
+}
+
+// BaseRTTMs returns the deterministic floor round-trip time between two
+// cities: fiber propagation over the inflated path plus per-hop forwarding
+// overhead, with no queueing jitter. Same-city pairs still pay metro delay.
+func (n *Network) BaseRTTMs(a, b geo.City) float64 {
+	d := geo.DistanceKm(a.Coord, b.Coord)
+	infl := n.pathInflation(a, b)
+	prop := 2 * d * infl / n.cfg.FiberKmPerMs
+	perHop := 0.08 * float64(n.hopCount(a, b))
+	metro := 0.4 // intra-facility switching floor
+	return prop + perHop + metro
+}
+
+// routerAddr derives a stable pseudo-address for an intermediate hop. The
+// 198.18.0.0/15 benchmarking range keeps router addresses disjoint from
+// simulated host space.
+func routerAddr(seed uint64, pathKey string, hop int) netip.Addr {
+	h := rng.Hash(pathKey, fmt.Sprintf("hop-%d-%d", hop, seed))
+	return netip.AddrFrom4([4]byte{198, 18 + byte(h>>16&1), byte(h >> 8), 1 + byte(h%254)})
+}
+
+// Traceroute launches a traceroute from a registered vantage toward dst,
+// reproducing the behaviours Gamma has to cope with in the field: blocked
+// probes, silent routers, unresponsive destinations, and in-flight loss.
+func (n *Network) Traceroute(vantageID string, dst netip.Addr) (TraceResult, error) {
+	v, ok := n.VantageByID(vantageID)
+	if !ok {
+		return TraceResult{}, fmt.Errorf("netsim: unknown vantage %q", vantageID)
+	}
+	res := TraceResult{From: vantageID, Dst: dst}
+	if v.TracerouteBlocked {
+		// Middlebox swallows every probe: the volunteer sees rows of "* * *".
+		for i := 1; i <= 5; i++ {
+			res.Hops = append(res.Hops, Hop{Index: i})
+		}
+		return res, nil
+	}
+
+	host, known := n.HostByAddr(dst)
+	pathKey := v.ID + "->" + dst.String()
+	r := rng.New(n.cfg.Seed, "trace", pathKey)
+
+	if !known {
+		// No such destination: probes wander then die.
+		hops := 4 + r.IntN(5)
+		for i := 1; i <= hops; i++ {
+			res.Hops = append(res.Hops, Hop{Index: i})
+		}
+		return res, nil
+	}
+
+	hops := n.hopCount(v.City, host.City)
+	base := n.BaseRTTMs(v.City, host.City)
+	lost := rng.Bernoulli(r, n.cfg.TraceLossProb)
+	lossAt := hops + 1
+	if lost || !host.Responsive {
+		// The trace never completes; probes stop answering partway or at the end.
+		lossAt = 1 + r.IntN(hops)
+		if !host.Responsive && !lost {
+			lossAt = hops // silent destination: all intermediate hops respond
+		}
+	}
+
+	for i := 1; i <= hops; i++ {
+		hop := Hop{Index: i}
+		isDst := i == hops
+		if i > lossAt || (isDst && (lost || !host.Responsive)) {
+			res.Hops = append(res.Hops, hop)
+			continue
+		}
+		if !isDst && i > 1 && rng.Bernoulli(r, n.cfg.HopNoResponseProb) {
+			// The first hop is the volunteer's own gateway and always
+			// answers; silence starts at provider routers. This matters:
+			// when hop 1 is missing, the source constraint falls back to
+			// the raw last-hop RTT (access delay included), which lets
+			// geolocation errors slip past the SOL check.
+			res.Hops = append(res.Hops, hop)
+			continue
+		}
+		// RTT grows along the path: the first hop is the local gateway
+		// (access delay only), later hops add a progressive share of the
+		// end-to-end base RTT, and the destination pays it in full. This
+		// keeps (last hop - first hop) ≈ base, which the source-based
+		// constraint relies on when subtracting local-network delay.
+		frac := 0.0
+		if hops > 1 {
+			frac = float64(i-1) / float64(hops-1)
+		}
+		if isDst {
+			frac = 1.0
+		}
+		hopBase := v.AccessDelayMs + base*frac
+		hop.Responded = true
+		if isDst {
+			hop.Addr = dst
+		} else {
+			hop.Addr = routerAddr(n.cfg.Seed, pathKey, i)
+		}
+		for p := 0; p < 3; p++ {
+			jitter := rng.Float64InRange(r, 0, n.cfg.JitterMaxMs)
+			if rng.Bernoulli(r, 0.03) { // occasional queue spike
+				jitter += rng.Float64InRange(r, 2, 12)
+			}
+			hop.RTTMs = append(hop.RTTMs, round2(hopBase+jitter))
+		}
+		res.Hops = append(res.Hops, hop)
+	}
+	last := res.Hops[len(res.Hops)-1]
+	res.Reached = last.Responded && last.Addr == dst
+	return res, nil
+}
+
+// Ping measures the best-of-three RTT from a vantage to dst. ok is false
+// when the destination does not answer.
+func (n *Network) Ping(vantageID string, dst netip.Addr) (rtt float64, ok bool, err error) {
+	v, vok := n.VantageByID(vantageID)
+	if !vok {
+		return 0, false, fmt.Errorf("netsim: unknown vantage %q", vantageID)
+	}
+	host, known := n.HostByAddr(dst)
+	if !known || !host.Responsive {
+		return 0, false, nil
+	}
+	r := rng.New(n.cfg.Seed, "ping", v.ID, dst.String())
+	base := v.AccessDelayMs + n.BaseRTTMs(v.City, host.City)
+	best := math.Inf(1)
+	for p := 0; p < 3; p++ {
+		sample := base + rng.Float64InRange(r, 0, n.cfg.JitterMaxMs)
+		if sample < best {
+			best = sample
+		}
+	}
+	return round2(best), true, nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+// allCities flattens the registry for indexed property access.
+func allCities(t *testing.T) []geo.City {
+	t.Helper()
+	var out []geo.City
+	for _, c := range geo.Default().Countries() {
+		out = append(out, c.Cities...)
+	}
+	if len(out) == 0 {
+		t.Fatal("no cities")
+	}
+	return out
+}
+
+// TestBaseRTTSOLProperty: for ANY pair of real cities and ANY seed, the
+// floor RTT must respect the 133 km/ms speed-of-light bound — the
+// invariant the whole geolocation framework leans on.
+func TestBaseRTTSOLProperty(t *testing.T) {
+	cities := allCities(t)
+	f := func(seed uint64, i, j uint16) bool {
+		n := New(DefaultConfig(seed % 1000))
+		a := cities[int(i)%len(cities)]
+		b := cities[int(j)%len(cities)]
+		rtt := n.BaseRTTMs(a, b)
+		d := geo.DistanceKm(a.Coord, b.Coord)
+		return rtt > 0 && !geo.ViolatesSOL(d, rtt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBaseRTTSymmetryProperty: the latency model is direction-free.
+func TestBaseRTTSymmetryProperty(t *testing.T) {
+	cities := allCities(t)
+	n := New(DefaultConfig(5))
+	f := func(i, j uint16) bool {
+		a := cities[int(i)%len(cities)]
+		b := cities[int(j)%len(cities)]
+		return n.BaseRTTMs(a, b) == n.BaseRTTMs(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTracerouteInvariants: any simulated trace has monotone hop indexes,
+// a Reached bit consistent with its final hop, and per-probe RTTs that
+// never undercut the physical floor at the destination.
+func TestTracerouteInvariants(t *testing.T) {
+	cities := allCities(t)
+	n := New(DefaultConfig(17))
+	if err := n.AddAS(AS{Number: 1, Name: "p", Org: "p", Country: "FR"}); err != nil {
+		t.Fatal(err)
+	}
+	src := cities[0]
+	v, err := n.AddVantage(Vantage{ID: "prop", City: src, ASN: 1, AccessDelayMs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(i uint16, responsive bool) bool {
+		dstCity := cities[int(i)%len(cities)]
+		h, err := n.AddHost(Host{City: dstCity, ASN: 1, Responsive: responsive})
+		if err != nil {
+			return false
+		}
+		res, err := n.Traceroute(v.ID, h.Addr)
+		if err != nil {
+			return false
+		}
+		for k, hop := range res.Hops {
+			if hop.Index != k+1 {
+				return false
+			}
+		}
+		last := res.Hops[len(res.Hops)-1]
+		if res.Reached != (last.Responded && last.Addr == h.Addr) {
+			return false
+		}
+		if !responsive && res.Reached {
+			return false
+		}
+		if res.Reached {
+			d := geo.DistanceKm(src.Coord, dstCity.Coord)
+			if geo.ViolatesSOL(d, res.LastHopRTT()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+package pipeline_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+// fixture runs three representative volunteers once for the whole package:
+// PK (normal), EG (traceroute opt-out -> Atlas substitution), AU (blocked
+// probes -> Atlas substitution).
+type fixture struct {
+	world  *gamma.World
+	result *gamma.Result
+	pk     *core.Dataset
+}
+
+var shared *fixture
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	w, err := gamma.NewWorld(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels, err := gamma.SelectTargets(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var datasets []*core.Dataset
+	var pk *core.Dataset
+	for _, cc := range []string{"PK", "EG", "AU"} {
+		ds, err := gamma.RunVolunteer(ctx, w, cc, sels[cc])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc == "PK" {
+			pk = ds
+		}
+		datasets = append(datasets, ds)
+	}
+	res, err := gamma.Analyze(w, datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared = &fixture{world: w, result: res, pk: pk}
+	return shared
+}
+
+func TestProcessProducesCountries(t *testing.T) {
+	f := setup(t)
+	if len(f.result.Countries) != 3 {
+		t.Fatalf("countries = %v", f.result.CountryCodes())
+	}
+	for _, cc := range []string{"PK", "EG", "AU"} {
+		cr := f.result.Countries[cc]
+		if cr == nil {
+			t.Fatalf("missing country %s", cc)
+		}
+		if cr.Targets < 90 {
+			t.Errorf("%s targets = %d", cc, cr.Targets)
+		}
+		if cr.LoadedOK == 0 {
+			t.Errorf("%s loaded none", cc)
+		}
+		if len(cr.Verdicts) < 100 {
+			t.Errorf("%s verdicts = %d", cc, len(cr.Verdicts))
+		}
+	}
+}
+
+func TestWebdriverNoiseStripped(t *testing.T) {
+	f := setup(t)
+	for cc, cr := range f.result.Countries {
+		for domain := range cr.Verdicts {
+			if strings.Contains(domain, "googleapis.com") && strings.HasPrefix(domain, "update.") {
+				t.Errorf("%s: webdriver noise domain %q leaked into verdicts", cc, domain)
+			}
+			if strings.HasPrefix(domain, "optimizationguide") || strings.HasPrefix(domain, "safebrowsing") {
+				t.Errorf("%s: webdriver noise domain %q leaked into verdicts", cc, domain)
+			}
+		}
+	}
+	// The raw dataset DOES contain the noise — stripping happens in Box 2.
+	foundNoise := false
+	for _, p := range f.pk.Pages {
+		for _, r := range p.Load.Requests {
+			if r.Initiator == "webdriver" {
+				foundNoise = true
+			}
+		}
+	}
+	if !foundNoise {
+		t.Error("raw dataset should contain webdriver requests")
+	}
+}
+
+func TestTraceSubstitution(t *testing.T) {
+	f := setup(t)
+	if got := f.result.Countries["PK"].TraceOrigin; got != "volunteer" {
+		t.Errorf("PK trace origin = %q, want volunteer", got)
+	}
+	for _, cc := range []string{"EG", "AU"} {
+		origin := f.result.Countries[cc].TraceOrigin
+		if !strings.HasPrefix(origin, "atlas:") {
+			t.Errorf("%s trace origin = %q, want atlas substitute", cc, origin)
+		}
+	}
+	// Egypt's substitute probe must be in Egypt (probes exist there);
+	// Australia's likewise.
+	if !strings.Contains(f.result.Countries["EG"].TraceOrigin, ", EG") {
+		t.Errorf("EG substitute should be in-country: %s", f.result.Countries["EG"].TraceOrigin)
+	}
+}
+
+func TestAnonymizationAfterAnalysis(t *testing.T) {
+	f := setup(t)
+	if f.pk.VolunteerIP != "" || !f.pk.Anonymized {
+		t.Error("pipeline must anonymize datasets after analysis")
+	}
+}
+
+func TestFunnelMonotonicity(t *testing.T) {
+	f := setup(t)
+	fn := f.result.Funnel
+	if fn.NonLocalClaimed > fn.DomainObservations {
+		t.Error("claimed non-local cannot exceed observations")
+	}
+	if fn.AfterSOL > fn.NonLocalClaimed || fn.AfterRDNS > fn.AfterSOL || fn.Trackers > fn.AfterRDNS {
+		t.Errorf("funnel not monotone: %+v", fn)
+	}
+	if fn.Trackers == 0 {
+		t.Error("no trackers identified")
+	}
+	if fn.UniqueDomains == 0 || fn.UniqueIPs == 0 {
+		t.Error("unique counts missing")
+	}
+}
+
+func TestTrackerIdentificationSources(t *testing.T) {
+	f := setup(t)
+	sources := map[string]int{}
+	for _, src := range f.result.TrackerDomains {
+		sources[src]++
+	}
+	if sources["easylist"] == 0 {
+		t.Error("no easylist identifications")
+	}
+	if sources["easyprivacy"] == 0 {
+		t.Error("no easyprivacy identifications")
+	}
+	if sources["manual"] == 0 {
+		t.Error("no manual identifications")
+	}
+}
+
+func TestVerdictsCarryAnnotations(t *testing.T) {
+	f := setup(t)
+	orgSeen, asnSeen := false, false
+	for _, obs := range f.result.Countries["PK"].Verdicts {
+		if obs.Class != geoloc.NonLocal || !obs.IsTracker {
+			continue
+		}
+		if obs.Org != "" {
+			orgSeen = true
+		}
+		if obs.HostASN != 0 && obs.HostASOrg != "" {
+			asnSeen = true
+		}
+		if obs.DestCountry == "" || obs.DestCity == "" {
+			t.Errorf("retained non-local %s missing destination", obs.Domain)
+		}
+	}
+	if !orgSeen || !asnSeen {
+		t.Error("annotations (org, ASN) missing from tracker verdicts")
+	}
+}
+
+func TestSiteResultsReferenceVerdicts(t *testing.T) {
+	f := setup(t)
+	cr := f.result.Countries["PK"]
+	for _, s := range cr.Sites {
+		if s.OptedOut && s.LoadOK {
+			t.Error("opted-out site cannot be loaded")
+		}
+		for _, d := range s.Domains {
+			if _, ok := cr.Verdicts[d.Domain]; !ok {
+				t.Errorf("site %s domain %s missing from country verdicts", s.Site, d.Domain)
+			}
+		}
+	}
+}
+
+func TestProcessRejectsBadEnv(t *testing.T) {
+	if _, err := pipeline.Process(pipeline.Env{}, nil); err == nil {
+		t.Error("empty env must fail")
+	}
+}
+
+func TestProcessRejectsUnknownCity(t *testing.T) {
+	f := setup(t)
+	env := gamma.PipelineEnv(f.world)
+	bad := &core.Dataset{SchemaVersion: 1, VolunteerID: "x", Country: "PK", City: "Atlantis, XX"}
+	if _, err := pipeline.Process(env, []*core.Dataset{bad}); err == nil {
+		t.Error("unknown volunteer city must fail")
+	}
+}
+
+func TestCNAMECloakedTrackersDetected(t *testing.T) {
+	f := setup(t)
+	found := 0
+	for _, cc := range f.result.CountryCodes() {
+		for _, obs := range f.result.Countries[cc].Verdicts {
+			if !obs.Cloaked {
+				continue
+			}
+			found++
+			if !obs.IsTracker {
+				t.Errorf("cloaked %s not marked tracker", obs.Domain)
+			}
+			if !strings.HasPrefix(obs.TrackerSource, "cname:") {
+				t.Errorf("cloaked %s source = %q", obs.Domain, obs.TrackerSource)
+			}
+			if !strings.HasPrefix(obs.Domain, "metrics.") {
+				t.Errorf("unexpected cloak shape %q", obs.Domain)
+			}
+			if len(obs.CNAMEChain) < 2 {
+				t.Errorf("cloaked %s missing chain", obs.Domain)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no cloaked trackers detected in PK/EG/AU corpus")
+	}
+	if f.result.Funnel.CloakedTrackers == 0 {
+		t.Error("funnel missed cloaked trackers")
+	}
+	// Cloaked names look first-party but must never be counted as such.
+	for _, cc := range f.result.CountryCodes() {
+		for _, s := range f.result.Countries[cc].Sites {
+			for _, d := range s.Domains {
+				if d.Cloaked && d.FirstParty {
+					t.Errorf("cloaked %s on %s counted first-party", d.Domain, s.Site)
+				}
+			}
+		}
+	}
+}

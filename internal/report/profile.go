@@ -1,0 +1,123 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// CountryProfile renders a single-country deep dive: the per-country view
+// an analyst (or the country's regulator, per §7's recommendations) would
+// start from.
+func CountryProfile(w io.Writer, cr *pipeline.CountryResult) {
+	fmt.Fprintf(w, "== Country profile: %s (volunteer in %s) ==\n", cr.Country, cr.City.ID())
+	fmt.Fprintf(w, "source traceroutes: %s; launched %d (reached %d); destination traces %d\n",
+		cr.TraceOrigin, cr.Traces.SourceLaunched, cr.Traces.SourceReached, cr.Traces.DestLaunched)
+
+	var regTot, regHit, govTot, govHit, loaded int
+	destSites := map[string]int{}
+	orgSites := map[string]int{}
+	domainFreq := map[string]int{}
+	var perSite []float64
+	for _, s := range cr.Sites {
+		if !s.LoadOK {
+			continue
+		}
+		loaded++
+		nl := s.NonLocalTrackers()
+		if s.Kind == core.KindGovernment {
+			govTot++
+			if len(nl) > 0 {
+				govHit++
+			}
+		} else {
+			regTot++
+			if len(nl) > 0 {
+				regHit++
+			}
+		}
+		if len(nl) > 0 {
+			perSite = append(perSite, float64(len(nl)))
+		}
+		seenDest, seenOrg := map[string]bool{}, map[string]bool{}
+		for _, d := range nl {
+			domainFreq[d.Domain]++
+			if !seenDest[d.DestCountry] {
+				seenDest[d.DestCountry] = true
+				destSites[d.DestCountry]++
+			}
+			org := d.Org
+			if org == "" {
+				org = "(unknown)"
+			}
+			if !seenOrg[org] {
+				seenOrg[org] = true
+				orgSites[org]++
+			}
+		}
+	}
+	fmt.Fprintf(w, "targets %d (opt-outs %d), loaded %d\n", cr.Targets, cr.OptOuts, loaded)
+	fmt.Fprintf(w, "sites with non-local trackers: regional %.1f%% (%d/%d), government %.1f%% (%d/%d)\n",
+		stats.Percent(regHit, regTot), regHit, regTot,
+		stats.Percent(govHit, govTot), govHit, govTot)
+	if len(perSite) > 0 {
+		b := stats.NewBoxPlot(perSite)
+		fmt.Fprintf(w, "non-local tracker domains per tracking site: median %.1f, mean %.1f (σ %.1f), max %.0f\n",
+			b.Median, b.Mean, b.StdDev, maxOf(perSite))
+	}
+
+	writeTop := func(title string, m map[string]int, n int) {
+		type kv struct {
+			k string
+			v int
+		}
+		var list []kv
+		for k, v := range m {
+			list = append(list, kv{k, v})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].v != list[j].v {
+				return list[i].v > list[j].v
+			}
+			return list[i].k < list[j].k
+		})
+		fmt.Fprintf(w, "\n%s:\n", title)
+		for i, e := range list {
+			if i >= n {
+				break
+			}
+			fmt.Fprintf(w, "  %-40s %d\n", e.k, e.v)
+		}
+	}
+	writeTop("top destination countries (by sites)", destSites, 8)
+	writeTop("top organizations (by sites)", orgSites, 8)
+	writeTop("most frequent non-local tracking domains", domainFreq, 8)
+
+	// Discard accounting for transparency about what the constraints cost.
+	if len(cr.Funnel.ByStage) > 0 {
+		fmt.Fprintln(w, "\nconstraint discards:")
+		var stages []string
+		for st := range cr.Funnel.ByStage {
+			stages = append(stages, string(st))
+		}
+		sort.Strings(stages)
+		for _, st := range stages {
+			fmt.Fprintf(w, "  %-38s %d\n", st, cr.Funnel.ByStage[geoloc.Stage(st)])
+		}
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

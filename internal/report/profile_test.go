@@ -1,0 +1,46 @@
+package report_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/report"
+)
+
+func TestCountryProfile(t *testing.T) {
+	w, err := gamma.NewWorld(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels, err := gamma.SelectTargets(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := gamma.RunVolunteer(context.Background(), w, "PK", sels["PK"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gamma.Analyze(w, []*core.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	report.CountryProfile(&sb, res.Countries["PK"])
+	out := sb.String()
+	for _, want := range []string{
+		"Country profile: PK",
+		"Karachi, PK",
+		"sites with non-local trackers",
+		"top destination countries",
+		"top organizations",
+		"constraint discards",
+		"Google",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package report renders the study's tables and figures as aligned text:
+// the terminal equivalents of the paper's Figures 2–9 and Table 1, plus
+// the §5 funnel accounting. Every renderer writes to an io.Writer so the
+// same output feeds the CLI tools, the experiment harness, and golden
+// tests.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/gamma-suite/gamma/internal/ablation"
+	"github.com/gamma-suite/gamma/internal/analysis"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+// Table is a minimal aligned-column text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{headers: headers} }
+
+// AddRow appends a row; extra cells are dropped, missing cells padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// Funnel renders the §5 accounting.
+func Funnel(w io.Writer, f pipeline.Funnel) {
+	fmt.Fprintln(w, "== Data collection funnel (§5) ==")
+	t := NewTable("stage", "count")
+	t.AddRow("target websites", fmt.Sprint(f.Targets))
+	t.AddRow("after volunteer opt-outs", fmt.Sprint(f.TargetsAfterOptOut))
+	t.AddRow("unique target websites", fmt.Sprint(f.UniqueTargets))
+	t.AddRow("pages loaded successfully", fmt.Sprint(f.LoadedOK))
+	t.AddRow("domain observations (per-country unique)", fmt.Sprint(f.DomainObservations))
+	t.AddRow("unique domains", fmt.Sprint(f.UniqueDomains))
+	t.AddRow("unique server IPs", fmt.Sprint(f.UniqueIPs))
+	t.AddRow("source traceroutes launched", fmt.Sprint(f.SourceTraceroutes))
+	t.AddRow("destination traceroutes launched", fmt.Sprint(f.DestTraceroutes))
+	t.AddRow("claimed non-local (before constraints)", fmt.Sprint(f.NonLocalClaimed))
+	t.AddRow("after SOL/source/destination constraints", fmt.Sprint(f.AfterSOL))
+	t.AddRow("after reverse-DNS constraint", fmt.Sprint(f.AfterRDNS))
+	t.AddRow("associated with trackers", fmt.Sprint(f.Trackers))
+	t.AddRow("  of which CNAME-cloaked", fmt.Sprint(f.CloakedTrackers))
+	t.Render(w)
+}
+
+// Fig2 renders target composition and load success.
+func Fig2(w io.Writer, comp []analysis.Composition, loads []analysis.LoadSuccess) {
+	fmt.Fprintln(w, "== Figure 2: target composition and load success ==")
+	byCC := map[string]analysis.LoadSuccess{}
+	for _, l := range loads {
+		byCC[l.Country] = l
+	}
+	t := NewTable("country", "T_reg", "T_gov", "loaded")
+	for _, c := range comp {
+		t.AddRow(c.Country, fmt.Sprint(c.Regional), fmt.Sprint(c.Government), pct(byCC[c.Country].Pct))
+	}
+	t.Render(w)
+}
+
+// Fig3 renders non-local tracker prevalence.
+func Fig3(w io.Writer, prev []analysis.Prevalence) {
+	fmt.Fprintln(w, "== Figure 3: sites with ≥1 non-local tracker ==")
+	t := NewTable("country", "regional", "government", "overall")
+	var regs, govs []float64
+	for _, p := range prev {
+		t.AddRow(p.Country, pct(p.RegionalPct), pct(p.GovernmentPct), pct(p.OverallPct))
+		regs = append(regs, p.RegionalPct)
+		govs = append(govs, p.GovernmentPct)
+	}
+	t.Render(w)
+	rm, rs := analysis.MeanStd(regs)
+	gm, gs := analysis.MeanStd(govs)
+	fmt.Fprintf(w, "regional mean %.2f%% (σ %.2f), government mean %.2f%% (σ %.2f)\n", rm, rs, gm, gs)
+	if r, err := analysis.Fig3Correlation(prev); err == nil {
+		fmt.Fprintf(w, "Pearson correlation (regional vs government): %.2f\n", r)
+	}
+}
+
+// boxPlotASCII draws a fixed-width box plot over [0, max].
+func boxPlotASCII(b stats.BoxPlot, max float64, width int) string {
+	if b.N == 0 {
+		return strings.Repeat(" ", width) + " (no sites)"
+	}
+	if max <= 0 {
+		max = 1
+	}
+	pos := func(v float64) int {
+		p := int(math.Round(v / max * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := pos(b.Min); i <= pos(b.Max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(b.Q1); i <= pos(b.Q3); i++ {
+		row[i] = '='
+	}
+	row[pos(b.Median)] = 'M'
+	for _, o := range b.Outliers {
+		row[pos(o)] = '*'
+	}
+	return string(row)
+}
+
+// Fig4 renders per-site tracker-count distributions as ASCII box plots.
+func Fig4(w io.Writer, dists []analysis.Distribution) {
+	fmt.Fprintln(w, "== Figure 4: non-local tracker domains per website ==")
+	var max float64
+	for _, d := range dists {
+		for _, o := range append(d.Combined.Outliers, d.Combined.Max) {
+			if o > max {
+				max = o
+			}
+		}
+	}
+	const width = 48
+	fmt.Fprintf(w, "scale: 0 .. %.0f domains; '=' IQR, 'M' median, '*' outliers\n", max)
+	t := NewTable("country", "plot", "median", "mean", "σ", "N")
+	for _, d := range dists {
+		t.AddRow(d.Country, boxPlotASCII(d.Combined, max, width),
+			fmt.Sprintf("%.1f", d.Combined.Median),
+			fmt.Sprintf("%.1f", d.Combined.Mean),
+			fmt.Sprintf("%.1f", d.Combined.StdDev),
+			fmt.Sprint(d.Combined.N))
+	}
+	t.Render(w)
+}
+
+// Fig5 renders the country-level flow diagram as destination shares plus
+// the heaviest edges.
+func Fig5(w io.Writer, shares []analysis.DestShare, flows []analysis.Flow, topEdges int) {
+	fmt.Fprintln(w, "== Figure 5: non-local tracking flows (source -> destination) ==")
+	t := NewTable("destination", "% of tracking sites", "sites", "source countries")
+	for _, s := range shares {
+		t.AddRow(s.Dest, pct(s.SitePct), fmt.Sprint(s.Sites), fmt.Sprint(s.SourceCount))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nheaviest edges (top %d):\n", topEdges)
+	e := NewTable("source", "destination", "sites")
+	for i, f := range flows {
+		if i >= topEdges {
+			break
+		}
+		e.AddRow(f.Source, f.Dest, fmt.Sprint(f.Sites))
+	}
+	e.Render(w)
+}
+
+// Fig6 renders continent flows and the inward-flow summary.
+func Fig6(w io.Writer, flows []analysis.ContinentFlow) {
+	fmt.Fprintln(w, "== Figure 6: flows across continents ==")
+	t := NewTable("source", "destination", "sites")
+	for _, f := range flows {
+		t.AddRow(string(f.Source), string(f.Dest), fmt.Sprint(f.Sites))
+	}
+	t.Render(w)
+	inward := analysis.InwardFlowContinents(flows)
+	fmt.Fprintln(w, "\ninward flows (destination <- sources):")
+	for _, cont := range geo.Continents() {
+		srcs := inward[cont]
+		if len(srcs) == 0 {
+			fmt.Fprintf(w, "  %-13s <- (none)\n", cont)
+			continue
+		}
+		names := make([]string, len(srcs))
+		for i, s := range srcs {
+			names[i] = string(s)
+		}
+		fmt.Fprintf(w, "  %-13s <- %s\n", cont, strings.Join(names, ", "))
+	}
+}
+
+// Fig7 renders hosting-country domain counts.
+func Fig7(w io.Writer, counts []analysis.HostingCount) {
+	fmt.Fprintln(w, "== Figure 7: hosting countries of non-local tracking domains ==")
+	t := NewTable("destination", "distinct tracking domains")
+	for _, h := range counts {
+		t.AddRow(h.Dest, fmt.Sprint(h.Domains))
+	}
+	t.Render(w)
+}
+
+// Fig8 renders organization flows.
+func Fig8(w io.Writer, flows []analysis.OrgFlow, topOrgs int) {
+	fmt.Fprintln(w, "== Figure 8: non-local tracking flows to organizations ==")
+	totals := analysis.OrgTotals(flows)
+	t := NewTable("organization", "sites")
+	for i, o := range totals {
+		if i >= topOrgs {
+			break
+		}
+		t.AddRow(o.Org, fmt.Sprint(o.Sites))
+	}
+	t.Render(w)
+	excl := analysis.ExclusiveOrgs(flows)
+	if len(excl) > 0 {
+		var orgs []string
+		for org := range excl {
+			orgs = append(orgs, org)
+		}
+		sort.Strings(orgs)
+		fmt.Fprintln(w, "\norganizations observed in a single source country:")
+		for _, org := range orgs {
+			fmt.Fprintf(w, "  %s (only %s)\n", org, excl[org])
+		}
+	}
+}
+
+// Fig9 renders the most frequent non-local tracking domains per country.
+func Fig9(w io.Writer, freqs []analysis.DomainFrequency, topPerCountry int) {
+	fmt.Fprintln(w, "== Figure 9: frequency of non-local tracking domains ==")
+	t := NewTable("country", "domain", "sites")
+	for _, df := range freqs {
+		type kv struct {
+			d string
+			n int
+		}
+		var list []kv
+		for d, n := range df.Counts {
+			list = append(list, kv{d, n})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].n != list[j].n {
+				return list[i].n > list[j].n
+			}
+			return list[i].d < list[j].d
+		})
+		for i, e := range list {
+			if i >= topPerCountry {
+				break
+			}
+			t.AddRow(df.Country, e.d, fmt.Sprint(e.n))
+		}
+	}
+	t.Render(w)
+}
+
+// Table1 renders the data-localization policy table.
+func Table1(w io.Writer, rows []analysis.PolicyRow) {
+	fmt.Fprintln(w, "== Table 1: data localization policy vs non-local rate ==")
+	t := NewTable("country", "type", "enacted", "non-local", "note")
+	for _, r := range rows {
+		enacted := "Yes"
+		if !r.Enacted {
+			enacted = "No"
+		}
+		t.AddRow(r.Country, r.Type, enacted, pct(r.NonLocalPct), r.Note)
+	}
+	t.Render(w)
+	if trend, err := analysis.PolicyTrend(rows); err == nil {
+		fmt.Fprintf(w, "strictness vs non-local rate correlation: %.2f ", trend)
+		if trend > 0 {
+			fmt.Fprintln(w, "(weak positive: stricter countries show MORE non-local trackers — no obvious policy impact)")
+		} else {
+			fmt.Fprintln(w, "(no positive policy effect observed)")
+		}
+	}
+	means := analysis.MeanByPolicyType(rows)
+	var types []string
+	for k := range means {
+		types = append(types, k)
+	}
+	sort.Strings(types)
+	for _, k := range types {
+		fmt.Fprintf(w, "  mean non-local rate for %s countries: %.2f%%\n", k, means[k])
+	}
+}
+
+// Ownership renders the §6.5 organization statistics.
+func Ownership(w io.Writer, own analysis.OwnershipStats) {
+	fmt.Fprintln(w, "== §6.5: organizations behind non-local trackers ==")
+	fmt.Fprintf(w, "distinct owner organizations: %d\n", own.Orgs)
+	type kv struct {
+		cc string
+		p  float64
+	}
+	var list []kv
+	for cc, p := range own.HQSharePct {
+		list = append(list, kv{cc, p})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].p != list[j].p {
+			return list[i].p > list[j].p
+		}
+		return list[i].cc < list[j].cc
+	})
+	t := NewTable("HQ country", "share of orgs")
+	for _, e := range list {
+		t.AddRow(e.cc, pct(e.p))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "third-party trackers hosted on AWS: %d, on Google Cloud: %d\n", own.AWSTrackers, own.GCPTrackers)
+	if len(own.KenyaAWSOrgs) > 0 {
+		fmt.Fprintf(w, "orgs served from Amazon addresses in Nairobi (UG/RW vantage): %s\n",
+			strings.Join(own.KenyaAWSOrgs, ", "))
+	}
+}
+
+// Cookies renders third-party cookie exposure per country.
+func Cookies(w io.Writer, stats []analysis.CookieStats) {
+	fmt.Fprintln(w, "== Third-party cookies (companion to the §3.2 gov-site motivation) ==")
+	t := NewTable("country", "sites w/ 3p cookies", "gov sites w/ 3p cookies", "mean/site", "top cookie names")
+	for _, c := range stats {
+		t.AddRow(c.Country, pct(c.SitesWithThirdPartyCookiesPct),
+			pct(c.GovSitesWithThirdPartyCookiesPct),
+			fmt.Sprintf("%.1f", c.MeanThirdPartyCookiesPerSite),
+			strings.Join(c.TopCookieNames, " "))
+	}
+	t.Render(w)
+}
+
+// Ablation renders the constraint-ablation experiment.
+func Ablation(w io.Writer, metrics []ablation.Metrics) {
+	fmt.Fprintln(w, "== Constraint ablation: what each §4.1 stage contributes ==")
+	t := NewTable("variant", "retained", "precision", "dest accuracy", "recall")
+	for _, m := range metrics {
+		t.AddRow(m.Variant, fmt.Sprint(m.Retained),
+			pct(m.PrecisionPct), pct(m.DestAccPct), pct(m.RecallPct))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "precision = retained non-local servers that are truly foreign;")
+	fmt.Fprintln(w, "recall    = truly-foreign observed servers that survive the cascade.")
+}
+
+// FirstParty renders the §6.7 statistics.
+func FirstParty(w io.Writer, fp analysis.FirstPartyStats) {
+	fmt.Fprintln(w, "== §6.7: first-party non-local trackers ==")
+	fmt.Fprintf(w, "sites with non-local trackers: %d; embedding first-party non-local trackers: %d\n",
+		fp.SitesWithNonLocal, fp.SitesWithFirstParty)
+	type kv struct {
+		org string
+		n   int
+	}
+	var list []kv
+	for org, n := range fp.ByOrg {
+		list = append(list, kv{org, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].org < list[j].org
+	})
+	for _, e := range list {
+		fmt.Fprintf(w, "  %s: %d site(s)\n", e.org, e.n)
+	}
+}

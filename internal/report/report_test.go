@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/analysis"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("country", "sites")
+	tab.AddRow("PK", "50")
+	tab.AddRow("NZ", "100")
+	tab.AddRow("GB") // short row padded
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "country") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestFunnelRender(t *testing.T) {
+	var sb strings.Builder
+	Funnel(&sb, pipeline.Funnel{Targets: 2005, NonLocalClaimed: 14000, AfterSOL: 6100, AfterRDNS: 4700, Trackers: 2700})
+	out := sb.String()
+	for _, want := range []string{"2005", "14000", "6100", "4700", "2700", "reverse-DNS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("funnel output missing %q", want)
+		}
+	}
+}
+
+func TestBoxPlotASCII(t *testing.T) {
+	b := stats.NewBoxPlot([]float64{1, 2, 3, 4, 5, 30})
+	s := boxPlotASCII(b, 30, 40)
+	if len(s) != 40 {
+		t.Fatalf("width = %d", len(s))
+	}
+	if !strings.Contains(s, "M") {
+		t.Error("median marker missing")
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("outlier marker missing")
+	}
+	empty := boxPlotASCII(stats.BoxPlot{}, 10, 20)
+	if !strings.Contains(empty, "no sites") {
+		t.Error("empty plot placeholder missing")
+	}
+}
+
+func TestFigureRenderersDoNotPanic(t *testing.T) {
+	var sb strings.Builder
+	prev := []analysis.Prevalence{{Country: "PK", RegionalPct: 68, GovernmentPct: 63, OverallPct: 65.7},
+		{Country: "NZ", RegionalPct: 81, GovernmentPct: 85, OverallPct: 83.5}}
+	Fig2(&sb, []analysis.Composition{{Country: "PK", Regional: 50, Government: 50}},
+		[]analysis.LoadSuccess{{Country: "PK", Pct: 89.8}})
+	Fig3(&sb, prev)
+	Fig4(&sb, []analysis.Distribution{{Country: "PK", Combined: stats.NewBoxPlot([]float64{1, 5, 7})}})
+	Fig5(&sb, []analysis.DestShare{{Dest: "FR", SitePct: 43, Sites: 100, SourceCount: 15}},
+		[]analysis.Flow{{Source: "PK", Dest: "FR", Sites: 40}}, 5)
+	Fig6(&sb, []analysis.ContinentFlow{{Source: "Asia", Dest: "Europe", Sites: 100}})
+	Fig7(&sb, []analysis.HostingCount{{Dest: "KE", Domains: 210}})
+	Fig8(&sb, []analysis.OrgFlow{{Source: "PK", Org: "Google", Sites: 40}, {Source: "JO", Org: "Jubnaadserve", Sites: 3}}, 10)
+	Fig9(&sb, []analysis.DomainFrequency{{Country: "PK", Counts: map[string]int{"x.doubleclick.net": 12}}}, 3)
+	Table1(&sb, []analysis.PolicyRow{
+		{Country: "AZ", Type: "CS", Enacted: true, NonLocalPct: 74.39},
+		{Country: "US", Type: "TA", Enacted: true, NonLocalPct: 0},
+		{Country: "LB", Type: "NR", Enacted: true, NonLocalPct: 20.24},
+	})
+	Ownership(&sb, analysis.OwnershipStats{Orgs: 70, HQSharePct: map[string]float64{"US": 50}, AWSTrackers: 50, GCPTrackers: 5, KenyaAWSOrgs: []string{"SpotIM"}})
+	FirstParty(&sb, analysis.FirstPartyStats{SitesWithNonLocal: 575, SitesWithFirstParty: 23, ByOrg: map[string]int{"Google": 12}})
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+		"Figure 7", "Figure 8", "Figure 9", "Table 1",
+		"Jubnaadserve (only JO)", "Pearson correlation",
+		"strictness vs non-local rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package rng provides deterministic, independently-keyed random streams.
+// Every stochastic decision in the suite (topology, DNS steering, failures,
+// page composition) draws from a stream keyed by a stable string path under
+// a single study seed, so identical seeds reproduce identical datasets.
+package rng
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// Hash returns a stable 64-bit hash of the key path.
+func Hash(keys ...string) uint64 {
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// New returns a PCG stream for the given seed and key path. Streams with
+// different key paths are statistically independent.
+func New(seed uint64, keys ...string) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, Hash(keys...)))
+}
+
+// Float64InRange returns a uniform value in [lo, hi).
+func Float64InRange(r *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Pick returns a uniformly chosen element of xs; it panics on empty input.
+func Pick[T any](r *rand.Rand, xs []T) T {
+	return xs[r.IntN(len(xs))]
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// WeightedIndex picks an index proportionally to weights. Non-positive
+// weights never win. It returns -1 if no weight is positive.
+func WeightedIndex(r *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point residue: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,132 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, "topology", "FR")
+	b := New(42, "topology", "FR")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed+keys must produce identical streams")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := New(42, "topology", "FR")
+	b := New(42, "topology", "DE")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different keys should give different streams; %d/100 collisions", same)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if Hash("a", "b") != Hash("a", "b") {
+		t.Error("hash must be stable")
+	}
+	if Hash("a", "b") == Hash("ab") {
+		t.Error("key separator must prevent concatenation collisions")
+	}
+	if Hash("a", "b") == Hash("b", "a") {
+		t.Error("order must matter")
+	}
+}
+
+func TestFloat64InRange(t *testing.T) {
+	r := New(1, "t")
+	for i := 0; i < 1000; i++ {
+		v := Float64InRange(r, 1.55, 2.2)
+		if v < 1.55 || v >= 2.2 {
+			t.Fatalf("value %v out of range", v)
+		}
+	}
+	if Float64InRange(r, 5, 5) != 5 {
+		t.Error("degenerate range should return lo")
+	}
+	if Float64InRange(r, 5, 3) != 5 {
+		t.Error("inverted range should return lo")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(1, "b")
+	for i := 0; i < 50; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("p=0 must never fire")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("p=1 must always fire")
+		}
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Errorf("p=0.3 produced %d/10000 hits", hits)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	r := New(7, "w")
+	if WeightedIndex(r, nil) != -1 {
+		t.Error("empty weights should return -1")
+	}
+	if WeightedIndex(r, []float64{0, -1, 0}) != -1 {
+		t.Error("non-positive weights should return -1")
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		idx := WeightedIndex(r, []float64{1, 2, 0})
+		if idx < 0 || idx > 1 {
+			t.Fatalf("index %d out of expected set", idx)
+		}
+		counts[idx]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("weight ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestWeightedIndexAlwaysValidProperty(t *testing.T) {
+	r := New(9, "wq")
+	f := func(ws []float64) bool {
+		idx := WeightedIndex(r, ws)
+		if idx == -1 {
+			for _, w := range ws {
+				if w > 0 {
+					return false
+				}
+			}
+			return true
+		}
+		return idx >= 0 && idx < len(ws) && ws[idx] > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(3, "p")
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick over 100 draws should hit all 3 elements, saw %d", len(seen))
+	}
+}

@@ -1,0 +1,253 @@
+// Package stats provides the descriptive statistics used throughout the
+// paper's analysis: means and standard deviations (§6.1, §6.2), Pearson
+// correlation (the 0.89 T_reg/T_gov correlation), box-plot five-number
+// summaries with IQR outlier detection (Figure 4), skewness, and histograms
+// (Figure 9 / Appendix A).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns an error if the slices differ in length, are shorter than two
+// elements, or either has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation between xs and ys —
+// appropriate when one variable is ordinal, like Table 1's policy
+// strictness classes. Ties receive average ranks.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks converts values to average ranks (1-based).
+func ranks(xs []float64) []float64 {
+	type iv struct {
+		idx int
+		v   float64
+	}
+	s := make([]iv, len(xs))
+	for i, v := range xs {
+		s[i] = iv{i, v}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].v < s[j].v })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			out[s[k].idx] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// BoxPlot is the five-number summary plus IQR outliers, as drawn in Fig 4.
+type BoxPlot struct {
+	N        int       `json:"n"`
+	Min      float64   `json:"min"` // lowest non-outlier (lower whisker)
+	Q1       float64   `json:"q1"`
+	Median   float64   `json:"median"`
+	Q3       float64   `json:"q3"`
+	Max      float64   `json:"max"` // highest non-outlier (upper whisker)
+	Mean     float64   `json:"mean"`
+	StdDev   float64   `json:"stddev"`
+	Outliers []float64 `json:"outliers,omitempty"`
+}
+
+// IQR returns the interquartile range Q3-Q1.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// NewBoxPlot computes the summary for xs using the 1.5*IQR whisker rule.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	b := BoxPlot{
+		N:      len(s),
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Mean:   Mean(s),
+		StdDev: StdDev(s),
+	}
+	loFence := b.Q1 - 1.5*b.IQR()
+	hiFence := b.Q3 + 1.5*b.IQR()
+	b.Min, b.Max = math.Inf(1), math.Inf(-1)
+	for _, x := range s {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.Min {
+			b.Min = x
+		}
+		if x > b.Max {
+			b.Max = x
+		}
+	}
+	if math.IsInf(b.Min, 1) { // every point is an outlier (degenerate)
+		b.Min, b.Max = s[0], s[len(s)-1]
+		b.Outliers = nil
+	}
+	return b
+}
+
+// Skewness returns the adjusted Fisher-Pearson sample skewness. Positive
+// skew means a concentration of low values with a long right tail — the
+// shape the paper reports for most countries' per-site tracker counts.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// Histogram counts values into equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Width    float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with the given number of bins. Values
+// outside [min, max] are clamped into the end bins.
+func NewHistogram(xs []float64, bins int, min, max float64) Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if max <= min {
+		max = min + 1
+	}
+	h := Histogram{Min: min, Max: max, Width: (max - min) / float64(bins), Counts: make([]int, bins)}
+	for _, x := range xs {
+		i := int((x - min) / h.Width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Total returns the number of samples in the histogram.
+func (h Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Percent formats a fraction as a percentage with two decimals, matching the
+// paper's reporting style (e.g., 74.39%).
+func Percent(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-9) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); !approx(s, 2, 1e-9) {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice mean/stddev should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !approx(r, 1, 1e-12) {
+		t.Errorf("perfect positive correlation: r=%v err=%v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || !approx(r, -1, 1e-12) {
+		t.Errorf("perfect negative correlation: r=%v err=%v", r, err)
+	}
+	if _, err := Pearson(xs, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := Pearson(xs, []float64{3, 3, 3, 3, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs, ys := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if q := Quantile(xs, 0.5); !approx(q, 2.5, 1e-9) {
+		t.Errorf("median = %v, want 2.5", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Errorf("q1 = %v, want 4", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	// A concentrated distribution with one extreme value.
+	xs := []float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 100}
+	b := NewBoxPlot(xs)
+	if b.N != 10 {
+		t.Errorf("N = %d", b.N)
+	}
+	if b.Median != 3 {
+		t.Errorf("median = %v, want 3", b.Median)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.Max > 5 {
+		t.Errorf("upper whisker = %v should exclude the outlier", b.Max)
+	}
+	if b.Min != 1 {
+		t.Errorf("lower whisker = %v, want 1", b.Min)
+	}
+}
+
+func TestBoxPlotInvariantsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBoxPlot(xs)
+		ordered := b.Q1 <= b.Median && b.Median <= b.Q3
+		whiskers := b.Min <= b.Q1+1e-9 && b.Max >= b.Q3-1e-9 || len(xs) < 2
+		count := b.N == len(xs)
+		return ordered && whiskers && count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	rightSkewed := []float64{1, 1, 1, 2, 2, 3, 9, 15}
+	if s := Skewness(rightSkewed); s <= 0 {
+		t.Errorf("right-skewed data should have positive skewness, got %v", s)
+	}
+	symmetric := []float64{1, 2, 3, 4, 5}
+	if s := Skewness(symmetric); !approx(s, 0, 1e-9) {
+		t.Errorf("symmetric data skewness = %v, want 0", s)
+	}
+	if Skewness([]float64{1, 2}) != 0 {
+		t.Error("skewness of <3 points should be 0")
+	}
+	if Skewness([]float64{5, 5, 5, 5}) != 0 {
+		t.Error("skewness of constant data should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 10, -5}
+	h := NewHistogram(xs, 5, 0, 5)
+	if h.Total() != len(xs) {
+		t.Errorf("total = %d, want %d", h.Total(), len(xs))
+	}
+	if h.Counts[0] < 2 { // 0 and clamped -5
+		t.Errorf("first bin should hold clamped low values: %v", h.Counts)
+	}
+	if h.Counts[4] < 2 { // 5 (clamped edge) and clamped 10... 4,5,10 in last bin
+		t.Errorf("last bin should hold clamped high values: %v", h.Counts)
+	}
+	h2 := NewHistogram(xs, 0, 3, 3) // degenerate params get repaired
+	if len(h2.Counts) != 1 {
+		t.Errorf("degenerate histogram bins = %d, want 1", len(h2.Counts))
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if p := Percent(43, 100); p != 43 {
+		t.Errorf("Percent = %v", p)
+	}
+	if p := Percent(1, 0); p != 0 {
+		t.Errorf("divide by zero Percent = %v, want 0", p)
+	}
+	if p := Percent(2, 3); !approx(p, 66.6667, 0.001) {
+		t.Errorf("Percent(2,3) = %v", p)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone but nonlinear relation: Spearman = 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	s, err := Spearman(xs, ys)
+	if err != nil || !approx(s, 1, 1e-12) {
+		t.Errorf("Spearman = %v (%v), want 1", s, err)
+	}
+	p, _ := Pearson(xs, ys)
+	if p >= 1 {
+		t.Errorf("Pearson on cubic should be < 1, got %v", p)
+	}
+	// Ties get average ranks.
+	s, err = Spearman([]float64{1, 1, 2, 3}, []float64{10, 10, 20, 30})
+	if err != nil || !approx(s, 1, 1e-12) {
+		t.Errorf("tied Spearman = %v (%v)", s, err)
+	}
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}

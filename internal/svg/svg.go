@@ -1,0 +1,235 @@
+// Package svg renders the paper's flow figures as standalone SVG
+// documents: the Sankey-style source→destination diagram (Figure 5), the
+// continent flows (Figure 6), and the source→organization flows
+// (Figure 8), plus a grouped bar chart for the Figure 3 prevalence data.
+// Everything is plain stdlib string building — no drawing dependencies —
+// and the output opens in any browser.
+package svg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gamma-suite/gamma/internal/analysis"
+)
+
+// palette cycles through colorblind-safe hues.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+	"#aa3377", "#bbbbbb", "#775533", "#99ddff", "#ffaabb",
+}
+
+func color(i int) string { return palette[i%len(palette)] }
+
+func esc(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// doc wraps content in an SVG document with a white background and title.
+func doc(width, height int, title, content string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`, 16, esc(title))
+	b.WriteString(content)
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// edge is one generic flow for the bipartite renderer.
+type edge struct {
+	src, dst string
+	weight   int
+}
+
+// bipartiteFlow renders a two-column flow diagram: sources left,
+// destinations right, ribbons proportional to weight.
+func bipartiteFlow(title string, edges []edge, maxEdges int) string {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].src != edges[j].src {
+			return edges[i].src < edges[j].src
+		}
+		return edges[i].dst < edges[j].dst
+	})
+	if maxEdges > 0 && len(edges) > maxEdges {
+		edges = edges[:maxEdges]
+	}
+
+	srcTotal := map[string]int{}
+	dstTotal := map[string]int{}
+	var srcOrder, dstOrder []string
+	for _, e := range edges {
+		if _, ok := srcTotal[e.src]; !ok {
+			srcOrder = append(srcOrder, e.src)
+		}
+		if _, ok := dstTotal[e.dst]; !ok {
+			dstOrder = append(dstOrder, e.dst)
+		}
+		srcTotal[e.src] += e.weight
+		dstTotal[e.dst] += e.weight
+	}
+	sort.Slice(srcOrder, func(i, j int) bool { return srcTotal[srcOrder[i]] > srcTotal[srcOrder[j]] })
+	sort.Slice(dstOrder, func(i, j int) bool { return dstTotal[dstOrder[i]] > dstTotal[dstOrder[j]] })
+
+	const (
+		width   = 900
+		top     = 48
+		nodeW   = 10
+		gap     = 6
+		leftX   = 180
+		rightX  = width - 180
+		pxPerWt = 2.0
+	)
+	total := 0
+	for _, e := range edges {
+		total += e.weight
+	}
+	scale := pxPerWt
+	if float64(total)*scale > 640 {
+		scale = 640 / float64(total)
+	}
+
+	// Lay out node bands.
+	type band struct{ y0, y1, used0, used1 float64 }
+	place := func(order []string, totals map[string]int) map[string]*band {
+		out := map[string]*band{}
+		y := float64(top)
+		for _, name := range order {
+			h := float64(totals[name]) * scale
+			if h < 3 {
+				h = 3
+			}
+			out[name] = &band{y0: y, y1: y + h, used0: y, used1: y}
+			y += h + gap
+		}
+		return out
+	}
+	srcBands := place(srcOrder, srcTotal)
+	dstBands := place(dstOrder, dstTotal)
+
+	height := top + 24
+	for _, b := range srcBands {
+		if int(b.y1)+40 > height {
+			height = int(b.y1) + 40
+		}
+	}
+	for _, b := range dstBands {
+		if int(b.y1)+40 > height {
+			height = int(b.y1) + 40
+		}
+	}
+
+	var c strings.Builder
+	// Ribbons first (under the node bars).
+	srcColor := map[string]int{}
+	for i, name := range srcOrder {
+		srcColor[name] = i
+	}
+	for _, e := range edges {
+		sb, db := srcBands[e.src], dstBands[e.dst]
+		h := float64(e.weight) * scale
+		if h < 1 {
+			h = 1
+		}
+		y1 := sb.used0
+		y2 := db.used0
+		sb.used0 += h
+		db.used0 += h
+		midX := (leftX + rightX) / 2
+		fmt.Fprintf(&c, `<path d="M %d %.1f C %d %.1f %d %.1f %d %.1f L %d %.1f C %d %.1f %d %.1f %d %.1f Z" fill="%s" fill-opacity="0.45"><title>%s → %s: %d</title></path>`,
+			leftX+nodeW, y1,
+			midX, y1, midX, y2, rightX, y2,
+			rightX, y2+h,
+			midX, y2+h, midX, y1+h, leftX+nodeW, y1+h,
+			color(srcColor[e.src]), esc(e.src), esc(e.dst), e.weight)
+	}
+	// Node bars + labels.
+	for i, name := range srcOrder {
+		b := srcBands[name]
+		fmt.Fprintf(&c, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"/>`,
+			leftX, b.y0, nodeW, b.y1-b.y0, color(i))
+		fmt.Fprintf(&c, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s (%d)</text>`,
+			leftX-6, (b.y0+b.y1)/2+4, esc(name), srcTotal[name])
+	}
+	for _, name := range dstOrder {
+		b := dstBands[name]
+		fmt.Fprintf(&c, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="#555"/>`,
+			rightX, b.y0, nodeW, b.y1-b.y0)
+		fmt.Fprintf(&c, `<text x="%d" y="%.1f" font-size="11">%s (%d)</text>`,
+			rightX+nodeW+6, (b.y0+b.y1)/2+4, esc(name), dstTotal[name])
+	}
+	return doc(width, height, title, c.String())
+}
+
+// Fig5 renders the source→destination country flows.
+func Fig5(flows []analysis.Flow, maxEdges int) string {
+	edges := make([]edge, 0, len(flows))
+	for _, f := range flows {
+		edges = append(edges, edge{src: f.Source, dst: f.Dest, weight: f.Sites})
+	}
+	return bipartiteFlow("Figure 5: non-local tracking flows (source → destination country)", edges, maxEdges)
+}
+
+// Fig6 renders the continent flows.
+func Fig6(flows []analysis.ContinentFlow) string {
+	edges := make([]edge, 0, len(flows))
+	for _, f := range flows {
+		edges = append(edges, edge{src: string(f.Source), dst: string(f.Dest), weight: f.Sites})
+	}
+	return bipartiteFlow("Figure 6: non-local tracking flows across continents", edges, 0)
+}
+
+// Fig8 renders the source→organization flows.
+func Fig8(flows []analysis.OrgFlow, maxEdges int) string {
+	edges := make([]edge, 0, len(flows))
+	for _, f := range flows {
+		edges = append(edges, edge{src: f.Source, dst: f.Org, weight: f.Sites})
+	}
+	return bipartiteFlow("Figure 8: non-local tracking flows to organizations", edges, maxEdges)
+}
+
+// Fig3 renders the prevalence data as grouped bars (regional vs gov).
+func Fig3(prev []analysis.Prevalence) string {
+	const (
+		width   = 1000
+		top     = 60
+		baseY   = 320
+		groupW  = 38
+		barW    = 14
+		maxBarH = 240.0
+	)
+	var c strings.Builder
+	// Axis.
+	fmt.Fprintf(&c, `<line x1="40" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, baseY, width-20, baseY)
+	for _, tick := range []int{0, 25, 50, 75, 100} {
+		y := float64(baseY) - float64(tick)/100*maxBarH
+		fmt.Fprintf(&c, `<text x="36" y="%.0f" font-size="10" text-anchor="end">%d%%</text>`, y+3, tick)
+		fmt.Fprintf(&c, `<line x1="40" y1="%.0f" x2="%d" y2="%.0f" stroke="#ddd"/>`, y, width-20, y)
+	}
+	for i, p := range prev {
+		x := 50 + i*groupW
+		hr := p.RegionalPct / 100 * maxBarH
+		hg := p.GovernmentPct / 100 * maxBarH
+		fmt.Fprintf(&c, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"><title>%s regional %.1f%%</title></rect>`,
+			x, float64(baseY)-hr, barW, hr, color(0), esc(p.Country), p.RegionalPct)
+		fmt.Fprintf(&c, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"><title>%s government %.1f%%</title></rect>`,
+			x+barW+2, float64(baseY)-hg, barW, hg, color(1), esc(p.Country), p.GovernmentPct)
+		fmt.Fprintf(&c, `<text x="%d" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+			x+barW, baseY+14, esc(p.Country))
+	}
+	// Legend.
+	fmt.Fprintf(&c, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/><text x="%d" y="%d" font-size="11">regional</text>`,
+		width-200, top-20, color(0), width-182, top-10)
+	fmt.Fprintf(&c, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/><text x="%d" y="%d" font-size="11">government</text>`,
+		width-120, top-20, color(1), width-102, top-10)
+	_ = top
+	return doc(width, baseY+40, "Figure 3: sites with ≥1 non-local tracker", c.String())
+}

@@ -1,0 +1,105 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/analysis"
+)
+
+func wellFormed(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, s[:min(400, len(s))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFig5SVG(t *testing.T) {
+	flows := []analysis.Flow{
+		{Source: "PK", Dest: "FR", Sites: 60},
+		{Source: "PK", Dest: "DE", Sites: 30},
+		{Source: "NZ", Dest: "AU", Sites: 80},
+		{Source: "UG", Dest: "KE", Sites: 45},
+	}
+	s := Fig5(flows, 10)
+	wellFormed(t, s)
+	for _, want := range []string{"PK", "FR", "NZ", "AU", "Figure 5", "<path"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestFig5EdgeCapAndEscaping(t *testing.T) {
+	var flows []analysis.Flow
+	for i := 0; i < 50; i++ {
+		flows = append(flows, analysis.Flow{Source: "S<&>", Dest: "D", Sites: 50 - i})
+	}
+	s := Fig5(flows, 5)
+	wellFormed(t, s)
+	if got := strings.Count(s, "<path"); got != 5 {
+		t.Errorf("ribbons = %d, want capped at 5", got)
+	}
+	if strings.Contains(s, "S<&>") {
+		t.Error("node names must be XML-escaped")
+	}
+}
+
+func TestFig6SVG(t *testing.T) {
+	s := Fig6([]analysis.ContinentFlow{
+		{Source: "Asia", Dest: "Europe", Sites: 500},
+		{Source: "Africa", Dest: "Europe", Sites: 300},
+		{Source: "Oceania", Dest: "Oceania", Sites: 80},
+	})
+	wellFormed(t, s)
+	if !strings.Contains(s, "Europe") || !strings.Contains(s, "Figure 6") {
+		t.Error("continent SVG incomplete")
+	}
+}
+
+func TestFig8SVG(t *testing.T) {
+	s := Fig8([]analysis.OrgFlow{
+		{Source: "PK", Org: "Google", Sites: 70},
+		{Source: "JO", Org: "Jubnaadserve", Sites: 4},
+	}, 10)
+	wellFormed(t, s)
+	if !strings.Contains(s, "Google") {
+		t.Error("org SVG incomplete")
+	}
+}
+
+func TestFig3SVG(t *testing.T) {
+	s := Fig3([]analysis.Prevalence{
+		{Country: "PK", RegionalPct: 68, GovernmentPct: 63},
+		{Country: "US", RegionalPct: 0, GovernmentPct: 0},
+		{Country: "RW", RegionalPct: 93, GovernmentPct: 31},
+	})
+	wellFormed(t, s)
+	for _, want := range []string{"PK", "US", "RW", "regional", "government", "100%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bar chart missing %q", want)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	wellFormed(t, Fig5(nil, 10))
+	wellFormed(t, Fig6(nil))
+	wellFormed(t, Fig8(nil, 10))
+	wellFormed(t, Fig3(nil))
+}

@@ -1,0 +1,202 @@
+// Package targets implements the study's target-website selection (§3.2):
+// the top-50 regional list per country (similarweb-style primary source
+// with a semrush-style fallback where the primary publishes no ranking),
+// removal of adult and banned sites, government-site selection by
+// filtering a Tranco-style global list through government TLDs with a
+// search-scrape fallback when fewer than 50 remain, and the ranking-source
+// overlap experiment that justified the fallback ordering.
+package targets
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/tld"
+)
+
+// Sources bundles the three ranking providers.
+type Sources struct {
+	Similarweb map[string][]string
+	Semrush    map[string][]string
+	Ahrefs     map[string][]string
+}
+
+// ExcludeFn reports whether a domain must be removed from target lists
+// (adult content or nationally banned sites).
+type ExcludeFn func(domain string) bool
+
+// Selection is a country's final target list with provenance.
+type Selection struct {
+	Country        string        `json:"country"`
+	Regional       []core.Target `json:"regional"`
+	Government     []core.Target `json:"government"`
+	RegionalSource string        `json:"regional_source"` // which ranking provided T_reg
+	Excluded       []string      `json:"excluded,omitempty"`
+	GovFromTranco  int           `json:"gov_from_tranco"`
+	GovFromSearch  int           `json:"gov_from_search"`
+}
+
+// Targets returns the combined T_web list.
+func (s Selection) Targets() []core.Target {
+	out := make([]core.Target, 0, len(s.Regional)+len(s.Government))
+	out = append(out, s.Regional...)
+	out = append(out, s.Government...)
+	return out
+}
+
+// SelectRegional picks the top-50 regional sites for a country: the
+// similarweb-style list when available, otherwise semrush (the source with
+// the higher measured overlap), with excluded sites removed.
+func SelectRegional(cc string, src Sources, exclude ExcludeFn, max int) ([]core.Target, string, []string, error) {
+	list, source := src.Similarweb[cc], "similarweb"
+	if list == nil {
+		list, source = src.Semrush[cc], "semrush"
+	}
+	if list == nil {
+		return nil, "", nil, fmt.Errorf("targets: no ranking source covers %s", cc)
+	}
+	var out []core.Target
+	var excluded []string
+	seen := map[string]bool{}
+	for _, d := range list {
+		if len(out) >= max {
+			break
+		}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		if exclude != nil && exclude(d) {
+			excluded = append(excluded, d)
+			continue
+		}
+		out = append(out, core.Target{Domain: d, Kind: core.KindRegional})
+	}
+	return out, source, excluded, nil
+}
+
+// SelectGov picks up to max government sites: Tranco entries under the
+// country's government TLDs first (in ranking order), topped up from the
+// search-scrape fallback when Tranco holds fewer than max.
+func SelectGov(cc string, tranco []string, searchFallback []string, max int) ([]core.Target, int, int) {
+	var out []core.Target
+	seen := map[string]bool{}
+	fromTranco := 0
+	for _, d := range tranco {
+		if len(out) >= max {
+			break
+		}
+		if seen[d] || !tld.IsGov(d, cc) {
+			continue
+		}
+		seen[d] = true
+		out = append(out, core.Target{Domain: d, Kind: core.KindGovernment})
+		fromTranco++
+	}
+	fromSearch := 0
+	if len(out) < max {
+		for _, d := range searchFallback {
+			if len(out) >= max {
+				break
+			}
+			if seen[d] || !tld.IsGov(d, cc) {
+				continue
+			}
+			seen[d] = true
+			out = append(out, core.Target{Domain: d, Kind: core.KindGovernment})
+			fromSearch++
+		}
+	}
+	return out, fromTranco, fromSearch
+}
+
+// Select builds a country's full selection.
+func Select(cc string, src Sources, tranco []string, searchFallback []string, exclude ExcludeFn) (Selection, error) {
+	reg, source, excluded, err := SelectRegional(cc, src, exclude, 50)
+	if err != nil {
+		return Selection{}, err
+	}
+	gov, fromTranco, fromSearch := SelectGov(cc, tranco, searchFallback, 50)
+	return Selection{
+		Country:        cc,
+		Regional:       reg,
+		Government:     gov,
+		RegionalSource: source,
+		Excluded:       excluded,
+		GovFromTranco:  fromTranco,
+		GovFromSearch:  fromSearch,
+	}, nil
+}
+
+// OverlapPct returns the percentage of a's first n entries also present in
+// b's first n entries.
+func OverlapPct(a, b []string, n int) float64 {
+	if len(a) > n {
+		a = a[:n]
+	}
+	if len(b) > n {
+		b = b[:n]
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(b))
+	for _, d := range b {
+		set[d] = true
+	}
+	hits := 0
+	for _, d := range a {
+		if set[d] {
+			hits++
+		}
+	}
+	return 100 * float64(hits) / float64(len(a))
+}
+
+// OverlapResult is the outcome of the §3.2 ranking-source experiment.
+type OverlapResult struct {
+	Countries  int     `json:"countries"`
+	SemrushPct float64 `json:"semrush_pct"`
+	AhrefsPct  float64 `json:"ahrefs_pct"`
+}
+
+// OverlapExperiment measures the average top-50 overlap of semrush and
+// ahrefs against similarweb across every country where all three sources
+// publish complete lists (58 in the study).
+func OverlapExperiment(src Sources) OverlapResult {
+	var countries []string
+	for cc := range src.Similarweb {
+		if len(src.Similarweb[cc]) >= 50 && len(src.Semrush[cc]) >= 50 && len(src.Ahrefs[cc]) >= 50 {
+			countries = append(countries, cc)
+		}
+	}
+	sort.Strings(countries)
+	var semrushSum, ahrefsSum float64
+	for _, cc := range countries {
+		semrushSum += OverlapPct(src.Similarweb[cc], src.Semrush[cc], 50)
+		ahrefsSum += OverlapPct(src.Similarweb[cc], src.Ahrefs[cc], 50)
+	}
+	n := float64(len(countries))
+	if n == 0 {
+		return OverlapResult{}
+	}
+	return OverlapResult{
+		Countries:  len(countries),
+		SemrushPct: semrushSum / n,
+		AhrefsPct:  ahrefsSum / n,
+	}
+}
+
+// CommonSites reports how many countries' regional selections include each
+// domain — used to verify that google.com and wikipedia.org are universal
+// and that seven more sites appear in at least two-thirds of countries.
+func CommonSites(selections map[string]Selection) map[string]int {
+	counts := map[string]int{}
+	for _, sel := range selections {
+		for _, t := range sel.Regional {
+			counts[t.Domain]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,162 @@
+package targets
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/core"
+)
+
+func testSources() Sources {
+	top := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = prefix + string(rune('a'+i%26)) + string(rune('a'+i/26)) + ".example"
+		}
+		return out
+	}
+	sw := top("sw-", 52)
+	sw[3] = "adult-stream-xx-0.com"
+	return Sources{
+		Similarweb: map[string][]string{"PK": sw, "GB": top("gb-", 50)},
+		Semrush:    map[string][]string{"PK": top("sr-", 50), "RW": top("rw-", 52), "GB": top("gs-", 50)},
+		Ahrefs:     map[string][]string{"PK": top("ah-", 50), "GB": top("ah-", 50)},
+	}
+}
+
+func isAdult(d string) bool { return strings.HasPrefix(d, "adult-") }
+
+func TestSelectRegionalPrimarySource(t *testing.T) {
+	reg, source, excluded, err := SelectRegional("PK", testSources(), isAdult, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "similarweb" {
+		t.Errorf("source = %q", source)
+	}
+	if len(reg) != 50 {
+		t.Errorf("regional = %d, want 50", len(reg))
+	}
+	if len(excluded) != 1 || excluded[0] != "adult-stream-xx-0.com" {
+		t.Errorf("excluded = %v", excluded)
+	}
+	for _, tg := range reg {
+		if tg.Kind != core.KindRegional {
+			t.Fatal("wrong kind")
+		}
+		if isAdult(tg.Domain) {
+			t.Fatalf("adult site %s slipped through", tg.Domain)
+		}
+	}
+}
+
+func TestSelectRegionalFallbackToSemrush(t *testing.T) {
+	_, source, _, err := SelectRegional("RW", testSources(), isAdult, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "semrush" {
+		t.Errorf("source = %q, want semrush fallback", source)
+	}
+	if _, _, _, err := SelectRegional("XX", testSources(), nil, 50); err == nil {
+		t.Error("uncovered country must error")
+	}
+}
+
+func TestSelectRegionalDeduplicates(t *testing.T) {
+	src := Sources{Similarweb: map[string][]string{"PK": {"a.example", "a.example", "b.example"}}}
+	reg, _, _, err := SelectRegional("PK", src, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg) != 2 {
+		t.Errorf("dedup failed: %v", reg)
+	}
+}
+
+func TestSelectGovTrancoAndFallback(t *testing.T) {
+	tranco := []string{
+		"news.example", "health.gov.au", "finance.gov.au", "shop.com.au",
+		"tax.gov.uk", // other country's gov TLD must not leak in
+	}
+	search := []string{"customs.gov.au", "health.gov.au", "interior.gov.au"}
+	gov, fromTranco, fromSearch := SelectGov("AU", tranco, search, 50)
+	if fromTranco != 2 || fromSearch != 2 {
+		t.Errorf("tranco=%d search=%d, want 2/2", fromTranco, fromSearch)
+	}
+	if len(gov) != 4 {
+		t.Fatalf("gov = %v", gov)
+	}
+	for _, g := range gov {
+		if !strings.HasSuffix(g.Domain, ".gov.au") {
+			t.Errorf("non-AU gov domain %s", g.Domain)
+		}
+		if g.Kind != core.KindGovernment {
+			t.Error("wrong kind")
+		}
+	}
+}
+
+func TestSelectGovRespectsMax(t *testing.T) {
+	var tranco []string
+	for i := 0; i < 80; i++ {
+		tranco = append(tranco, "agency-"+string(rune('a'+i%26))+string(rune('a'+i/26))+".gov.uk")
+	}
+	gov, fromTranco, _ := SelectGov("GB", tranco, nil, 50)
+	if len(gov) != 50 || fromTranco != 50 {
+		t.Errorf("gov = %d (tranco %d), want 50", len(gov), fromTranco)
+	}
+}
+
+func TestSelectCombined(t *testing.T) {
+	sel, err := Select("PK", testSources(), []string{"tax.gov.pk"}, []string{"health.gov.pk"}, isAdult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Targets()) != len(sel.Regional)+len(sel.Government) {
+		t.Error("Targets() must concatenate")
+	}
+	if sel.RegionalSource != "similarweb" || sel.GovFromTranco != 1 || sel.GovFromSearch != 1 {
+		t.Errorf("selection provenance wrong: %+v", sel)
+	}
+}
+
+func TestOverlapPct(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	b := []string{"y", "z", "q"}
+	if got := OverlapPct(a, b, 3); got < 66 || got > 67 {
+		t.Errorf("overlap = %v, want ~66.7", got)
+	}
+	if OverlapPct(nil, b, 3) != 0 {
+		t.Error("empty list overlap must be 0")
+	}
+	if OverlapPct(a, a, 3) != 100 {
+		t.Error("self overlap must be 100")
+	}
+}
+
+func TestOverlapExperimentCountsCompleteCountries(t *testing.T) {
+	res := OverlapExperiment(testSources())
+	// Only PK and GB have all three complete lists.
+	if res.Countries != 2 {
+		t.Errorf("complete countries = %d, want 2", res.Countries)
+	}
+	if res.SemrushPct != 0 || res.AhrefsPct != 0 {
+		t.Errorf("disjoint lists must have 0 overlap: %+v", res)
+	}
+	empty := OverlapExperiment(Sources{})
+	if empty.Countries != 0 {
+		t.Error("empty sources")
+	}
+}
+
+func TestCommonSites(t *testing.T) {
+	sels := map[string]Selection{
+		"PK": {Regional: []core.Target{{Domain: "google.com"}, {Domain: "local.pk"}}},
+		"EG": {Regional: []core.Target{{Domain: "google.com"}}},
+	}
+	counts := CommonSites(sels)
+	if counts["google.com"] != 2 || counts["local.pk"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}

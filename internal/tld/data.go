@@ -1,0 +1,301 @@
+package tld
+
+import "sync"
+
+// defaultPSL is the embedded public-suffix snapshot covering every TLD the
+// synthetic web uses. It intentionally mirrors the structure of the real
+// publicsuffix.org list, including wildcard and exception rules.
+const defaultPSL = `
+// Generic TLDs
+com
+org
+net
+io
+info
+biz
+edu
+gov
+mil
+int
+cloud
+app
+dev
+news
+tv
+me
+co
+
+// Country-code TLDs with second-level registration structure
+uk
+co.uk
+org.uk
+gov.uk
+ac.uk
+net.uk
+au
+com.au
+net.au
+org.au
+gov.au
+edu.au
+ar
+com.ar
+gob.ar
+gov.ar
+org.ar
+net.ar
+ru
+com.ru
+org.ru
+gov.ru
+jp
+co.jp
+go.jp
+ne.jp
+or.jp
+ac.jp
+nz
+co.nz
+govt.nz
+org.nz
+net.nz
+ac.nz
+pk
+com.pk
+gov.pk
+org.pk
+edu.pk
+qa
+com.qa
+gov.qa
+org.qa
+sa
+com.sa
+gov.sa
+org.sa
+tw
+com.tw
+gov.tw
+org.tw
+lb
+com.lb
+gov.lb
+org.lb
+eg
+com.eg
+gov.eg
+org.eg
+dz
+com.dz
+gov.dz
+org.dz
+rw
+co.rw
+gov.rw
+org.rw
+ug
+co.ug
+go.ug
+or.ug
+ac.ug
+az
+com.az
+gov.az
+org.az
+edu.az
+lk
+com.lk
+gov.lk
+org.lk
+th
+co.th
+go.th
+or.th
+ac.th
+in.th
+ae
+com.ae
+gov.ae
+org.ae
+in
+co.in
+gov.in
+nic.in
+org.in
+net.in
+ca
+gc.ca
+my
+com.my
+gov.my
+sg
+com.sg
+gov.sg
+hk
+com.hk
+gov.hk
+ke
+co.ke
+go.ke
+or.ke
+br
+com.br
+gov.br
+tr
+com.tr
+gov.tr
+za
+co.za
+gov.za
+ng
+com.ng
+gov.ng
+il
+co.il
+gov.il
+mx
+com.mx
+gob.mx
+fr
+gouv.fr
+de
+nl
+be
+ch
+it
+es
+pt
+ie
+fi
+se
+no
+dk
+cz
+at
+pl
+gr
+hu
+ro
+ua
+bg
+lu
+ee
+cy
+kz
+kw
+bh
+om
+jo
+gov.jo
+com.jo
+org.jo
+ma
+tn
+gh
+com.gh
+gov.gh
+et
+tz
+go.tz
+co.tz
+sn
+np
+gov.np
+com.np
+bd
+gov.bd
+com.bd
+id
+co.id
+go.id
+vn
+com.vn
+gov.vn
+ph
+gov.ph
+com.ph
+kr
+co.kr
+go.kr
+cn
+com.cn
+gov.cn
+cl
+gob.cl
+pe
+gob.pe
+uy
+gub.uy
+com.uy
+fj
+gov.fj
+com.fj
+us
+cc
+ai
+
+// Wildcard and exception rules (PSL semantics exercised in tests)
+*.ck
+!www.ck
+`
+
+var defaultList = sync.OnceValue(func() *List { return Parse(defaultPSL) })
+
+// Default returns the shared embedded list.
+func Default() *List { return defaultList() }
+
+// GovSuffixes maps each source country to the TLD suffixes its national
+// government registers under (§3.2: some countries use more than one, e.g.
+// Argentina's gob.ar and gov.ar).
+var GovSuffixes = map[string][]string{
+	"AZ": {"gov.az"},
+	"DZ": {"gov.dz"},
+	"EG": {"gov.eg"},
+	"RW": {"gov.rw"},
+	"UG": {"go.ug"},
+	"AR": {"gob.ar", "gov.ar"},
+	"RU": {"gov.ru"},
+	"LK": {"gov.lk"},
+	"TH": {"go.th"},
+	"AE": {"gov.ae"},
+	"GB": {"gov.uk"},
+	"AU": {"gov.au"},
+	"CA": {"gc.ca"},
+	"IN": {"gov.in", "nic.in"},
+	"JP": {"go.jp"},
+	"JO": {"gov.jo"},
+	"NZ": {"govt.nz"},
+	"PK": {"gov.pk"},
+	"QA": {"gov.qa"},
+	"SA": {"gov.sa"},
+	"TW": {"gov.tw"},
+	"US": {"gov"},
+	"LB": {"gov.lb"},
+}
+
+// IsGov reports whether domain is an official government domain of the
+// given country, i.e. it falls under one of the country's government TLDs.
+func IsGov(domain, countryCode string) bool {
+	for _, suffix := range GovSuffixes[countryCode] {
+		if IsSubdomainOf(domain, suffix) && domain != suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// GovCountryOf returns the country whose government TLD the domain falls
+// under, if any. The longest matching suffix wins, so dost.gov.az resolves
+// to Azerbaijan rather than the bare US ".gov" rule.
+func GovCountryOf(domain string) (string, bool) {
+	bestLen := 0
+	var best string
+	for cc, suffixes := range GovSuffixes {
+		for _, suffix := range suffixes {
+			if IsSubdomainOf(domain, suffix) && domain != suffix && len(suffix) > bestLen {
+				bestLen, best = len(suffix), cc
+			}
+		}
+	}
+	return best, bestLen > 0
+}

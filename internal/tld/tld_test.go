@@ -1,0 +1,157 @@
+package tld
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	l := Default()
+	cases := []struct{ domain, want string }{
+		{"www.google.com", "com"},
+		{"google.com", "com"},
+		{"bbc.co.uk", "co.uk"},
+		{"news.bbc.co.uk", "co.uk"},
+		{"dost.gov.az", "gov.az"},
+		{"example.gob.ar", "gob.ar"},
+		{"WWW.Example.COM.", "com"},
+		{"something.unknowntld", "unknowntld"}, // default * rule
+		{"a.b.example.ck", "example.ck"},       // wildcard *.ck covers one label
+		{"www.ck", "ck"},                       // exception !www.ck
+	}
+	for _, tc := range cases {
+		if got := l.PublicSuffix(tc.domain); got != tc.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", tc.domain, got, tc.want)
+		}
+	}
+}
+
+func TestETLDPlusOne(t *testing.T) {
+	l := Default()
+	cases := []struct{ domain, want string }{
+		{"www.a.b.c.com", "c.com"},
+		{"www.q.w.c.com", "c.com"},
+		{"googletagmanager.com", "googletagmanager.com"},
+		{"693.safeframe.googlesyndication.com", "googlesyndication.com"},
+		{"news.bbc.co.uk", "bbc.co.uk"},
+		{"edu.gov.az", "edu.gov.az"},
+		{"google.com.eg", "google.com.eg"},
+	}
+	for _, tc := range cases {
+		got, err := l.ETLDPlusOne(tc.domain)
+		if err != nil {
+			t.Errorf("ETLDPlusOne(%q) error: %v", tc.domain, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", tc.domain, got, tc.want)
+		}
+	}
+	if _, err := l.ETLDPlusOne("com"); err == nil {
+		t.Error("bare public suffix should error")
+	}
+	if _, err := l.ETLDPlusOne(""); err == nil {
+		t.Error("empty domain should error")
+	}
+	if got := l.RegistrableOrSelf("co.uk"); got != "co.uk" {
+		t.Errorf("RegistrableOrSelf on suffix = %q", got)
+	}
+}
+
+func TestETLDPlusOneIdempotentProperty(t *testing.T) {
+	l := Default()
+	labels := []string{"a", "tracker", "cdn", "www", "x1"}
+	suffixes := []string{"com", "co.uk", "gov.au", "net", "org.ar"}
+	f := func(i, j, n uint) bool {
+		host := suffixes[j%uint(len(suffixes))]
+		depth := int(n%4) + 1
+		for k := 0; k < depth; k++ {
+			host = labels[(i+uint(k))%uint(len(labels))] + "." + host
+		}
+		e1, err := l.ETLDPlusOne(host)
+		if err != nil {
+			return false
+		}
+		e2, err := l.ETLDPlusOne(e1)
+		return err == nil && e1 == e2 && IsSubdomainOf(host, e1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHandlesComments(t *testing.T) {
+	l := Parse("// a comment\n\ncom\n  co.uk  \n!metro.tokyo.jp\n*.tokyo.jp\njp\n")
+	if got := l.PublicSuffix("x.shinjuku.tokyo.jp"); got != "shinjuku.tokyo.jp" {
+		t.Errorf("wildcard rule: got %q", got)
+	}
+	if got := l.PublicSuffix("metro.tokyo.jp"); got != "tokyo.jp" {
+		t.Errorf("exception rule: got %q", got)
+	}
+}
+
+func TestGovTLDs(t *testing.T) {
+	cases := []struct {
+		domain, country string
+		want            bool
+	}{
+		{"services.gov.au", "AU", true},
+		{"example.com.au", "AU", false},
+		{"dost.gov.az", "AZ", true},
+		{"afip.gob.ar", "AR", true},
+		{"anses.gov.ar", "AR", true}, // Argentina's second gov TLD
+		{"whitehouse.gov", "US", true},
+		{"data.go.th", "TH", true},
+		{"ura.go.ug", "UG", true},
+		{"gov.au", "AU", false}, // the bare suffix is not a gov site
+	}
+	for _, tc := range cases {
+		if got := IsGov(tc.domain, tc.country); got != tc.want {
+			t.Errorf("IsGov(%q, %s) = %v, want %v", tc.domain, tc.country, got, tc.want)
+		}
+	}
+}
+
+func TestGovCountryOfPrefersLongestSuffix(t *testing.T) {
+	cc, ok := GovCountryOf("dost.gov.az")
+	if !ok || cc != "AZ" {
+		t.Errorf("GovCountryOf(dost.gov.az) = %q (%v), want AZ", cc, ok)
+	}
+	cc, ok = GovCountryOf("irs.gov")
+	if !ok || cc != "US" {
+		t.Errorf("GovCountryOf(irs.gov) = %q (%v), want US", cc, ok)
+	}
+	if _, ok := GovCountryOf("example.com"); ok {
+		t.Error("example.com should not be a gov domain")
+	}
+}
+
+func TestAllSourceCountriesHaveGovSuffix(t *testing.T) {
+	want := 23
+	if len(GovSuffixes) != want {
+		t.Errorf("GovSuffixes has %d countries, want %d", len(GovSuffixes), want)
+	}
+	for cc, suffixes := range GovSuffixes {
+		if len(suffixes) == 0 {
+			t.Errorf("country %s has no gov suffix", cc)
+		}
+		for _, s := range suffixes {
+			if s == "" || strings.HasPrefix(s, ".") {
+				t.Errorf("country %s has malformed suffix %q", cc, s)
+			}
+		}
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	if !IsSubdomainOf("a.b.com", "b.com") {
+		t.Error("a.b.com should be subdomain of b.com")
+	}
+	if !IsSubdomainOf("b.com", "b.com") {
+		t.Error("domain is subdomain of itself")
+	}
+	if IsSubdomainOf("ab.com", "b.com") {
+		t.Error("ab.com is NOT a subdomain of b.com (label boundary)")
+	}
+}

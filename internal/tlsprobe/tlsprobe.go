@@ -1,0 +1,402 @@
+// Package tlsprobe is the security-parameter probe from Gamma's C3
+// component (§3): the paper's tool can deploy TLS scans — via Nmap and
+// testssl.sh in the field — against servers discovered during browser
+// sessions, evaluating protocol versions, cipher suites, and certificate
+// hygiene. This package models server TLS deployments deterministically
+// and implements a testssl-style scanner and grader over them.
+package tlsprobe
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+// Version is a TLS protocol version.
+type Version int
+
+// Protocol versions, oldest to newest.
+const (
+	SSL30 Version = iota
+	TLS10
+	TLS11
+	TLS12
+	TLS13
+)
+
+// String names the version as testssl does.
+func (v Version) String() string {
+	switch v {
+	case SSL30:
+		return "SSLv3"
+	case TLS10:
+		return "TLS 1.0"
+	case TLS11:
+		return "TLS 1.1"
+	case TLS12:
+		return "TLS 1.2"
+	case TLS13:
+		return "TLS 1.3"
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}
+
+// CipherSuite is one negotiable suite with its strength class.
+type CipherSuite struct {
+	Name string
+	// Weak marks export/RC4/3DES/CBC-with-SHA1-era suites.
+	Weak bool
+	// ForwardSecrecy marks (EC)DHE key exchange.
+	ForwardSecrecy bool
+}
+
+// Standard suite catalog used by the deployment generator.
+var suiteCatalog = []CipherSuite{
+	{Name: "TLS_AES_128_GCM_SHA256", ForwardSecrecy: true},
+	{Name: "TLS_AES_256_GCM_SHA384", ForwardSecrecy: true},
+	{Name: "TLS_CHACHA20_POLY1305_SHA256", ForwardSecrecy: true},
+	{Name: "ECDHE-RSA-AES128-GCM-SHA256", ForwardSecrecy: true},
+	{Name: "ECDHE-RSA-AES256-GCM-SHA384", ForwardSecrecy: true},
+	{Name: "ECDHE-ECDSA-CHACHA20-POLY1305", ForwardSecrecy: true},
+	{Name: "AES128-SHA", Weak: true},
+	{Name: "AES256-SHA", Weak: true},
+	{Name: "DES-CBC3-SHA", Weak: true},
+	{Name: "RC4-SHA", Weak: true},
+}
+
+// Certificate is the served leaf certificate's relevant fields.
+type Certificate struct {
+	Subject   string    `json:"subject"` // CN
+	SANs      []string  `json:"sans"`
+	Issuer    string    `json:"issuer"`
+	NotBefore time.Time `json:"not_before"`
+	NotAfter  time.Time `json:"not_after"`
+	// SelfSigned certificates fail chain validation.
+	SelfSigned bool `json:"self_signed,omitempty"`
+	// KeyBits is the public-key modulus size.
+	KeyBits int `json:"key_bits"`
+}
+
+// Covers reports whether the certificate is valid for a hostname,
+// honouring single-label wildcards in SANs.
+func (c Certificate) Covers(hostname string) bool {
+	hostname = strings.ToLower(hostname)
+	names := append([]string{c.Subject}, c.SANs...)
+	for _, n := range names {
+		n = strings.ToLower(n)
+		if n == hostname {
+			return true
+		}
+		if strings.HasPrefix(n, "*.") {
+			rest := n[2:]
+			if i := strings.IndexByte(hostname, '.'); i > 0 && hostname[i+1:] == rest {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Deployment is one server's TLS configuration.
+type Deployment struct {
+	Addr     netip.Addr    `json:"addr"`
+	Versions []Version     `json:"versions"` // offered protocol versions
+	Suites   []CipherSuite `json:"suites"`
+	Cert     Certificate   `json:"cert"`
+	// HSTS reports whether Strict-Transport-Security is sent.
+	HSTS bool `json:"hsts"`
+	// SNICert models shared hosting with per-site automated certificates
+	// (Let's Encrypt style): the served certificate always matches the SNI
+	// hostname the client asked for.
+	SNICert bool `json:"sni_cert,omitempty"`
+}
+
+// SupportsVersion reports whether the deployment offers v.
+func (d Deployment) SupportsVersion(v Version) bool {
+	for _, x := range d.Versions {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry stores deployments by address.
+type Registry struct {
+	byAddr map[netip.Addr]Deployment
+}
+
+// NewRegistry creates an empty deployment registry.
+func NewRegistry() *Registry {
+	return &Registry{byAddr: make(map[netip.Addr]Deployment)}
+}
+
+// Set installs a deployment.
+func (r *Registry) Set(d Deployment) { r.byAddr[d.Addr] = d }
+
+// Get returns the deployment at an address.
+func (r *Registry) Get(addr netip.Addr) (Deployment, bool) {
+	d, ok := r.byAddr[addr]
+	return d, ok
+}
+
+// Len returns the number of deployments.
+func (r *Registry) Len() int { return len(r.byAddr) }
+
+// Profile classifies how an operator maintains TLS.
+type Profile int
+
+// Maintenance profiles.
+const (
+	ProfileModern    Profile = iota // TLS1.2/1.3, strong suites, valid cert
+	ProfileDated                    // TLS1.0-1.2, some weak suites
+	ProfileNeglected                // legacy versions, weak suites, cert problems
+)
+
+// GenerateDeployment fabricates a deterministic deployment for a host.
+// now anchors certificate validity windows.
+func GenerateDeployment(seed uint64, addr netip.Addr, hostname string, profile Profile, now time.Time) Deployment {
+	r := rng.New(seed, "tls", addr.String())
+	d := Deployment{Addr: addr}
+	switch profile {
+	case ProfileModern:
+		d.Versions = []Version{TLS12, TLS13}
+		d.Suites = pickSuites(r, false, 3+r.IntN(3))
+		d.HSTS = rng.Bernoulli(r, 0.8)
+	case ProfileDated:
+		d.Versions = []Version{TLS10, TLS11, TLS12}
+		if rng.Bernoulli(r, 0.4) {
+			d.Versions = append(d.Versions, TLS13)
+		}
+		d.Suites = pickSuites(r, true, 4+r.IntN(4))
+		d.HSTS = rng.Bernoulli(r, 0.3)
+	default: // neglected
+		d.Versions = []Version{SSL30, TLS10, TLS11, TLS12}
+		d.Suites = pickSuites(r, true, 5+r.IntN(4))
+		d.HSTS = false
+	}
+
+	issuer := "SynthTrust CA"
+	keyBits := 2048
+	selfSigned := false
+	notAfter := now.AddDate(0, 0, 60+r.IntN(300))
+	switch profile {
+	case ProfileModern:
+		keyBits = 2048 + 2048*r.IntN(2)
+	case ProfileNeglected:
+		if rng.Bernoulli(r, 0.3) {
+			selfSigned = true
+			issuer = hostname
+		}
+		if rng.Bernoulli(r, 0.25) {
+			notAfter = now.AddDate(0, 0, -(1 + r.IntN(200))) // expired
+		}
+		if rng.Bernoulli(r, 0.2) {
+			keyBits = 1024
+		}
+	}
+	d.Cert = Certificate{
+		Subject:    hostname,
+		SANs:       []string{hostname, "*." + baseOf(hostname)},
+		Issuer:     issuer,
+		NotBefore:  now.AddDate(0, 0, -30-r.IntN(300)),
+		NotAfter:   notAfter,
+		SelfSigned: selfSigned,
+		KeyBits:    keyBits,
+	}
+	return d
+}
+
+func baseOf(hostname string) string {
+	parts := strings.Split(hostname, ".")
+	if len(parts) <= 2 {
+		return hostname
+	}
+	return strings.Join(parts[len(parts)-2:], ".")
+}
+
+func pickSuites(r interface{ IntN(int) int }, allowWeak bool, n int) []CipherSuite {
+	var pool []CipherSuite
+	for _, s := range suiteCatalog {
+		if s.Weak && !allowWeak {
+			continue
+		}
+		pool = append(pool, s)
+	}
+	seen := map[string]bool{}
+	var out []CipherSuite
+	for tries := 0; len(out) < n && tries < 8*n; tries++ {
+		s := pool[r.IntN(len(pool))]
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Grade is a testssl-style letter grade.
+type Grade string
+
+// Grades, best to worst.
+const (
+	GradeAPlus Grade = "A+"
+	GradeA     Grade = "A"
+	GradeB     Grade = "B"
+	GradeC     Grade = "C"
+	GradeF     Grade = "F"
+)
+
+// Finding is one issue a scan surfaces.
+type Finding struct {
+	Severity string `json:"severity"` // LOW, MEDIUM, HIGH, CRITICAL
+	Message  string `json:"message"`
+}
+
+// ScanResult is the output of one TLS scan.
+type ScanResult struct {
+	Addr      netip.Addr `json:"addr"`
+	Hostname  string     `json:"hostname"`
+	Reachable bool       `json:"reachable"`
+	Grade     Grade      `json:"grade,omitempty"`
+	Findings  []Finding  `json:"findings,omitempty"`
+	// Negotiated is the best protocol version the scanner agreed on.
+	Negotiated Version `json:"negotiated,omitempty"`
+}
+
+// Scanner evaluates deployments, testssl-style.
+type Scanner struct {
+	reg *Registry
+	now time.Time
+}
+
+// NewScanner builds a scanner against a registry with a fixed clock.
+func NewScanner(reg *Registry, now time.Time) *Scanner {
+	return &Scanner{reg: reg, now: now}
+}
+
+// Scan probes one server for the given hostname.
+func (s *Scanner) Scan(addr netip.Addr, hostname string) ScanResult {
+	out := ScanResult{Addr: addr, Hostname: hostname}
+	d, ok := s.reg.Get(addr)
+	if !ok {
+		return out
+	}
+	out.Reachable = true
+	out.Negotiated = best(d.Versions)
+	if d.SNICert {
+		d.Cert.Subject = hostname
+		d.Cert.SANs = []string{hostname}
+	}
+
+	addFinding := func(sev, msg string) {
+		out.Findings = append(out.Findings, Finding{Severity: sev, Message: msg})
+	}
+	if d.SupportsVersion(SSL30) {
+		addFinding("CRITICAL", "SSLv3 offered (POODLE)")
+	}
+	if d.SupportsVersion(TLS10) || d.SupportsVersion(TLS11) {
+		addFinding("MEDIUM", "deprecated TLS 1.0/1.1 offered")
+	}
+	weak := 0
+	fs := false
+	for _, suite := range d.Suites {
+		if suite.Weak {
+			weak++
+		}
+		if suite.ForwardSecrecy {
+			fs = true
+		}
+	}
+	if weak > 0 {
+		addFinding("HIGH", fmt.Sprintf("%d weak cipher suite(s) offered", weak))
+	}
+	if !fs {
+		addFinding("HIGH", "no forward-secrecy suites")
+	}
+	if !d.Cert.Covers(hostname) {
+		addFinding("HIGH", "certificate does not match hostname")
+	}
+	if d.Cert.SelfSigned {
+		addFinding("HIGH", "self-signed certificate")
+	}
+	if s.now.After(d.Cert.NotAfter) {
+		addFinding("CRITICAL", "certificate expired")
+	}
+	if d.Cert.KeyBits < 2048 {
+		addFinding("HIGH", fmt.Sprintf("weak %d-bit key", d.Cert.KeyBits))
+	}
+	if !d.HSTS {
+		addFinding("LOW", "no HSTS header")
+	}
+
+	out.Grade = grade(out.Findings, d)
+	return out
+}
+
+func best(vs []Version) Version {
+	b := SSL30
+	for _, v := range vs {
+		if v > b {
+			b = v
+		}
+	}
+	return b
+}
+
+func grade(findings []Finding, d Deployment) Grade {
+	crit, high, med, low := 0, 0, 0, 0
+	for _, f := range findings {
+		switch f.Severity {
+		case "CRITICAL":
+			crit++
+		case "HIGH":
+			high++
+		case "MEDIUM":
+			med++
+		default:
+			low++
+		}
+	}
+	switch {
+	case crit > 0:
+		return GradeF
+	case high > 0:
+		return GradeC
+	case med > 0:
+		return GradeB
+	case low > 0:
+		return GradeA
+	default:
+		if d.SupportsVersion(TLS13) && d.HSTS {
+			return GradeAPlus
+		}
+		return GradeA
+	}
+}
+
+// Summary aggregates scan grades.
+type Summary struct {
+	Scanned   int           `json:"scanned"`
+	Reachable int           `json:"reachable"`
+	ByGrade   map[Grade]int `json:"by_grade"`
+}
+
+// Summarize tallies results.
+func Summarize(results []ScanResult) Summary {
+	s := Summary{ByGrade: map[Grade]int{}}
+	for _, r := range results {
+		s.Scanned++
+		if r.Reachable {
+			s.Reachable++
+			s.ByGrade[r.Grade]++
+		}
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package tlsprobe
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var testNow = time.Date(2024, 3, 16, 0, 0, 0, 0, time.UTC)
+
+func addr(i byte) netip.Addr { return netip.AddrFrom4([4]byte{20, 0, 1, i}) }
+
+func TestGenerateDeploymentProfiles(t *testing.T) {
+	modern := GenerateDeployment(1, addr(1), "tracker.example", ProfileModern, testNow)
+	if modern.SupportsVersion(SSL30) || modern.SupportsVersion(TLS10) {
+		t.Error("modern profile must not offer legacy versions")
+	}
+	if !modern.SupportsVersion(TLS13) {
+		t.Error("modern profile must offer TLS 1.3")
+	}
+	for _, s := range modern.Suites {
+		if s.Weak {
+			t.Errorf("modern profile offered weak suite %s", s.Name)
+		}
+	}
+	neglectedSeen := false
+	for i := byte(10); i < 60; i++ {
+		n := GenerateDeployment(1, addr(i), "old.example", ProfileNeglected, testNow)
+		if !n.SupportsVersion(SSL30) {
+			t.Fatal("neglected profile must offer SSLv3")
+		}
+		if n.Cert.SelfSigned || testNow.After(n.Cert.NotAfter) || n.Cert.KeyBits < 2048 {
+			neglectedSeen = true
+		}
+	}
+	if !neglectedSeen {
+		t.Error("neglected profiles should sometimes have certificate problems")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateDeployment(7, addr(1), "x.example", ProfileDated, testNow)
+	b := GenerateDeployment(7, addr(1), "x.example", ProfileDated, testNow)
+	if len(a.Suites) != len(b.Suites) || a.Cert.NotAfter != b.Cert.NotAfter {
+		t.Error("deployments must be deterministic per (seed, addr)")
+	}
+}
+
+func TestCertificateCovers(t *testing.T) {
+	c := Certificate{Subject: "tracker.example.com", SANs: []string{"tracker.example.com", "*.example.com"}}
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"tracker.example.com", true},
+		{"TRACKER.example.com", true},
+		{"cdn.example.com", true},  // wildcard
+		{"a.b.example.com", false}, // wildcard is single-label
+		{"example.com", false},     // wildcard does not cover apex
+		{"other.example.org", false},
+	}
+	for _, tc := range cases {
+		if got := c.Covers(tc.host); got != tc.want {
+			t.Errorf("Covers(%q) = %v, want %v", tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestScanGrading(t *testing.T) {
+	reg := NewRegistry()
+	modern := GenerateDeployment(1, addr(1), "good.example", ProfileModern, testNow)
+	reg.Set(modern)
+
+	// Hand-build an F-grade deployment: expired cert + SSLv3.
+	reg.Set(Deployment{
+		Addr:     addr(2),
+		Versions: []Version{SSL30, TLS10},
+		Suites:   []CipherSuite{{Name: "RC4-SHA", Weak: true}},
+		Cert: Certificate{
+			Subject: "bad.example", SANs: []string{"bad.example"},
+			NotBefore: testNow.AddDate(-2, 0, 0), NotAfter: testNow.AddDate(-1, 0, 0),
+			KeyBits: 1024,
+		},
+	})
+	// Mismatched certificate.
+	reg.Set(Deployment{
+		Addr:     addr(3),
+		Versions: []Version{TLS12, TLS13},
+		Suites:   []CipherSuite{{Name: "TLS_AES_128_GCM_SHA256", ForwardSecrecy: true}},
+		Cert: Certificate{
+			Subject: "other.example", SANs: []string{"other.example"},
+			NotBefore: testNow.AddDate(0, -1, 0), NotAfter: testNow.AddDate(1, 0, 0),
+			KeyBits: 2048,
+		},
+		HSTS: true,
+	})
+
+	s := NewScanner(reg, testNow)
+	good := s.Scan(addr(1), "good.example")
+	if !good.Reachable {
+		t.Fatal("registered deployment must be reachable")
+	}
+	if good.Grade != GradeA && good.Grade != GradeAPlus {
+		t.Errorf("modern deployment grade = %s, findings %v", good.Grade, good.Findings)
+	}
+	if good.Negotiated != TLS13 {
+		t.Errorf("negotiated = %v, want TLS 1.3", good.Negotiated)
+	}
+
+	bad := s.Scan(addr(2), "bad.example")
+	if bad.Grade != GradeF {
+		t.Errorf("expired+SSLv3 grade = %s, want F", bad.Grade)
+	}
+	foundExpired, foundPoodle := false, false
+	for _, f := range bad.Findings {
+		if f.Message == "certificate expired" {
+			foundExpired = true
+		}
+		if f.Message == "SSLv3 offered (POODLE)" {
+			foundPoodle = true
+		}
+	}
+	if !foundExpired || !foundPoodle {
+		t.Errorf("findings missing: %v", bad.Findings)
+	}
+
+	mismatch := s.Scan(addr(3), "good.example")
+	if mismatch.Grade != GradeC {
+		t.Errorf("hostname mismatch grade = %s, want C: %v", mismatch.Grade, mismatch.Findings)
+	}
+
+	unreachable := s.Scan(addr(99), "ghost.example")
+	if unreachable.Reachable || unreachable.Grade != "" {
+		t.Error("unknown address must be unreachable with no grade")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []ScanResult{
+		{Reachable: true, Grade: GradeA},
+		{Reachable: true, Grade: GradeA},
+		{Reachable: true, Grade: GradeF},
+		{Reachable: false},
+	}
+	s := Summarize(results)
+	if s.Scanned != 4 || s.Reachable != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.ByGrade[GradeA] != 2 || s.ByGrade[GradeF] != 1 {
+		t.Errorf("grades = %v", s.ByGrade)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	if TLS13.String() != "TLS 1.3" || SSL30.String() != "SSLv3" {
+		t.Error("version names wrong")
+	}
+}

@@ -1,0 +1,39 @@
+package tracert
+
+import "testing"
+
+// FuzzParse drives the auto-detecting parser with hostile inputs. The
+// invariant: Parse never panics, and whatever parses successfully has a
+// structurally sound result (positive hop indexes, target set).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"traceroute to 20.0.0.7 (20.0.0.7), 30 hops max, 60 byte packets\n 1  198.18.0.1 (198.18.0.1)  4.100 ms  4.500 ms  4.200 ms\n 2  * * *\n",
+		"\nTracing route to 20.0.0.7 over a maximum of 30 hops\n\n  1     4 ms     4 ms     5 ms  198.18.0.1\n\nTrace complete.\n",
+		`{"target":"20.0.0.7","hops":[{"ttl":1,"src":"198.18.0.1","rtts_s":[0.004]}]}`,
+		"Start: 2024-03-16T09:00:00+0000\nHOST: gamma-volunteer -> 20.0.0.7    Loss%   Snt   Last   Avg  Best  Wrst StDev\n  1.|-- 198.18.0.1               0.0%     3    4.2   4.3   4.1   4.5   0.2\n",
+		"traceroute to x (", "HOST:", "{", "", "1.|--",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		n, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if n.Target == "" {
+			t.Errorf("successful parse with empty target: %q", text)
+		}
+		for _, h := range n.Hops {
+			if h.Hop < 0 {
+				t.Errorf("negative hop index from %q", text)
+			}
+			if h.BestRTT() < 0 {
+				t.Errorf("negative RTT from %q", text)
+			}
+		}
+		if !n.Reached && n.LastHopRTT() != 0 {
+			t.Errorf("unreached trace with nonzero last-hop RTT from %q", text)
+		}
+	})
+}

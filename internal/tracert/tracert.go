@@ -1,0 +1,451 @@
+// Package tracert is Gamma's probe-output portability layer (§3 of the
+// paper). Field deployments cannot rely on one tool: Scapy's raw sockets
+// are unavailable on Windows, so Gamma shells out to the OS tool — Linux
+// `traceroute` or Windows `tracert` — whose outputs have different shapes.
+// This package renders and parses all three formats and normalizes every
+// one of them into an identical JSON structure with hop and RTT
+// information, eliminating output variability downstream.
+package tracert
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+// Format identifies a probe-tool output dialect.
+type Format int
+
+// The supported dialects.
+const (
+	FormatLinux   Format = iota // traceroute(8)
+	FormatWindows               // tracert.exe
+	FormatScapy                 // scapy-based JSON prober
+	FormatMTR                   // mtr --report
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatLinux:
+		return "traceroute"
+	case FormatWindows:
+		return "tracert"
+	case FormatScapy:
+		return "scapy"
+	case FormatMTR:
+		return "mtr"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// NormHop is one hop of the normalized schema.
+type NormHop struct {
+	Hop   int       `json:"hop"`
+	Addr  string    `json:"addr,omitempty"`
+	RTTMs []float64 `json:"rtt_ms,omitempty"`
+}
+
+// BestRTT returns the minimum probe RTT for the hop, or 0 if unresponsive.
+func (h NormHop) BestRTT() float64 {
+	if len(h.RTTMs) == 0 {
+		return 0
+	}
+	best := h.RTTMs[0]
+	for _, v := range h.RTTMs[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Normalized is the tool-independent traceroute record: the "identical
+// structure JSON file" Gamma stores regardless of which tool ran.
+type Normalized struct {
+	Target  string    `json:"target"`
+	Reached bool      `json:"reached"`
+	Hops    []NormHop `json:"hops"`
+}
+
+// FirstHopRTT returns the earliest responding hop's best RTT (used by the
+// source-based constraint to subtract local-network delay), or 0.
+func (n Normalized) FirstHopRTT() float64 {
+	for _, h := range n.Hops {
+		if len(h.RTTMs) > 0 {
+			return h.BestRTT()
+		}
+	}
+	return 0
+}
+
+// LastHopRTT returns the destination's best RTT when reached, or 0.
+func (n Normalized) LastHopRTT() float64 {
+	if !n.Reached {
+		return 0
+	}
+	for i := len(n.Hops) - 1; i >= 0; i-- {
+		if len(n.Hops[i].RTTMs) > 0 {
+			return n.Hops[i].BestRTT()
+		}
+	}
+	return 0
+}
+
+// JSON renders the canonical normalized encoding.
+func (n Normalized) JSON() ([]byte, error) { return json.Marshal(n) }
+
+// FromResult converts a simulator result directly into the normalized form.
+func FromResult(res netsim.TraceResult) Normalized {
+	out := Normalized{Target: res.Dst.String(), Reached: res.Reached}
+	for _, h := range res.Hops {
+		nh := NormHop{Hop: h.Index}
+		if h.Responded {
+			nh.Addr = h.Addr.String()
+			nh.RTTMs = append(nh.RTTMs, h.RTTMs...)
+		}
+		out.Hops = append(out.Hops, nh)
+	}
+	return out
+}
+
+// Render produces the tool's native text output for a simulator result,
+// byte-compatible with what the parsers in this package accept.
+func Render(res netsim.TraceResult, f Format) (string, error) {
+	switch f {
+	case FormatLinux:
+		return renderLinux(res), nil
+	case FormatWindows:
+		return renderWindows(res), nil
+	case FormatScapy:
+		return renderScapy(res)
+	case FormatMTR:
+		return renderMTR(res), nil
+	default:
+		return "", fmt.Errorf("tracert: unknown format %v", f)
+	}
+}
+
+// renderMTR emits `mtr --report` style output: one summary row per hop.
+func renderMTR(res netsim.TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Start: 2024-03-16T09:00:00+0000\n")
+	fmt.Fprintf(&b, "HOST: gamma-volunteer -> %s    Loss%%   Snt   Last   Avg  Best  Wrst StDev\n", res.Dst)
+	for _, h := range res.Hops {
+		if !h.Responded {
+			fmt.Fprintf(&b, "%3d.|-- ???                      100.0     3    0.0   0.0   0.0   0.0   0.0\n", h.Index)
+			continue
+		}
+		best, wrst, sum := math.Inf(1), 0.0, 0.0
+		for _, v := range h.RTTMs {
+			if v < best {
+				best = v
+			}
+			if v > wrst {
+				wrst = v
+			}
+			sum += v
+		}
+		avg := sum / float64(len(h.RTTMs))
+		var ss float64
+		for _, v := range h.RTTMs {
+			ss += (v - avg) * (v - avg)
+		}
+		stdev := math.Sqrt(ss / float64(len(h.RTTMs)))
+		last := h.RTTMs[len(h.RTTMs)-1]
+		fmt.Fprintf(&b, "%3d.|-- %-22s   0.0%%   %3d  %5.1f %5.1f %5.1f %5.1f  %4.1f\n",
+			h.Index, h.Addr, len(h.RTTMs), last, avg, best, wrst, stdev)
+	}
+	return b.String()
+}
+
+// ParseMTR parses `mtr --report` output. Only Best/Avg/Wrst are
+// recoverable; they become the normalized probe samples.
+func ParseMTR(text string) (Normalized, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	var out Normalized
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "HOST:") {
+			fields := strings.Fields(line)
+			for i, f := range fields {
+				if f == "->" && i+1 < len(fields) {
+					out.Target = fields[i+1]
+				}
+			}
+			continue
+		}
+		sep := strings.Index(line, ".|--")
+		if sep < 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(line[:sep]))
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(line[sep+len(".|--"):])
+		hop := NormHop{Hop: idx}
+		if len(fields) >= 7 && fields[0] != "???" {
+			hop.Addr = fields[0]
+			// fields: addr loss% snt last avg best wrst stdev
+			best, err1 := strconv.ParseFloat(fields[5], 64)
+			avg, err2 := strconv.ParseFloat(fields[4], 64)
+			wrst, err3 := strconv.ParseFloat(fields[6], 64)
+			if err1 == nil && err2 == nil && err3 == nil {
+				hop.RTTMs = []float64{best, avg, wrst}
+			}
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	if out.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: not mtr output")
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+func renderLinux(res netsim.TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traceroute to %s (%s), 30 hops max, 60 byte packets\n", res.Dst, res.Dst)
+	for _, h := range res.Hops {
+		if !h.Responded {
+			fmt.Fprintf(&b, "%2d  * * *\n", h.Index)
+			continue
+		}
+		fmt.Fprintf(&b, "%2d  %s (%s)", h.Index, h.Addr, h.Addr)
+		for _, rtt := range h.RTTMs {
+			fmt.Fprintf(&b, "  %.3f ms", rtt)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderWindows(res netsim.TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nTracing route to %s over a maximum of 30 hops\n\n", res.Dst)
+	for _, h := range res.Hops {
+		if !h.Responded {
+			fmt.Fprintf(&b, "%3d     *        *        *     Request timed out.\n", h.Index)
+			continue
+		}
+		fmt.Fprintf(&b, "%3d", h.Index)
+		for _, rtt := range h.RTTMs {
+			ms := int(math.Round(rtt))
+			if ms < 1 {
+				fmt.Fprintf(&b, "    <1 ms")
+			} else {
+				fmt.Fprintf(&b, "  %4d ms", ms)
+			}
+		}
+		fmt.Fprintf(&b, "  %s\n", h.Addr)
+	}
+	b.WriteString("\nTrace complete.\n")
+	return b.String()
+}
+
+// scapyRecord mirrors the JSON a scapy sr() post-processing script emits.
+type scapyRecord struct {
+	Target string     `json:"target"`
+	Hops   []scapyHop `json:"hops"`
+}
+
+type scapyHop struct {
+	TTL  int       `json:"ttl"`
+	Src  string    `json:"src,omitempty"`
+	RTTs []float64 `json:"rtts_s,omitempty"` // scapy reports seconds
+}
+
+func renderScapy(res netsim.TraceResult) (string, error) {
+	rec := scapyRecord{Target: res.Dst.String()}
+	for _, h := range res.Hops {
+		sh := scapyHop{TTL: h.Index}
+		if h.Responded {
+			sh.Src = h.Addr.String()
+			for _, ms := range h.RTTMs {
+				sh.RTTs = append(sh.RTTs, ms/1000)
+			}
+		}
+		rec.Hops = append(rec.Hops, sh)
+	}
+	out, err := json.Marshal(rec)
+	return string(out), err
+}
+
+// Detect guesses the dialect of a probe-tool output.
+func Detect(text string) (Format, error) {
+	t := strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(t, "traceroute to "):
+		return FormatLinux, nil
+	case strings.HasPrefix(t, "Tracing route to "):
+		return FormatWindows, nil
+	case strings.HasPrefix(t, "{"):
+		return FormatScapy, nil
+	case strings.HasPrefix(t, "Start:") || strings.HasPrefix(t, "HOST:"):
+		return FormatMTR, nil
+	default:
+		return 0, fmt.Errorf("tracert: unrecognized output (starts %q)", head(t, 24))
+	}
+}
+
+func head(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Parse auto-detects the dialect and normalizes the output.
+func Parse(text string) (Normalized, error) {
+	f, err := Detect(text)
+	if err != nil {
+		return Normalized{}, err
+	}
+	switch f {
+	case FormatLinux:
+		return ParseLinux(text)
+	case FormatWindows:
+		return ParseWindows(text)
+	case FormatMTR:
+		return ParseMTR(text)
+	default:
+		return ParseScapy(text)
+	}
+}
+
+// ParseLinux parses traceroute(8) output.
+func ParseLinux(text string) (Normalized, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "traceroute to ") {
+		return Normalized{}, fmt.Errorf("tracert: not traceroute output")
+	}
+	var out Normalized
+	// Header: traceroute to HOST (IP), ...
+	if i := strings.Index(lines[0], "("); i >= 0 {
+		if j := strings.Index(lines[0][i:], ")"); j > 0 {
+			out.Target = lines[0][i+1 : i+j]
+		}
+	}
+	if out.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: malformed traceroute header %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return Normalized{}, fmt.Errorf("tracert: bad hop index in %q", line)
+		}
+		hop := NormHop{Hop: idx}
+		if fields[1] != "*" {
+			hop.Addr = fields[1]
+			for k := 2; k+1 < len(fields); k++ {
+				if fields[k+1] == "ms" {
+					v, err := strconv.ParseFloat(fields[k], 64)
+					if err == nil {
+						hop.RTTMs = append(hop.RTTMs, v)
+					}
+				}
+			}
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+// ParseWindows parses tracert.exe output.
+func ParseWindows(text string) (Normalized, error) {
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	var out Normalized
+	for _, line := range lines {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Tracing route to ") {
+			rest := strings.TrimPrefix(line, "Tracing route to ")
+			out.Target = strings.Fields(rest)[0]
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "Trace complete") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			continue // stray prose
+		}
+		hop := NormHop{Hop: idx}
+		if strings.Contains(line, "Request timed out") {
+			out.Hops = append(out.Hops, hop)
+			continue
+		}
+		// Fields alternate "<n> ms" or "*" three times, then the address.
+		rest := fields[1:]
+		for i := 0; i < len(rest); i++ {
+			switch {
+			case rest[i] == "*":
+				// lost probe
+			case rest[i] == "<1" && i+1 < len(rest) && rest[i+1] == "ms":
+				hop.RTTMs = append(hop.RTTMs, 0.5)
+				i++
+			case i+1 < len(rest) && rest[i+1] == "ms":
+				if v, err := strconv.ParseFloat(rest[i], 64); err == nil {
+					hop.RTTMs = append(hop.RTTMs, v)
+					i++
+				}
+			default:
+				hop.Addr = rest[i]
+			}
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	if out.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: not tracert output")
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+// ParseScapy parses the scapy JSON record.
+func ParseScapy(text string) (Normalized, error) {
+	var rec scapyRecord
+	if err := json.Unmarshal([]byte(text), &rec); err != nil {
+		return Normalized{}, fmt.Errorf("tracert: bad scapy record: %w", err)
+	}
+	if rec.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: scapy record missing target")
+	}
+	out := Normalized{Target: rec.Target}
+	for _, sh := range rec.Hops {
+		hop := NormHop{Hop: sh.TTL, Addr: sh.Src}
+		for _, s := range sh.RTTs {
+			hop.RTTMs = append(hop.RTTMs, round3(s*1000))
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// reached infers completion: the last responding hop answered from the
+// target address itself.
+func reached(n Normalized) bool {
+	for i := len(n.Hops) - 1; i >= 0; i-- {
+		if n.Hops[i].Addr != "" {
+			return n.Hops[i].Addr == n.Target
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+// Package trackerdb is the organization-knowledge substrate: the
+// WhoTracksMe-style database of tracker-operating organizations, the
+// domains they own, their headquarters countries, and the first-/third-
+// party relationship between a website and a tracker (§4.2, §6.5, §6.7).
+// A tracker is first-party when the site embedding it belongs to the same
+// organization (the paper's example: google.com.eg embedding Google
+// trackers).
+package trackerdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/gamma-suite/gamma/internal/tld"
+)
+
+// Org is a tracker-operating (or site-operating) organization.
+type Org struct {
+	Name string `json:"name"`
+	// Country is the headquarters country (ISO code); §6.5 reports ~50% of
+	// tracker owners are US-based.
+	Country string `json:"country"`
+	// Category describes the primary business: advertising, analytics,
+	// social, cdn, video, commerce, search.
+	Category string `json:"category"`
+	// Domains are the registrable (eTLD+1) domains the org owns — both its
+	// tracker domains and its consumer-facing site domains.
+	Domains []string `json:"domains"`
+	// ConsumerDomains are the subset of Domains that are consumer-facing
+	// websites (google.com, facebook.com) rather than tracking endpoints;
+	// manual tracker identification must not label them trackers.
+	ConsumerDomains []string `json:"consumer_domains,omitempty"`
+}
+
+// DB indexes organizations by name and by owned registrable domain.
+type DB struct {
+	psl      *tld.List
+	orgs     map[string]*Org
+	byDomain map[string]*Org
+}
+
+// NewDB creates an empty database resolving domains through psl.
+func NewDB(psl *tld.List) *DB {
+	if psl == nil {
+		psl = tld.Default()
+	}
+	return &DB{psl: psl, orgs: make(map[string]*Org), byDomain: make(map[string]*Org)}
+}
+
+// AddOrg registers an organization and claims its domains. Claiming a
+// domain another org already owns is an error — ownership is exclusive.
+func (db *DB) AddOrg(o Org) error {
+	if o.Name == "" {
+		return fmt.Errorf("trackerdb: org needs a name")
+	}
+	if _, dup := db.orgs[o.Name]; dup {
+		return fmt.Errorf("trackerdb: duplicate org %q", o.Name)
+	}
+	cp := o
+	cp.Domains = append([]string(nil), o.Domains...)
+	for i, d := range cp.Domains {
+		reg := db.psl.RegistrableOrSelf(d)
+		cp.Domains[i] = reg
+		if owner, taken := db.byDomain[reg]; taken && owner.Name != o.Name {
+			return fmt.Errorf("trackerdb: domain %q already owned by %q", reg, owner.Name)
+		}
+	}
+	db.orgs[cp.Name] = &cp
+	for _, d := range cp.Domains {
+		db.byDomain[d] = &cp
+	}
+	return nil
+}
+
+// IsConsumerDomain reports whether a hostname falls under one of the
+// org's consumer-facing site domains.
+func (db *DB) IsConsumerDomain(hostname string) bool {
+	reg := db.psl.RegistrableOrSelf(hostname)
+	o, ok := db.byDomain[reg]
+	if !ok {
+		return false
+	}
+	for _, d := range o.ConsumerDomains {
+		if db.psl.RegistrableOrSelf(d) == reg {
+			return true
+		}
+	}
+	return false
+}
+
+// OrgOf resolves any hostname to its owning organization via eTLD+1.
+func (db *DB) OrgOf(hostname string) (Org, bool) {
+	reg := db.psl.RegistrableOrSelf(hostname)
+	o, ok := db.byDomain[reg]
+	if !ok {
+		return Org{}, false
+	}
+	return *o, true
+}
+
+// OrgByName looks an organization up directly.
+func (db *DB) OrgByName(name string) (Org, bool) {
+	o, ok := db.orgs[name]
+	if !ok {
+		return Org{}, false
+	}
+	return *o, true
+}
+
+// Orgs returns all organizations sorted by name.
+func (db *DB) Orgs() []Org {
+	out := make([]Org, 0, len(db.orgs))
+	for _, o := range db.orgs {
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of organizations.
+func (db *DB) Len() int { return len(db.orgs) }
+
+// IsFirstParty reports whether a tracker host is first-party to the site
+// embedding it: same registrable domain, or both owned by one organization.
+func (db *DB) IsFirstParty(siteDomain, trackerHost string) bool {
+	siteReg := db.psl.RegistrableOrSelf(siteDomain)
+	trkReg := db.psl.RegistrableOrSelf(trackerHost)
+	if strings.EqualFold(siteReg, trkReg) {
+		return true
+	}
+	so, sok := db.byDomain[siteReg]
+	to, tok := db.byDomain[trkReg]
+	return sok && tok && so.Name == to.Name
+}
+
+// HQShare tallies organizations by headquarters country, as fractions of
+// all orgs — the §6.5 ownership-concentration statistic.
+func (db *DB) HQShare() map[string]float64 {
+	if len(db.orgs) == 0 {
+		return nil
+	}
+	counts := map[string]int{}
+	for _, o := range db.orgs {
+		counts[o.Country]++
+	}
+	out := make(map[string]float64, len(counts))
+	for cc, n := range counts {
+		out[cc] = float64(n) / float64(len(db.orgs))
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package trackerdb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/tld"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB(tld.Default())
+	orgs := []Org{
+		{Name: "Google", Country: "US", Category: "advertising",
+			Domains: []string{"google.com", "google.com.eg", "googletagmanager.com", "doubleclick.net", "google-analytics.com", "googlesyndication.com", "youtube.com"}},
+		{Name: "Meta", Country: "US", Category: "social",
+			Domains: []string{"facebook.com", "facebook.net", "instagram.com"}},
+		{Name: "Criteo", Country: "FR", Category: "advertising", Domains: []string{"criteo.com", "criteo.net"}},
+	}
+	for _, o := range orgs {
+		if err := db.AddOrg(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestOrgOfResolvesSubdomains(t *testing.T) {
+	db := testDB(t)
+	cases := []struct{ host, want string }{
+		{"stats.g.doubleclick.net", "Google"},
+		{"www.googletagmanager.com", "Google"},
+		{"693.safeframe.googlesyndication.com", "Google"},
+		{"connect.facebook.net", "Meta"},
+		{"static.criteo.net", "Criteo"},
+	}
+	for _, tc := range cases {
+		o, ok := db.OrgOf(tc.host)
+		if !ok || o.Name != tc.want {
+			t.Errorf("OrgOf(%q) = %q (%v), want %q", tc.host, o.Name, ok, tc.want)
+		}
+	}
+	if _, ok := db.OrgOf("independent.example"); ok {
+		t.Error("unowned domain should not resolve to an org")
+	}
+}
+
+func TestOwnershipExclusive(t *testing.T) {
+	db := testDB(t)
+	err := db.AddOrg(Org{Name: "Imposter", Country: "XX", Domains: []string{"tags.doubleclick.net"}})
+	if err == nil {
+		t.Error("claiming another org's registrable domain must fail")
+	}
+	if err := db.AddOrg(Org{Name: "Google", Country: "US"}); err == nil {
+		t.Error("duplicate org name must fail")
+	}
+	if err := db.AddOrg(Org{}); err == nil {
+		t.Error("empty org name must fail")
+	}
+}
+
+func TestIsFirstParty(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		site, tracker string
+		want          bool
+	}{
+		// The paper's canonical case: Google ccTLD site + Google tracker.
+		{"google.com.eg", "www.googletagmanager.com", true},
+		{"www.youtube.com", "stats.g.doubleclick.net", true},
+		{"news.example.eg", "www.googletagmanager.com", false},
+		// Same registrable domain is always first-party, even unowned.
+		{"shop.example.org", "cdn.example.org", true},
+		{"facebook.com", "connect.facebook.net", true},
+		{"criteo.com", "connect.facebook.net", false},
+	}
+	for _, tc := range cases {
+		if got := db.IsFirstParty(tc.site, tc.tracker); got != tc.want {
+			t.Errorf("IsFirstParty(%q, %q) = %v, want %v", tc.site, tc.tracker, got, tc.want)
+		}
+	}
+}
+
+func TestHQShare(t *testing.T) {
+	db := testDB(t)
+	share := db.HQShare()
+	if math.Abs(share["US"]-2.0/3.0) > 1e-9 {
+		t.Errorf("US share = %v, want 2/3", share["US"])
+	}
+	if math.Abs(share["FR"]-1.0/3.0) > 1e-9 {
+		t.Errorf("FR share = %v, want 1/3", share["FR"])
+	}
+	empty := NewDB(nil)
+	if empty.HQShare() != nil {
+		t.Error("empty DB share should be nil")
+	}
+}
+
+func TestOrgsSortedAndLen(t *testing.T) {
+	db := testDB(t)
+	if db.Len() != 3 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	orgs := db.Orgs()
+	if orgs[0].Name != "Criteo" || orgs[2].Name != "Meta" {
+		t.Errorf("Orgs() order: %v", orgs)
+	}
+}
+
+func TestAddOrgCopiesDomains(t *testing.T) {
+	db := NewDB(nil)
+	domains := []string{"a-corp.com"}
+	if err := db.AddOrg(Org{Name: "A", Country: "US", Domains: domains}); err != nil {
+		t.Fatal(err)
+	}
+	domains[0] = "mutated.com"
+	o, _ := db.OrgByName("A")
+	if o.Domains[0] != "a-corp.com" {
+		t.Error("AddOrg must defensively copy domain slices")
+	}
+}

@@ -1,0 +1,258 @@
+// Package websim is the web-content substrate: a synthetic World Wide Web
+// of regional and government websites whose homepages embed first-party
+// assets and third-party resources (trackers, analytics, CDN assets), the
+// way the paper's target websites do. Pages are materialized as real HTML
+// documents; the browser substrate fetches and parses them, and scripts can
+// trigger chained loads (a tag-manager script pulling in more trackers),
+// reproducing the request fan-out Gamma records during page loads.
+package websim
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a site within the study's target-list taxonomy.
+type Kind int
+
+// Site kinds.
+const (
+	Regional   Kind = iota // T_reg: popular regional site
+	Government             // T_gov: official government site
+	Global                 // globally-ranked site appearing across countries
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Regional:
+		return "regional"
+	case Government:
+		return "government"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Resource is one subresource a page (or script) loads.
+type Resource struct {
+	URL  string `json:"url"`
+	Type string `json:"type"` // script, img, css, iframe, xhr
+	// Cookies names the cookies the response sets (trackers identify users
+	// this way; third-party cookies are the classic mechanism).
+	Cookies []string `json:"cookies,omitempty"`
+	// Children are loads this resource triggers once executed (tag managers
+	// and ad scripts routinely pull in further trackers).
+	Children []Resource `json:"children,omitempty"`
+}
+
+// Domain extracts the hostname from the resource URL.
+func (r Resource) Domain() string { return DomainOf(r.URL) }
+
+// DomainOf extracts the hostname of a URL (scheme://host/path...).
+func DomainOf(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for _, sep := range []byte{'/', '?', '#'} {
+		if i := strings.IndexByte(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 { // strip port
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
+
+// Site is one website in the synthetic web.
+type Site struct {
+	// Domain is the site's registrable hostname, e.g. "dailypress.com.pk".
+	Domain string `json:"domain"`
+	// Country is the ISO code of the site's home market ("" for Global).
+	Country  string `json:"country,omitempty"`
+	Kind     Kind   `json:"kind"`
+	Category string `json:"category,omitempty"`
+	// OwnerOrg names the organization operating the site (used by the
+	// first-party tracker analysis, §6.7). Empty for independent sites.
+	OwnerOrg string `json:"owner_org,omitempty"`
+	// Resources are the homepage's embedded subresources.
+	Resources []Resource `json:"resources,omitempty"`
+	// Variants override Resources for clients in specific countries,
+	// modelling regional content adaptation (the paper's §8 example:
+	// yahoo.com embeds different trackers in India than in Qatar).
+	Variants map[string][]Resource `json:"variants,omitempty"`
+	// Rotating is the ad-slot pool: each page load samples RotateK of
+	// these (ad auctions fill slots differently on every visit). This is
+	// why the paper recommends multiple runs per site — a single visit
+	// sees only one draw.
+	Rotating []Resource `json:"rotating,omitempty"`
+	// RotateK is how many rotating resources one load receives.
+	RotateK int `json:"rotate_k,omitempty"`
+	// RenderMs is how long the page takes to render fully.
+	RenderMs float64 `json:"render_ms"`
+}
+
+// ResourcesFor returns the homepage resources served to a client country.
+func (s Site) ResourcesFor(country string) []Resource {
+	if rs, ok := s.Variants[country]; ok {
+		return rs
+	}
+	return s.Resources
+}
+
+// URL returns the homepage URL.
+func (s Site) URL() string { return "https://" + s.Domain + "/" }
+
+// HTML materializes the homepage document as served to a default client.
+func (s Site) HTML() string { return s.HTMLFor("") }
+
+// HTMLFor materializes the homepage for a client country, embedding every
+// top-level resource with the tag appropriate to its type.
+func (s Site) HTMLFor(country string) string {
+	resources := s.ResourcesFor(country)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(s.Domain))
+	fmt.Fprintf(&b, "<meta charset=\"utf-8\">\n")
+	for _, r := range resources {
+		if r.Type == "css" {
+			fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"%s\">\n", html.EscapeString(r.URL))
+		}
+	}
+	for _, r := range resources {
+		if r.Type == "script" {
+			fmt.Fprintf(&b, "<script src=\"%s\" async></script>\n", html.EscapeString(r.URL))
+		}
+	}
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<p>Welcome to %s (%s).</p>\n",
+		html.EscapeString(s.Domain), html.EscapeString(s.Domain), s.Kind)
+	for _, r := range resources {
+		switch r.Type {
+		case "img":
+			fmt.Fprintf(&b, "<img src=\"%s\" alt=\"\">\n", html.EscapeString(r.URL))
+		case "iframe":
+			fmt.Fprintf(&b, "<iframe src=\"%s\"></iframe>\n", html.EscapeString(r.URL))
+		case "xhr":
+			// XHR endpoints appear in markup as data attributes the page's
+			// bootstrap script reads; the browser model fetches them.
+			fmt.Fprintf(&b, "<div data-endpoint=\"%s\"></div>\n", html.EscapeString(r.URL))
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// Web is the collection of all sites plus the resource graph used for
+// chained script loads. Safe for concurrent reads after construction.
+type Web struct {
+	mu       sync.RWMutex
+	sites    map[string]*Site
+	children map[string][]Resource // resource URL -> chained loads
+	cookies  map[string][]string   // resource URL -> cookies the response sets
+}
+
+// NewWeb creates an empty web.
+func NewWeb() *Web {
+	return &Web{
+		sites:    make(map[string]*Site),
+		children: make(map[string][]Resource),
+		cookies:  make(map[string][]string),
+	}
+}
+
+// AddSite registers a site and indexes its resource graph.
+func (w *Web) AddSite(s Site) error {
+	if s.Domain == "" {
+		return fmt.Errorf("websim: site needs a domain")
+	}
+	key := strings.ToLower(s.Domain)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.sites[key]; dup {
+		return fmt.Errorf("websim: duplicate site %q", s.Domain)
+	}
+	cp := s
+	cp.Domain = key
+	w.sites[key] = &cp
+	var index func(rs []Resource)
+	index = func(rs []Resource) {
+		for _, r := range rs {
+			if len(r.Cookies) > 0 && w.cookies[r.URL] == nil {
+				w.cookies[r.URL] = append([]string(nil), r.Cookies...)
+			}
+			if len(r.Children) > 0 {
+				w.children[r.URL] = append(w.children[r.URL], r.Children...)
+				index(r.Children)
+			}
+		}
+	}
+	index(cp.Resources)
+	for _, rs := range cp.Variants {
+		index(rs)
+	}
+	index(cp.Rotating)
+	return nil
+}
+
+// Site looks up a site by domain.
+func (w *Web) Site(domain string) (Site, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s, ok := w.sites[strings.ToLower(domain)]
+	if !ok {
+		return Site{}, false
+	}
+	return *s, true
+}
+
+// Sites returns all sites sorted by domain.
+func (w *Web) Sites() []Site {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]Site, 0, len(w.sites))
+	for _, s := range w.sites {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// SitesIn returns a country's sites of one kind, sorted by domain.
+func (w *Web) SitesIn(country string, kind Kind) []Site {
+	var out []Site
+	for _, s := range w.Sites() {
+		if s.Country == country && s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ResourceCookies returns the cookies a resource's response sets.
+func (w *Web) ResourceCookies(url string) []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.cookies[url]
+}
+
+// ResourceChildren returns the chained loads a fetched resource triggers.
+func (w *Web) ResourceChildren(url string) []Resource {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.children[url]
+}
+
+// Len returns the number of registered sites.
+func (w *Web) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.sites)
+}

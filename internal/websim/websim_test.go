@@ -1,0 +1,165 @@
+package websim
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSite() Site {
+	return Site{
+		Domain:   "DailyPress.com.pk",
+		Country:  "PK",
+		Kind:     Regional,
+		Category: "news",
+		RenderMs: 4000,
+		Resources: []Resource{
+			{URL: "https://static.dailypress.com.pk/main.css", Type: "css"},
+			{URL: "https://static.dailypress.com.pk/logo.png", Type: "img"},
+			{URL: "https://www.googletagmanager.example/gtm.js", Type: "script",
+				Children: []Resource{
+					{URL: "https://www.google-analytics.example/analytics.js", Type: "script"},
+					{URL: "https://stats.g.doubleclick.example/collect", Type: "xhr"},
+				}},
+			{URL: "https://ads.regionalad.example/frame", Type: "iframe"},
+		},
+	}
+}
+
+func TestDomainOf(t *testing.T) {
+	cases := []struct{ url, want string }{
+		{"https://www.Example.com/path?x=1", "www.example.com"},
+		{"http://example.com", "example.com"},
+		{"https://example.com:8443/a", "example.com"},
+		{"example.com/path", "example.com"},
+		{"https://example.com#frag", "example.com"},
+	}
+	for _, tc := range cases {
+		if got := DomainOf(tc.url); got != tc.want {
+			t.Errorf("DomainOf(%q) = %q, want %q", tc.url, got, tc.want)
+		}
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	w := NewWeb()
+	if err := w.AddSite(sampleSite()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSite(sampleSite()); err == nil {
+		t.Error("duplicate site should fail")
+	}
+	if err := w.AddSite(Site{}); err == nil {
+		t.Error("empty domain should fail")
+	}
+	s, ok := w.Site("dailypress.com.pk")
+	if !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if s.URL() != "https://dailypress.com.pk/" {
+		t.Errorf("URL = %q", s.URL())
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestHTMLEmbedsAllResources(t *testing.T) {
+	s := sampleSite()
+	doc := s.HTML()
+	for _, r := range s.Resources {
+		if !strings.Contains(doc, r.URL) {
+			t.Errorf("HTML missing resource %s", r.URL)
+		}
+	}
+	if !strings.Contains(doc, "<script src=") || !strings.Contains(doc, "<img src=") ||
+		!strings.Contains(doc, "<link rel=\"stylesheet\"") || !strings.Contains(doc, "<iframe src=") {
+		t.Error("HTML missing expected tag kinds")
+	}
+	// Children are loaded by scripts at runtime, not present in markup.
+	if strings.Contains(doc, "analytics.js") {
+		t.Error("chained loads must not appear in static HTML")
+	}
+}
+
+func TestResourceChildren(t *testing.T) {
+	w := NewWeb()
+	if err := w.AddSite(sampleSite()); err != nil {
+		t.Fatal(err)
+	}
+	kids := w.ResourceChildren("https://www.googletagmanager.example/gtm.js")
+	if len(kids) != 2 {
+		t.Fatalf("children = %d, want 2", len(kids))
+	}
+	if kids[0].Domain() != "www.google-analytics.example" {
+		t.Errorf("child domain = %q", kids[0].Domain())
+	}
+	if kids := w.ResourceChildren("https://nonexistent/x.js"); kids != nil {
+		t.Error("unknown resource should have no children")
+	}
+}
+
+func TestSitesInFiltersByCountryAndKind(t *testing.T) {
+	w := NewWeb()
+	sites := []Site{
+		{Domain: "a.com.pk", Country: "PK", Kind: Regional},
+		{Domain: "b.gov.pk", Country: "PK", Kind: Government},
+		{Domain: "c.com.eg", Country: "EG", Kind: Regional},
+		{Domain: "google.com", Kind: Global},
+	}
+	for _, s := range sites {
+		if err := w.AddSite(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := w.SitesIn("PK", Regional)
+	if len(reg) != 1 || reg[0].Domain != "a.com.pk" {
+		t.Errorf("SitesIn(PK, Regional) = %v", reg)
+	}
+	gov := w.SitesIn("PK", Government)
+	if len(gov) != 1 || gov[0].Domain != "b.gov.pk" {
+		t.Errorf("SitesIn(PK, Government) = %v", gov)
+	}
+}
+
+func TestSitesSorted(t *testing.T) {
+	w := NewWeb()
+	for _, d := range []string{"z.com", "a.com", "m.com"} {
+		if err := w.AddSite(Site{Domain: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := w.Sites()
+	if all[0].Domain != "a.com" || all[2].Domain != "z.com" {
+		t.Errorf("Sites() not sorted: %v", all)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Regional.String() != "regional" || Government.String() != "government" || Global.String() != "global" {
+		t.Error("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestNestedChildrenIndexed(t *testing.T) {
+	w := NewWeb()
+	s := Site{
+		Domain: "nested.example",
+		Resources: []Resource{
+			{URL: "https://a.example/1.js", Type: "script", Children: []Resource{
+				{URL: "https://b.example/2.js", Type: "script", Children: []Resource{
+					{URL: "https://c.example/3.js", Type: "script"},
+				}},
+			}},
+		},
+	}
+	if err := w.AddSite(s); err != nil {
+		t.Fatal(err)
+	}
+	l2 := w.ResourceChildren("https://b.example/2.js")
+	if len(l2) != 1 || l2[0].URL != "https://c.example/3.js" {
+		t.Errorf("nested children not indexed: %v", l2)
+	}
+}

@@ -1,0 +1,178 @@
+package worldgen
+
+// OrgSpec declares one tracker-operating organization in the synthetic
+// world: its headquarters country (§6.5 reports ~50% US, ~10% UK, ~4% NL,
+// ~4% IL), the registrable tracker domains it owns, how its edge
+// infrastructure is hosted (own network, AWS, or Google Cloud — §6.5 found
+// 50 trackers on AWS and 5 on GCP), and optionally the only source
+// countries whose websites embed it (the paper found orgs exclusive to
+// Jordan, Qatar, the UK, Rwanda, Uganda and Sri Lanka).
+type OrgSpec struct {
+	Name     string
+	Country  string // HQ country ISO code
+	Category string // advertising, analytics, social, video, commerce, search, cdn
+	Hosting  string // "self", "aws", "gcp"
+	ASN      uint32 // assigned when nonzero, else sequential
+	// Domains are owned registrable domains; the first is the primary.
+	Domains []string
+	// SiteDomains are consumer-facing site domains the org also owns
+	// (drives the first-party analysis, §6.7).
+	SiteDomains []string
+	// Weight is the relative chance a site embeds this org's trackers.
+	Weight float64
+	// OnlyCountries restricts which source countries' sites embed the org.
+	OnlyCountries []string
+	// DestOverrides pins the serving country for specific source countries
+	// (e.g., Yahoo serves Sri Lanka from Japan after shutting its Indian
+	// operation, §7).
+	DestOverrides map[string]string
+	// ServeOnlyFromUS marks orgs whose entire infrastructure sits in the
+	// US; they are the reason the USA receives small flows from many source
+	// countries while hosting few distinct tracking domains (§6.3, Fig 7).
+	ServeOnlyFromUS bool
+	// LocalDomains are base domains served from in-country caches even
+	// where the org's ad domains serve from abroad (Google's static-content
+	// domains ride in-network caches; doubleclick does not). They explain
+	// why major-owned consumer sites rarely show first-party non-local
+	// trackers (§6.7: only 23 sites).
+	LocalDomains []string
+	// HostnamesPerDomain bounds how many distinct FQDNs each base domain
+	// contributes to pages (Google famously fans out across many).
+	HostnamesPerDomain int
+}
+
+// orgCatalog returns the full organization catalog: 5 majors + ~65 smaller
+// orgs, 70 in total, with HQ-country shares matching §6.5.
+func orgCatalog() []OrgSpec {
+	majors := []OrgSpec{
+		{Name: "Google", Country: "US", Category: "advertising", Hosting: "self", ASN: 15169, Weight: 10, HostnamesPerDomain: 6,
+			Domains: []string{
+				"googletagmanager.com", "doubleclick.net", "google-analytics.com",
+				"googleapis.com", "googlesyndication.com", "googleadservices.com",
+				"gstatic.com", "googleusercontent.com", "ggpht.com", "googleoptimize.com",
+				"googletagservices.com", "admob-api.com", "google-adwords.com",
+			},
+			LocalDomains: []string{"gstatic.com", "googleusercontent.com", "ggpht.com"},
+			SiteDomains: []string{
+				"google.com", "youtube.com", "google.com.eg", "google.co.th",
+				"google.com.qa", "google.jo", "google.com.pk", "google.az",
+				"google.lk", "google.ae", "google.dz", "google.rw",
+			}},
+		{Name: "Twitter", Country: "US", Category: "social", Hosting: "self", ASN: 13414, Weight: 3, HostnamesPerDomain: 4,
+			LocalDomains: []string{"twimg.com"},
+			Domains:      []string{"ads-twitter.com", "twimg.com", "twitter-analytics.com", "t-metrics.co"},
+			SiteDomains:  []string{"twitter.com"}},
+		{Name: "Facebook", Country: "US", Category: "social", Hosting: "self", ASN: 32934, Weight: 3, HostnamesPerDomain: 4,
+			LocalDomains: []string{"fbcdn.net"},
+			Domains:      []string{"facebook.net", "fbcdn.net", "fb-pixel.com", "meta-measure.com"},
+			SiteDomains:  []string{"facebook.com", "instagram.com", "whatsapp.com"}},
+		{Name: "Amazon", Country: "US", Category: "advertising", Hosting: "self", ASN: 16509, Weight: 2.5, HostnamesPerDomain: 4,
+			Domains:     []string{"amazon-adsystem.com", "amazon-analytics.io", "a2z-tags.net"},
+			SiteDomains: []string{"amazon.com"}},
+		{Name: "Yahoo", Country: "US", Category: "advertising", Hosting: "self", ASN: 10310, Weight: 2, HostnamesPerDomain: 4,
+			DestOverrides: map[string]string{"LK": "JP"},
+			Domains:       []string{"yahoo-pixel.com", "yimg-tags.com", "gemini-ads.net"},
+			SiteDomains:   []string{"yahoo.com"}},
+	}
+
+	// Smaller organizations. HQ country distribution across all 70 orgs:
+	// 35 US (incl. 5 majors), 7 UK, 3 NL, 3 IL, and a long tail.
+	smaller := []OrgSpec{
+		// --- US (30 more to reach 35) ---
+		{Name: "ScorecardResearch", Country: "US", Category: "analytics", Hosting: "aws", Weight: 1.2, DestOverrides: map[string]string{"UG": "KE", "RW": "KE"}, Domains: []string{"scorecardresearch.com"}},
+		{Name: "Lotame", Country: "US", Category: "advertising", Hosting: "aws", Weight: 0.8, DestOverrides: map[string]string{"UG": "KE", "RW": "KE"}, Domains: []string{"crwdcntrl-tags.net", "lotame-dmp.com"}},
+		{Name: "Snapchat", Country: "US", Category: "social", Hosting: "aws", Weight: 0.8, DestOverrides: map[string]string{"UG": "KE", "RW": "KE"}, Domains: []string{"sc-static-pixel.net", "snap-adkit.com"}},
+		{Name: "SoundCloud", Country: "US", Category: "video", Hosting: "aws", Weight: 0.6, DestOverrides: map[string]string{"UG": "KE", "RW": "KE"}, Domains: []string{"sndcdn-metrics.com"}},
+		{Name: "SpotIM", Country: "US", Category: "social", Hosting: "aws", Weight: 0.7, DestOverrides: map[string]string{"UG": "KE", "RW": "KE"}, Domains: []string{"spot-im-tags.com", "openweb-metrics.co"}},
+		{Name: "33Across", Country: "US", Category: "advertising", Hosting: "aws", Weight: 0.6, Domains: []string{"tynt-tags.com", "x33across-hb.com"}},
+		{Name: "OpenX", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.8, Domains: []string{"openx-market.net", "ox-cdn-tags.com"}},
+		{Name: "Dotomi", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.6, Domains: []string{"dotomi-media.net"}},
+		{Name: "Taboola", Country: "US", Category: "advertising", Hosting: "self", Weight: 1.0, Domains: []string{"taboola-widget.com", "tbl-cdn.net"}},
+		{Name: "Adobe", Country: "US", Category: "analytics", Hosting: "self", Weight: 1.2, Domains: []string{"demdex-edge.net", "omtrdc-metrics.net", "adobe-target.io"}},
+		{Name: "Oracle", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.9, Domains: []string{"bluekai-tags.com", "addthis-widgets.com"}},
+		{Name: "Microsoft", Country: "US", Category: "advertising", Hosting: "self", Weight: 1.1, Domains: []string{"clarity-ms.net", "bing-ads-tags.com"}, SiteDomains: []string{"linkedin.com", "microsoft.com"}},
+		{Name: "ComScore", Country: "US", Category: "analytics", Hosting: "self", Weight: 0.7, Domains: []string{"comscore-beacon.com"}},
+		{Name: "Quantcast", Country: "US", Category: "analytics", Hosting: "self", Weight: 0.7, Domains: []string{"quantserve-tags.com"}},
+		{Name: "TheTradeDesk", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.9, Domains: []string{"adsrvr-pixel.org"}},
+		{Name: "Pubmatic", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.8, Domains: []string{"pubmatic-hb.com"}},
+		{Name: "Magnite", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.7, Domains: []string{"rubicon-fastlane.com"}},
+		{Name: "LiveRamp", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.6, Domains: []string{"pippio-sync.com", "rlcdn-tags.com"}},
+		{Name: "Nielsen", Country: "US", Category: "analytics", Hosting: "self", Weight: 0.6, Domains: []string{"imrworldwide-sdk.com"}},
+		{Name: "Chartbeat", Country: "US", Category: "analytics", Hosting: "self", Weight: 0.6, Domains: []string{"chartbeat-ping.com"}},
+		{Name: "Parsely", Country: "US", Category: "analytics", Hosting: "aws", Weight: 0.5, Domains: []string{"parsely-metrics.com"}},
+		{Name: "Branch", Country: "US", Category: "analytics", Hosting: "aws", Weight: 0.5, Domains: []string{"branch-links.io"}},
+		{Name: "Amplitude", Country: "US", Category: "analytics", Hosting: "aws", Weight: 0.6, Domains: []string{"amplitude-events.com"}},
+		{Name: "Mixpanel", Country: "US", Category: "analytics", Hosting: "gcp", Weight: 0.6, Domains: []string{"mixpanel-events.com"}},
+		{Name: "Segment", Country: "US", Category: "analytics", Hosting: "aws", Weight: 0.6, Domains: []string{"segment-cdp.com"}},
+		{Name: "Heap", Country: "US", Category: "analytics", Hosting: "gcp", Weight: 0.4, Domains: []string{"heap-capture.io"}},
+		{Name: "VerveGroup", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.6, ServeOnlyFromUS: true, Domains: []string{"verve-bidder.com"}},
+		{Name: "Sharethrough", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.6, ServeOnlyFromUS: true, Domains: []string{"sharethrough-native.com"}},
+		{Name: "MediaMath", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.6, ServeOnlyFromUS: true, Domains: []string{"mathtag-pixel.com"}},
+		{Name: "Outbrain", Country: "US", Category: "advertising", Hosting: "self", Weight: 0.8, Domains: []string{"outbrain-widgets.com"}},
+
+		// --- UK (7) ---
+		{Name: "TheOzoneProject", Country: "GB", Category: "advertising", Hosting: "aws", Weight: 0.7, Domains: []string{"theozone-project.com"}},
+		{Name: "Permutive", Country: "GB", Category: "analytics", Hosting: "gcp", Weight: 0.6, Domains: []string{"permutive-edge.com"}},
+		{Name: "Captify", Country: "GB", Category: "advertising", Hosting: "self", Weight: 0.5, Domains: []string{"captify-search.com"}},
+		{Name: "Adform", Country: "GB", Category: "advertising", Hosting: "self", Weight: 0.6, Domains: []string{"adform-serving.net"}},
+		{Name: "LoopMe", Country: "GB", Category: "advertising", Hosting: "aws", Weight: 0.4, Domains: []string{"loopme-vast.com"}},
+		{Name: "BritePool", Country: "GB", Category: "advertising", Hosting: "self", Weight: 0.3, Domains: []string{"britepool-id.com"}, OnlyCountries: []string{"GB"}},
+		{Name: "Illuma", Country: "GB", Category: "advertising", Hosting: "aws", Weight: 0.3, Domains: []string{"illuma-contextual.com"}, OnlyCountries: []string{"GB"}},
+
+		// --- NL (3) ---
+		{Name: "Improve360", Country: "NL", Category: "advertising", Hosting: "self", Weight: 0.7, Domains: []string{"improve360-yield.com", "yield360-cdn.net"}},
+		{Name: "AdscienceNL", Country: "NL", Category: "advertising", Hosting: "self", Weight: 0.4, Domains: []string{"adscience-rtb.nl"}},
+		{Name: "ORTEC", Country: "NL", Category: "advertising", Hosting: "self", Weight: 0.3, Domains: []string{"ortec-adscience.net"}},
+
+		// --- IL (3) ---
+		{Name: "Smaato", Country: "IL", Category: "advertising", Hosting: "self", Weight: 0.6, Domains: []string{"smaato-sdk.net"}},
+		{Name: "Start-io", Country: "IL", Category: "advertising", Hosting: "aws", Weight: 0.4, Domains: []string{"startapp-sdk.io"}},
+		{Name: "Similarweb", Country: "IL", Category: "analytics", Hosting: "gcp", Weight: 0.4, Domains: []string{"similartech-beacon.com"}},
+
+		// --- Long tail: FR, DE, SG, IN, JP, RU, AU, SE, NO, CN, KR, BR, ES, CA, CH, AT, PL, BE ---
+		{Name: "Criteo", Country: "FR", Category: "advertising", Hosting: "self", Weight: 1.0, Domains: []string{"criteo-rtb.com", "criteo-pixel.net"}},
+		{Name: "SmartAdserver", Country: "FR", Category: "advertising", Hosting: "self", Weight: 0.6, Domains: []string{"smartadserver-eq.com"}},
+		{Name: "AdTonos", Country: "PL", Category: "advertising", Hosting: "self", Weight: 0.3, Domains: []string{"adtonos-audio.com"}},
+		{Name: "Adition", Country: "DE", Category: "advertising", Hosting: "self", Weight: 0.5, Domains: []string{"adition-tech.com"}},
+		{Name: "IVW", Country: "DE", Category: "analytics", Hosting: "self", Weight: 0.4, Domains: []string{"ivwbox-metrics.de"}},
+		{Name: "Innity", Country: "MY", Category: "advertising", Hosting: "self", Weight: 0.5, Domains: []string{"innity-network.com"}},
+		{Name: "AdAsia", Country: "SG", Category: "advertising", Hosting: "aws", Weight: 0.5, Domains: []string{"adasia-holdings.com"}},
+		{Name: "Affle", Country: "IN", Category: "advertising", Hosting: "self", Weight: 0.5, Domains: []string{"affle-mediasmart.com"}},
+		{Name: "AdstudioCloud", Country: "IN", Category: "advertising", Hosting: "gcp", Weight: 0.3, Domains: []string{"adstudio.cloud"}, OnlyCountries: []string{"LK"}, DestOverrides: map[string]string{"LK": "IN"}},
+		{Name: "Dentsu", Country: "JP", Category: "advertising", Hosting: "self", Weight: 0.5, Domains: []string{"dentsu-dan.jp"}},
+		{Name: "YandexAds", Country: "RU", Category: "advertising", Hosting: "self", Weight: 0.7, Domains: []string{"yandex-metrica.ru", "yandex-direct.ru"}},
+		{Name: "MailRuGroup", Country: "RU", Category: "advertising", Hosting: "self", Weight: 0.4, Domains: []string{"vk-top-counter.ru"}},
+		{Name: "Nexxen", Country: "AU", Category: "advertising", Hosting: "self", Weight: 0.4, Domains: []string{"unruly-media.co"}},
+		{Name: "AdGear", Country: "CA", Category: "advertising", Hosting: "self", Weight: 0.4, Domains: []string{"adgear-samsung.com"}},
+		{Name: "Kameleoon", Country: "CH", Category: "analytics", Hosting: "self", Weight: 0.3, Domains: []string{"kameleoon-ab.eu"}},
+		{Name: "Didomi", Country: "ES", Category: "analytics", Hosting: "gcp", Weight: 0.4, Domains: []string{"didomi-cmp.io"}},
+		{Name: "Seznam", Country: "CZ", Category: "advertising", Hosting: "self", Weight: 0.3, Domains: []string{"seznam-sklik.cz"}},
+		{Name: "Jubnaadserve", Country: "JO", Category: "advertising", Hosting: "self", Weight: 0.8, Domains: []string{"jubnaadserve.com", "jubna-delivery.net"}, OnlyCountries: []string{"JO"}},
+		{Name: "Onetag", Country: "IT", Category: "advertising", Hosting: "self", Weight: 0.8, Domains: []string{"onetag-sys.com", "onetag-marketplace.net"}, OnlyCountries: []string{"JO"}},
+		{Name: "Optad360", Country: "PL", Category: "advertising", Hosting: "self", Weight: 0.8, Domains: []string{"optad360-yield.com", "optad360-hb.net"}, OnlyCountries: []string{"JO"}},
+		{Name: "QatarAdNet", Country: "QA", Category: "advertising", Hosting: "self", Weight: 0.4, Domains: []string{"gulfadnet-qa.com"}, OnlyCountries: []string{"QA"}},
+		{Name: "RwandaMediaHub", Country: "RW", Category: "advertising", Hosting: "aws", Weight: 0.4, Domains: []string{"rw-mediahub.africa"}, OnlyCountries: []string{"RW"}},
+		{Name: "KampalaAds", Country: "UG", Category: "advertising", Hosting: "aws", Weight: 0.4, Domains: []string{"ug-adx.africa"}, OnlyCountries: []string{"UG"}},
+		{Name: "LankaAdNetwork", Country: "LK", Category: "advertising", Hosting: "self", Weight: 0.4, Domains: []string{"lanka-adnet.com"}, OnlyCountries: []string{"LK"}},
+		{Name: "Booking", Country: "NL", Category: "commerce", Hosting: "self", Weight: 0.5, Domains: []string{"booking-affiliate-tags.com"}, SiteDomains: []string{"booking.com"}},
+		{Name: "BBC", Country: "GB", Category: "analytics", Hosting: "self", Weight: 0.4, Domains: []string{"bbc-echo-metrics.co.uk"}, SiteDomains: []string{"bbc.co.uk"}},
+		{Name: "OpenAI", Country: "US", Category: "analytics", Hosting: "self", Weight: 0.3, Domains: []string{"oai-telemetry.com"}, SiteDomains: []string{"openai.com"}},
+		{Name: "Wikimedia", Country: "US", Category: "analytics", Hosting: "self", Weight: 0.2, Domains: []string{"wikimedia-stats.org"}, SiteDomains: []string{"wikipedia.org"}},
+		{Name: "Teads", Country: "LU", Category: "advertising", Hosting: "self", Weight: 0.5, Domains: []string{"teads-player.com"}},
+	}
+
+	out := append(majors, smaller...)
+	for i := range out {
+		if out[i].HostnamesPerDomain == 0 {
+			out[i].HostnamesPerDomain = 3
+		}
+		if out[i].Hosting == "" {
+			out[i].Hosting = "self"
+		}
+	}
+	return out
+}
+
+// hostnamePrefixes are the subdomain labels under which tracker endpoints
+// appear in real pages.
+var hostnamePrefixes = []string{"www", "cdn", "stats", "pixel", "tags", "sync", "collect", "beacon", "ads", "api"}

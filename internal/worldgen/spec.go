@@ -1,0 +1,217 @@
+package worldgen
+
+// PolicyType is a data-localization regulation class, Table 1's taxonomy,
+// ordered by decreasing strictness.
+type PolicyType string
+
+// Policy classes from Table 1.
+const (
+	PolicyCS PolicyType = "CS" // consent of subject required
+	PolicyPA PolicyType = "PA" // prior government approval/registration
+	PolicyAC PolicyType = "AC" // transfers allowed to pre-approved countries
+	PolicyTA PolicyType = "TA" // transfers allowed with comparable protections
+	PolicyNR PolicyType = "NR" // no restrictions
+)
+
+// Strictness ranks policies for the Table 1 ordering (higher = stricter).
+func (p PolicyType) Strictness() int {
+	switch p {
+	case PolicyCS:
+		return 4
+	case PolicyPA:
+		return 3
+	case PolicyAC:
+		return 2
+	case PolicyTA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CountrySpec calibrates one source country's slice of the synthetic world.
+// Percentages and behaviour flags come from the paper's published
+// aggregates; the generated world is then *measured*, not transcribed.
+type CountrySpec struct {
+	Code          string
+	VolunteerCity string // "City, CC" of the volunteer
+	AccessDelayMs float64
+
+	// TracerouteBlocked: volunteer probes failed in the field (AU, IN, QA,
+	// JO); TracerouteOptOut: the volunteer declined traceroutes (EG). In
+	// both cases the suite falls back to Atlas probes near the volunteer.
+	TracerouteBlocked bool
+	TracerouteOptOut  bool
+
+	// LoadFailureProb calibrates Fig 2b (Japan 0.36, Saudi Arabia 0.44).
+	LoadFailureProb float64
+
+	// GovSiteCount is how many government sites exist on this country's
+	// web (Fig 2a: Lebanon, Russia and Algeria are gov-sparse).
+	GovSiteCount int
+
+	// RegNonlocalPct / GovNonlocalPct calibrate Fig 3: the share of sites
+	// of each kind that embed at least one non-local tracker.
+	RegNonlocalPct, GovNonlocalPct float64
+
+	// ForeignMean/ForeignSpread shape the per-site count of non-local
+	// tracker domains among sites that have any (Fig 4).
+	ForeignMean, ForeignSpread float64
+
+	// LocalMean shapes the per-site count of locally-served trackers.
+	LocalMean float64
+
+	// DestMix weights the destination countries for this country's foreign
+	// trackers (Fig 5/6/7 shapes).
+	DestMix map[string]float64
+
+	// GoogleDest pins where Google serves this country from ("" = sample
+	// from DestMix; the country's own code = serve locally). Google's bulk
+	// makes this the single most important steering decision per country.
+	GoogleDest string
+
+	// MajorsLocal marks the non-Google majors as serving from in-country
+	// infrastructure (US, Canada, India... per §6.3's "all the major
+	// tracking networks have servers in India").
+	MajorsLocal bool
+
+	// OptOutSites is how many target sites the volunteer declined (§5
+	// reports 0.99% across the study).
+	OptOutSites int
+
+	// Policy fields reproduce Table 1.
+	Policy        PolicyType
+	PolicyEnacted bool
+	PolicyNote    string
+}
+
+// countrySpecs returns the 23 calibrated source-country specs.
+func countrySpecs() []CountrySpec {
+	return []CountrySpec{
+		{Code: "AZ", VolunteerCity: "Baku, AZ", AccessDelayMs: 9, LoadFailureProb: 0.07,
+			GovSiteCount: 50, RegNonlocalPct: 82, GovNonlocalPct: 65, ForeignMean: 6.5, ForeignSpread: 5, LocalMean: 2,
+			DestMix:    map[string]float64{"FR": 0.38, "DE": 0.14, "GB": 0.14, "BG": 0.12, "TR": 0.10, "NL": 0.06, "KZ": 0.04, "US": 0.02},
+			GoogleDest: "FR", Policy: PolicyCS, PolicyEnacted: true},
+		{Code: "DZ", VolunteerCity: "Algiers, DZ", AccessDelayMs: 12, LoadFailureProb: 0.11,
+			GovSiteCount: 15, RegNonlocalPct: 52, GovNonlocalPct: 44, ForeignMean: 5, ForeignSpread: 4, LocalMean: 2,
+			DestMix:    map[string]float64{"FR": 0.45, "DE": 0.18, "ES": 0.10, "IT": 0.09, "GB": 0.09, "NL": 0.06, "US": 0.03},
+			GoogleDest: "FR", Policy: PolicyPA, PolicyEnacted: true},
+		{Code: "EG", VolunteerCity: "Cairo, EG", AccessDelayMs: 11, TracerouteOptOut: true, LoadFailureProb: 0.10,
+			GovSiteCount: 50, RegNonlocalPct: 75, GovNonlocalPct: 65, ForeignMean: 16, ForeignSpread: 11, LocalMean: 2,
+			DestMix:    map[string]float64{"DE": 0.44, "FR": 0.18, "GB": 0.15, "IT": 0.08, "NL": 0.07, "CH": 0.05, "US": 0.03},
+			GoogleDest: "DE", Policy: PolicyPA, PolicyEnacted: true},
+		{Code: "RW", VolunteerCity: "Kigali, RW", AccessDelayMs: 14, LoadFailureProb: 0.13,
+			GovSiteCount: 48, RegNonlocalPct: 93, GovNonlocalPct: 31, ForeignMean: 18, ForeignSpread: 13, LocalMean: 1,
+			DestMix:    map[string]float64{"KE": 0.64, "FR": 0.14, "DE": 0.10, "GB": 0.08, "NL": 0.04, "ZA": 0.04, "US": 0.02},
+			GoogleDest: "FR", Policy: PolicyPA, PolicyEnacted: true},
+		{Code: "UG", VolunteerCity: "Kampala, UG", AccessDelayMs: 14, LoadFailureProb: 0.12,
+			GovSiteCount: 50, RegNonlocalPct: 67, GovNonlocalPct: 83, ForeignMean: 9, ForeignSpread: 8, LocalMean: 1,
+			DestMix:    map[string]float64{"KE": 0.68, "FR": 0.10, "DE": 0.07, "GB": 0.09, "IE": 0.03, "ZA": 0.04, "GH": 0.02, "US": 0.03},
+			GoogleDest: "FR", Policy: PolicyPA, PolicyEnacted: true},
+		{Code: "AR", VolunteerCity: "Buenos Aires, AR", AccessDelayMs: 9, LoadFailureProb: 0.08,
+			GovSiteCount: 50, RegNonlocalPct: 63, GovNonlocalPct: 60, ForeignMean: 2, ForeignSpread: 1.4, LocalMean: 3,
+			DestMix:    map[string]float64{"BR": 0.36, "US": 0.18, "FR": 0.20, "CL": 0.09, "DE": 0.09, "UY": 0.05, "GB": 0.03},
+			GoogleDest: "BR", Policy: PolicyAC, PolicyEnacted: true},
+		{Code: "RU", VolunteerCity: "Moscow, RU", AccessDelayMs: 8, LoadFailureProb: 0.06,
+			GovSiteCount: 18, RegNonlocalPct: 16, GovNonlocalPct: 0, ForeignMean: 2, ForeignSpread: 1.2, LocalMean: 4,
+			DestMix:    map[string]float64{"FI": 0.42, "DE": 0.28, "NL": 0.18, "FR": 0.12},
+			GoogleDest: "FI", Policy: PolicyAC, PolicyEnacted: true},
+		{Code: "LK", VolunteerCity: "Colombo, LK", AccessDelayMs: 13, LoadFailureProb: 0.09,
+			GovSiteCount: 50, RegNonlocalPct: 12, GovNonlocalPct: 7, ForeignMean: 2.5, ForeignSpread: 1.5, LocalMean: 3,
+			DestMix:    map[string]float64{"JP": 0.40, "SG": 0.26, "FR": 0.14, "GB": 0.12, "IN": 0.05, "US": 0.03},
+			GoogleDest: "LK", MajorsLocal: true, Policy: PolicyAC, PolicyEnacted: true,
+			PolicyNote: "Yahoo trackers route to Japan after the 2021 India news shutdown"},
+		{Code: "TH", VolunteerCity: "Bangkok, TH", AccessDelayMs: 8, LoadFailureProb: 0.07,
+			GovSiteCount: 50, RegNonlocalPct: 62, GovNonlocalPct: 56, ForeignMean: 7, ForeignSpread: 6, LocalMean: 2,
+			DestMix:    map[string]float64{"MY": 0.34, "SG": 0.28, "HK": 0.20, "JP": 0.15, "US": 0.03},
+			GoogleDest: "MY", Policy: PolicyAC, PolicyEnacted: false,
+			PolicyNote: "PDPA enacted after data collection ended"},
+		{Code: "AE", VolunteerCity: "Dubai, AE", AccessDelayMs: 6, LoadFailureProb: 0.05,
+			GovSiteCount: 50, RegNonlocalPct: 26, GovNonlocalPct: 40, ForeignMean: 4, ForeignSpread: 3, LocalMean: 3,
+			DestMix:    map[string]float64{"FR": 0.24, "DE": 0.20, "US": 0.20, "GB": 0.15, "IN": 0.11, "BH": 0.10},
+			GoogleDest: "FR", Policy: PolicyAC, PolicyEnacted: true,
+			PolicyNote: "approved-country list not yet published"},
+		{Code: "GB", VolunteerCity: "London, GB", AccessDelayMs: 5, LoadFailureProb: 0.04,
+			GovSiteCount: 50, RegNonlocalPct: 42, GovNonlocalPct: 35, ForeignMean: 3, ForeignSpread: 2, LocalMean: 5,
+			DestMix:    map[string]float64{"FR": 0.38, "DE": 0.18, "NL": 0.20, "IE": 0.14, "US": 0.10},
+			GoogleDest: "GB", MajorsLocal: true, Policy: PolicyAC, PolicyEnacted: true},
+		{Code: "AU", VolunteerCity: "Sydney, AU", AccessDelayMs: 6, TracerouteBlocked: true, LoadFailureProb: 0.04,
+			GovSiteCount: 50, RegNonlocalPct: 12, GovNonlocalPct: 1, ForeignMean: 2, ForeignSpread: 1, LocalMean: 5,
+			DestMix:    map[string]float64{"US": 0.38, "SG": 0.30, "JP": 0.17, "FR": 0.15},
+			GoogleDest: "AU", MajorsLocal: true, Policy: PolicyTA, PolicyEnacted: true},
+		{Code: "CA", VolunteerCity: "Toronto, CA", AccessDelayMs: 5, LoadFailureProb: 0.03,
+			GovSiteCount: 50, RegNonlocalPct: 0, GovNonlocalPct: 0, ForeignMean: 0, ForeignSpread: 0, LocalMean: 6,
+			DestMix:    map[string]float64{},
+			GoogleDest: "CA", MajorsLocal: true, Policy: PolicyTA, PolicyEnacted: true},
+		{Code: "IN", VolunteerCity: "Mumbai, IN", AccessDelayMs: 9, TracerouteBlocked: true, LoadFailureProb: 0.08,
+			GovSiteCount: 50, RegNonlocalPct: 2, GovNonlocalPct: 0, ForeignMean: 1, ForeignSpread: 0.5, LocalMean: 5,
+			DestMix:    map[string]float64{"FR": 1.0},
+			GoogleDest: "IN", MajorsLocal: true, Policy: PolicyTA, PolicyEnacted: false,
+			PolicyNote: "DPDP Act passed but not yet in effect"},
+		{Code: "JP", VolunteerCity: "Tokyo, JP", AccessDelayMs: 4, LoadFailureProb: 0.36,
+			GovSiteCount: 50, RegNonlocalPct: 25, GovNonlocalPct: 20, ForeignMean: 3.5, ForeignSpread: 2.5, LocalMean: 4,
+			DestMix:    map[string]float64{"US": 0.34, "SG": 0.25, "HK": 0.20, "KR": 0.11, "FR": 0.10},
+			GoogleDest: "JP", MajorsLocal: true, Policy: PolicyTA, PolicyEnacted: true,
+			PolicyNote: "transfers allowed after opt-out period"},
+		{Code: "JO", VolunteerCity: "Amman, JO", AccessDelayMs: 10, TracerouteBlocked: true, LoadFailureProb: 0.08,
+			GovSiteCount: 50, RegNonlocalPct: 57, GovNonlocalPct: 51, ForeignMean: 21, ForeignSpread: 14, LocalMean: 1,
+			DestMix:    map[string]float64{"FR": 0.36, "DE": 0.16, "GB": 0.16, "AE": 0.12, "IT": 0.07, "PL": 0.05, "CY": 0.04, "US": 0.04},
+			GoogleDest: "FR", Policy: PolicyTA, PolicyEnacted: true,
+			PolicyNote: "PDPL effective 2024-03-17, the day after data collection"},
+		{Code: "NZ", VolunteerCity: "Auckland, NZ", AccessDelayMs: 6, LoadFailureProb: 0.05,
+			GovSiteCount: 50, RegNonlocalPct: 81, GovNonlocalPct: 85, ForeignMean: 8, ForeignSpread: 3, LocalMean: 1,
+			DestMix:    map[string]float64{"AU": 0.74, "US": 0.11, "SG": 0.09, "JP": 0.04, "FJ": 0.02},
+			GoogleDest: "AU", Policy: PolicyTA, PolicyEnacted: true},
+		{Code: "PK", VolunteerCity: "Karachi, PK", AccessDelayMs: 13, LoadFailureProb: 0.10,
+			GovSiteCount: 50, RegNonlocalPct: 68, GovNonlocalPct: 63, ForeignMean: 7, ForeignSpread: 5, LocalMean: 2,
+			DestMix:    map[string]float64{"FR": 0.40, "DE": 0.21, "AE": 0.16, "OM": 0.12, "GB": 0.08, "US": 0.03},
+			GoogleDest: "FR", Policy: PolicyTA, PolicyEnacted: false,
+			PolicyNote: "Personal Data Protection Bill not yet in effect"},
+		{Code: "QA", VolunteerCity: "Doha, QA", AccessDelayMs: 7, TracerouteBlocked: true, LoadFailureProb: 0.06,
+			GovSiteCount: 50, RegNonlocalPct: 83, GovNonlocalPct: 62, ForeignMean: 2.5, ForeignSpread: 2, LocalMean: 2,
+			DestMix:    map[string]float64{"FR": 0.36, "DE": 0.12, "GB": 0.20, "AE": 0.15, "IN": 0.10, "US": 0.07},
+			GoogleDest: "FR", Policy: PolicyTA, PolicyEnacted: true},
+		{Code: "SA", VolunteerCity: "Riyadh, SA", AccessDelayMs: 8, LoadFailureProb: 0.44,
+			GovSiteCount: 50, RegNonlocalPct: 73, GovNonlocalPct: 70, ForeignMean: 5, ForeignSpread: 4, LocalMean: 2,
+			DestMix:    map[string]float64{"FR": 0.36, "DE": 0.16, "GB": 0.16, "AE": 0.14, "BH": 0.10, "IE": 0.05, "US": 0.03},
+			GoogleDest: "FR", Policy: PolicyTA, PolicyEnacted: true},
+		{Code: "TW", VolunteerCity: "Taipei, TW", AccessDelayMs: 5, LoadFailureProb: 0.05,
+			GovSiteCount: 50, RegNonlocalPct: 5, GovNonlocalPct: 10, ForeignMean: 2, ForeignSpread: 1, LocalMean: 4,
+			DestMix:    map[string]float64{"JP": 0.40, "HK": 0.28, "SG": 0.20, "US": 0.12},
+			GoogleDest: "TW", MajorsLocal: true, Policy: PolicyTA, PolicyEnacted: true,
+			PolicyNote: "excluding mainland China"},
+		{Code: "US", VolunteerCity: "Ashburn, US", AccessDelayMs: 4, LoadFailureProb: 0.02,
+			GovSiteCount: 50, RegNonlocalPct: 0, GovNonlocalPct: 0, ForeignMean: 0, ForeignSpread: 0, LocalMean: 8,
+			DestMix:    map[string]float64{},
+			GoogleDest: "US", MajorsLocal: true, Policy: PolicyTA, PolicyEnacted: true,
+			PolicyNote: "sector-specific protections (e.g., health records)"},
+		{Code: "LB", VolunteerCity: "Beirut, LB", AccessDelayMs: 15, LoadFailureProb: 0.12,
+			GovSiteCount: 12, RegNonlocalPct: 22, GovNonlocalPct: 14, ForeignMean: 2.5, ForeignSpread: 1.5, LocalMean: 2,
+			DestMix:    map[string]float64{"FR": 0.40, "DE": 0.28, "GB": 0.20, "CY": 0.12},
+			GoogleDest: "FR", Policy: PolicyNR, PolicyEnacted: true},
+	}
+}
+
+// hostingCity maps a destination country to the city where tracker
+// infrastructure concentrates (Kenya's Nairobi AWS edge, Frankfurt, etc.).
+// Countries not listed use their registry capital.
+var hostingCity = map[string]string{
+	"KE": "Nairobi, KE", "DE": "Frankfurt, DE", "FR": "Paris, FR",
+	"MY": "Kuala Lumpur, MY", "US": "Ashburn, US", "GB": "London, GB",
+	"AU": "Sydney, AU", "BR": "Sao Paulo, BR", "FI": "Hamina, FI",
+	"NL": "Amsterdam, NL", "IE": "Dublin, IE", "BE": "Saint-Ghislain, BE",
+	"IN": "Mumbai, IN", "SG": "Singapore, SG", "HK": "Hong Kong, HK",
+	"JP": "Tokyo, JP", "CH": "Zurich, CH", "IT": "Milan, IT",
+}
+
+// vantagePrivateASNBase numbers per-country residential ISP ASes.
+const vantagePrivateASNBase = 64512
+
+// orgASNBase numbers organization ASes without an explicit assignment.
+const orgASNBase = 394000
+
+// Well-known cloud ASNs hosting third-party trackers (§6.5).
+const (
+	awsASN = 16509
+	gcpASN = 396982
+)

@@ -1,0 +1,130 @@
+package worldgen
+
+import (
+	"fmt"
+
+	"github.com/gamma-suite/gamma/internal/dnssim"
+	"github.com/gamma-suite/gamma/internal/websim"
+)
+
+// Validate cross-checks the world's internal consistency: every target
+// site and tracker hostname must resolve from every source country, every
+// resolution must land on a registered host, every volunteer must have a
+// vantage, every source country must have a working filter/tracker setup,
+// and the probe mesh must cover the destination countries the serving map
+// actually uses. It returns every violation found (empty = sound world).
+//
+// The validator runs in worldgen's tests and behind `cmd/worldgen
+// -validate`; a world that fails validation would silently corrupt the
+// study, so it is checked before anything is measured.
+func (w *World) Validate() []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Volunteers and their vantages.
+	for _, cc := range w.SourceCountries() {
+		vol, ok := w.Volunteers[cc]
+		if !ok {
+			addf("country %s has no volunteer", cc)
+			continue
+		}
+		if _, ok := w.Net.VantageByID(vol.VantageID); !ok {
+			addf("volunteer %s has no vantage %q", cc, vol.VantageID)
+		}
+		if _, ok := w.Registry.City(vol.City.ID()); !ok {
+			addf("volunteer %s city %q not in registry", cc, vol.City.ID())
+		}
+	}
+
+	// Every site resolves from its home market and its resources' tracker
+	// hostnames resolve too.
+	resolveOK := func(domain, cc string) bool {
+		vol, ok := w.Volunteers[cc]
+		if !ok {
+			return true
+		}
+		addr, err := w.DNS.Resolve(domain, dnssim.Client{Country: cc, City: vol.City})
+		if err != nil {
+			return false
+		}
+		_, hostOK := w.Net.HostByAddr(addr)
+		return hostOK
+	}
+	siteCount := 0
+	for _, site := range w.Web.Sites() {
+		siteCount++
+		cc := site.Country
+		if cc == "" {
+			cc = "US" // global sites: validate from one market
+		}
+		if !resolveOK(site.Domain, cc) {
+			addf("site %s does not resolve from %s", site.Domain, cc)
+		}
+		var walk func(rs []websim.Resource)
+		walk = func(rs []websim.Resource) {
+			for _, r := range rs {
+				d := r.Domain()
+				if _, isTracker := w.TrackerHostnames[d]; isTracker && !resolveOK(d, cc) {
+					addf("site %s tracker resource %s does not resolve from %s", site.Domain, d, cc)
+				}
+				walk(r.Children)
+			}
+		}
+		walk(site.ResourcesFor(cc))
+	}
+	if siteCount == 0 {
+		addf("world has no sites")
+	}
+
+	// Tracker hostnames resolve from every source country.
+	for _, cc := range w.SourceCountries() {
+		bad := 0
+		for h := range w.TrackerHostnames {
+			if !resolveOK(h, cc) {
+				bad++
+			}
+		}
+		if bad > 0 {
+			addf("%d tracker hostnames unresolvable from %s", bad, cc)
+		}
+	}
+
+	// Cloaked domains alias onto known tracker hostnames.
+	for cloak, target := range w.CloakedDomains {
+		if _, ok := w.TrackerHostnames[target]; !ok {
+			addf("cloak %s targets unknown tracker %s", cloak, target)
+		}
+	}
+
+	// Probe mesh sanity.
+	if w.Mesh.Len() == 0 {
+		addf("probe mesh is empty")
+	}
+	for _, cc := range []string{"FR", "DE", "KE", "US"} {
+		country, _ := w.Registry.Country(cc)
+		if _, ok := w.Mesh.ProbeInCountry(cc, country.Capital().Coord); !ok {
+			addf("no probe in key destination %s", cc)
+		}
+	}
+
+	// IPmap should cover most hosts.
+	hosts := len(w.Net.Hosts())
+	if hosts == 0 {
+		addf("no hosts")
+	} else if float64(w.IPMap.Len())/float64(hosts) < 0.9 {
+		addf("IPmap covers %d of %d hosts", w.IPMap.Len(), hosts)
+	}
+
+	// Ranking lists exist for every source country under some source.
+	for _, cc := range w.SourceCountries() {
+		if w.Rankings.Similarweb[cc] == nil && w.Rankings.Semrush[cc] == nil {
+			addf("country %s has no usable regional ranking", cc)
+		}
+		if len(w.GovIndex[cc]) == 0 {
+			addf("country %s has no government web", cc)
+		}
+	}
+	return problems
+}

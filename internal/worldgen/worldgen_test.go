@@ -1,0 +1,441 @@
+package worldgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/dnssim"
+	"github.com/gamma-suite/gamma/internal/filterlist"
+	"github.com/gamma-suite/gamma/internal/geodb"
+	"github.com/gamma-suite/gamma/internal/websim"
+)
+
+// buildOnce caches a world across tests in this package.
+var cachedWorld *World
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	if cachedWorld == nil {
+		w, err := Build(42)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		cachedWorld = w
+	}
+	return cachedWorld
+}
+
+func TestBuildSucceeds(t *testing.T) {
+	w := testWorld(t)
+	if len(w.Volunteers) != 23 {
+		t.Errorf("volunteers = %d, want 23", len(w.Volunteers))
+	}
+	if w.Web.Len() < 1500 {
+		t.Errorf("web has %d sites, want >= 1500", w.Web.Len())
+	}
+	if w.Mesh.Len() < 100 {
+		t.Errorf("mesh has %d probes", w.Mesh.Len())
+	}
+	if w.Orgs.Len() < 65 {
+		t.Errorf("orgs = %d, want ~70", w.Orgs.Len())
+	}
+	if len(w.TrackerHostnames) < 200 {
+		t.Errorf("tracker hostnames = %d, want hundreds", len(w.TrackerHostnames))
+	}
+}
+
+func TestOrgHQDistribution(t *testing.T) {
+	w := testWorld(t)
+	share := w.Orgs.HQShare()
+	if share["US"] < 0.40 || share["US"] > 0.60 {
+		t.Errorf("US HQ share = %.2f, want ~0.50", share["US"])
+	}
+	if share["GB"] < 0.06 || share["GB"] > 0.15 {
+		t.Errorf("UK HQ share = %.2f, want ~0.10", share["GB"])
+	}
+	if share["NL"] == 0 || share["IL"] == 0 {
+		t.Error("NL and IL must host org HQs")
+	}
+}
+
+func TestVolunteerProbeBehaviour(t *testing.T) {
+	w := testWorld(t)
+	blocked := map[string]bool{"AU": true, "IN": true, "QA": true, "JO": true}
+	for cc, vol := range w.Volunteers {
+		v, ok := w.Net.VantageByID(vol.VantageID)
+		if !ok {
+			t.Fatalf("vantage %s missing", vol.VantageID)
+		}
+		if v.TracerouteBlocked != blocked[cc] {
+			t.Errorf("country %s: TracerouteBlocked = %v, want %v", cc, v.TracerouteBlocked, blocked[cc])
+		}
+	}
+	if !w.Volunteers["EG"].TracerouteOptOut {
+		t.Error("Egypt volunteer must opt out of traceroutes")
+	}
+}
+
+func TestGeoDNSSteeringMatchesSpecs(t *testing.T) {
+	w := testWorld(t)
+	// Google serves New Zealand from Australia, Egypt from Germany,
+	// Pakistan from France, Russia from Finland; India locally.
+	cases := []struct{ cc, wantDest string }{
+		{"NZ", "AU"}, {"EG", "DE"}, {"PK", "FR"}, {"RU", "FI"}, {"IN", "IN"}, {"US", "US"},
+	}
+	for _, tc := range cases {
+		vol := w.Volunteers[tc.cc]
+		addr, err := w.DNS.Resolve("www.doubleclick.net", dnssim.Client{Country: tc.cc, City: vol.City})
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", tc.cc, err)
+		}
+		host, ok := w.Net.HostByAddr(addr)
+		if !ok {
+			t.Fatalf("%s: resolved addr %s has no host", tc.cc, addr)
+		}
+		if host.City.Country != tc.wantDest {
+			t.Errorf("Google serving %s from %s, want %s", tc.cc, host.City.Country, tc.wantDest)
+		}
+	}
+}
+
+func TestYahooServesSriLankaFromJapan(t *testing.T) {
+	w := testWorld(t)
+	vol := w.Volunteers["LK"]
+	addr, err := w.DNS.Resolve("yahoo-pixel.com", dnssim.Client{Country: "LK", City: vol.City})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := w.Net.HostByAddr(addr)
+	if host.City.Country != "JP" {
+		t.Errorf("Yahoo serves LK from %s, want JP", host.City.Country)
+	}
+}
+
+func TestUgandaRwandaServedFromKenya(t *testing.T) {
+	w := testWorld(t)
+	// A sizeable share of foreign-serving orgs for UG/RW must sit in Kenya.
+	for _, cc := range []string{"UG", "RW"} {
+		vol := w.Volunteers[cc]
+		kenya, total := 0, 0
+		for hostname := range w.TrackerHostnames {
+			addr, err := w.DNS.Resolve(hostname, dnssim.Client{Country: cc, City: vol.City})
+			if err != nil {
+				continue
+			}
+			host, ok := w.Net.HostByAddr(addr)
+			if !ok {
+				continue
+			}
+			if host.City.Country == cc {
+				continue // local serving
+			}
+			total++
+			if host.City.Country == "KE" {
+				kenya++
+			}
+		}
+		if total == 0 || float64(kenya)/float64(total) < 0.25 {
+			t.Errorf("%s: only %d/%d foreign tracker hostnames served from Kenya", cc, kenya, total)
+		}
+	}
+}
+
+func TestTop50Lists(t *testing.T) {
+	w := testWorld(t)
+	for _, cc := range w.SourceCountries() {
+		list := w.Rankings.Similarweb[cc]
+		if similarwebMissing[cc] {
+			if list != nil {
+				t.Errorf("%s should have no similarweb list", cc)
+			}
+			list = w.Rankings.Semrush[cc]
+		}
+		if len(list) != 52 { // 50 proper + 2 adult decoys
+			t.Errorf("%s: ranking has %d entries, want 52", cc, len(list))
+		}
+		var hasGoogle, hasWiki bool
+		for _, d := range list {
+			if d == "google.com" {
+				hasGoogle = true
+			}
+			if d == "wikipedia.org" {
+				hasWiki = true
+			}
+		}
+		if !hasGoogle || !hasWiki {
+			t.Errorf("%s: google.com/wikipedia.org missing from top list", cc)
+		}
+	}
+}
+
+func TestSevenGlobalsInTwoThirdsOfCountries(t *testing.T) {
+	w := testWorld(t)
+	counts := map[string]int{}
+	for _, cc := range w.SourceCountries() {
+		list := w.Rankings.Similarweb[cc]
+		if list == nil {
+			list = w.Rankings.Semrush[cc]
+		}
+		for _, d := range list {
+			counts[d]++
+		}
+	}
+	for _, g := range globalSiteOwners {
+		if g.Everywhere {
+			continue
+		}
+		if counts[g.Domain] < 12 { // comfortably above half; target two-thirds
+			t.Errorf("global site %s appears in only %d countries", g.Domain, counts[g.Domain])
+		}
+	}
+}
+
+func TestGovSparseCountries(t *testing.T) {
+	w := testWorld(t)
+	if n := len(w.GovIndex["LB"]); n > 20 {
+		t.Errorf("Lebanon gov sites = %d, want sparse", n)
+	}
+	if n := len(w.GovIndex["AU"]); n != 50 {
+		t.Errorf("Australia gov sites = %d, want 50", n)
+	}
+	for cc, sites := range w.GovIndex {
+		for _, d := range sites {
+			if !strings.Contains(d, ".") {
+				t.Errorf("%s: malformed gov domain %q", cc, d)
+			}
+		}
+	}
+}
+
+func TestFilterListsCoverMostTrackerBases(t *testing.T) {
+	w := testWorld(t)
+	if len(w.ManualTrackers) < 5 {
+		t.Errorf("manual tracker hold-outs = %d, want a handful", len(w.ManualTrackers))
+	}
+	if w.EasyList == nil || len(w.EasyList.Rules) < 40 {
+		t.Fatalf("easylist too small")
+	}
+	eng := filterlist.NewEngine(w.EasyList, w.EasyPrivacy)
+	for _, l := range w.RegionalLists {
+		eng.AddList(l)
+	}
+	// Manual domains must not be matched by any list...
+	for d := range w.ManualTrackers {
+		if eng.MatchDomain("www."+d, "some-site.example") {
+			t.Errorf("manual domain %s is covered by a list", d)
+		}
+	}
+	// ...while listed major tracker domains must be.
+	for _, d := range []string{"stats.doubleclick.net", "www.google-analytics.com", "connect.facebook.net"} {
+		if !eng.MatchDomain(d, "some-site.example") {
+			t.Errorf("listed tracker %s not matched by the engine", d)
+		}
+	}
+}
+
+func TestRankingOverlapShape(t *testing.T) {
+	w := testWorld(t)
+	overlap := func(a, b []string) float64 {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		set := map[string]bool{}
+		for _, x := range a {
+			set[x] = true
+		}
+		n := 0
+		for _, x := range b {
+			if set[x] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(a))
+	}
+	var semrushSum, ahrefsSum float64
+	count := 0
+	for _, cc := range w.Rankings.Complete {
+		sw := w.Rankings.Similarweb[cc]
+		if sw == nil {
+			continue
+		}
+		semrushSum += overlap(sw, w.Rankings.Semrush[cc])
+		ahrefsSum += overlap(sw, w.Rankings.Ahrefs[cc])
+		count++
+	}
+	semrush := semrushSum / float64(count) * 100
+	ahrefs := ahrefsSum / float64(count) * 100
+	if semrush < 55 || semrush > 75 {
+		t.Errorf("semrush overlap = %.1f%%, want ~65%%", semrush)
+	}
+	if ahrefs < 40 || ahrefs > 58 {
+		t.Errorf("ahrefs overlap = %.1f%%, want ~48%%", ahrefs)
+	}
+	if ahrefs >= semrush {
+		t.Error("semrush must overlap more than ahrefs")
+	}
+	if len(w.Rankings.Complete) != 58 {
+		t.Errorf("complete-overlap sample = %d countries, want 58", len(w.Rankings.Complete))
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	w1, err := Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Web.Len() != w2.Web.Len() {
+		t.Error("site counts differ between identical seeds")
+	}
+	s1, s2 := w1.Web.Sites(), w2.Web.Sites()
+	for i := range s1 {
+		if s1[i].Domain != s2[i].Domain || len(s1[i].Resources) != len(s2[i].Resources) {
+			t.Fatalf("site %d differs between identical seeds", i)
+		}
+	}
+	if len(w1.Tranco) != len(w2.Tranco) {
+		t.Error("tranco differs")
+	}
+}
+
+func TestCuratedIPMapError(t *testing.T) {
+	w := testWorld(t)
+	// The Google host serving Pakistan is deliberately misplaced into
+	// Al Fujairah while its PTR names the true city.
+	vol := w.Volunteers["PK"]
+	addr, err := w.DNS.Resolve("doubleclick.net", dnssim.Client{Country: "PK", City: vol.City})
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed, ok := w.IPMap.Lookup(addr)
+	if !ok {
+		t.Fatal("curated host missing from IPMap")
+	}
+	if claimed.ID() != "Al Fujairah, AE" {
+		t.Errorf("curated claim = %s, want Al Fujairah, AE", claimed.ID())
+	}
+	ptr, ok := w.DNS.ReversePTR(addr)
+	if !ok {
+		t.Fatal("curated host must publish PTR")
+	}
+	hint, ok := geodb.ParseHintCountry(ptr, w.Registry)
+	truth, _ := w.Net.HostByAddr(addr)
+	if !ok || hint != truth.City.Country {
+		t.Errorf("PTR %q should hint the true country %s", ptr, truth.City.Country)
+	}
+}
+
+func TestOrgDomainsCarryNoCityCodeTokens(t *testing.T) {
+	// rDNS hint parsing scans hostname tokens; org domains must not
+	// accidentally embed a city code or every PTR would carry a bogus hint.
+	w := testWorld(t)
+	for hostname := range w.TrackerHostnames {
+		base := hostname
+		if i := strings.Index(base, "."); i > 0 && strings.Count(base, ".") > 1 {
+			base = base[i+1:]
+		}
+		if c, ok := geodb.ParseHintCity("edge-zz9.r."+base, w.Registry); ok {
+			t.Errorf("org domain %q embeds city-code token (%s)", base, c.ID())
+		}
+	}
+}
+
+func TestSiteVariants(t *testing.T) {
+	w := testWorld(t)
+	yt, ok := w.Web.Site("youtube.com")
+	if !ok {
+		t.Fatal("youtube.com missing")
+	}
+	az := yt.ResourcesFor("AZ")
+	def := yt.ResourcesFor("GB")
+	countTrackers := func(rs []websim.Resource) int {
+		n := 0
+		var walk func([]websim.Resource)
+		walk = func(rs []websim.Resource) {
+			for _, r := range rs {
+				if _, ok := w.TrackerHostnames[r.Domain()]; ok {
+					n++
+				}
+				walk(r.Children)
+			}
+		}
+		walk(rs)
+		return n
+	}
+	if countTrackers(az) < 25 {
+		t.Errorf("AZ youtube variant has %d trackers, want ~32", countTrackers(az))
+	}
+	if countTrackers(def) >= countTrackers(az) {
+		t.Error("default youtube must embed fewer trackers than the AZ outlier variant")
+	}
+}
+
+func TestWorldValidates(t *testing.T) {
+	w := testWorld(t)
+	if problems := w.Validate(); len(problems) != 0 {
+		for _, p := range problems {
+			t.Error(p)
+		}
+	}
+}
+
+func TestLocalizedWorldDeterministicAndValid(t *testing.T) {
+	a, err := BuildWithOptions(9, Options{Localize: []string{"JO", "TH"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWithOptions(9, Options{Localize: []string{"JO", "TH"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Web.Len() != b.Web.Len() || len(a.TrackerHostnames) != len(b.TrackerHostnames) {
+		t.Error("localized worlds must be deterministic")
+	}
+	if problems := a.Validate(); len(problems) != 0 {
+		t.Errorf("localized world invalid: %v", problems[:min(3, len(problems))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSecondaryVantages(t *testing.T) {
+	w, err := BuildWithOptions(5, Options{SecondaryVantages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.SecondaryVolunteers) != 23 {
+		t.Fatalf("secondary volunteers = %d, want 23", len(w.SecondaryVolunteers))
+	}
+	for cc, sec := range w.SecondaryVolunteers {
+		prim := w.Volunteers[cc]
+		if sec.ASN == prim.ASN {
+			t.Errorf("%s: secondary volunteer shares the primary's ISP", cc)
+		}
+		if v, ok := w.Net.VantageByID(sec.VantageID); !ok || v.TracerouteBlocked {
+			t.Errorf("%s: secondary vantage missing or blocked", cc)
+		}
+	}
+	// Countries with multiple cities place the second volunteer elsewhere.
+	if w.SecondaryVolunteers["AU"].City.ID() == w.Volunteers["AU"].City.ID() {
+		t.Error("AU secondary volunteer should sit in a different city")
+	}
+	// Default worlds have none.
+	plain, err := Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.SecondaryVolunteers) != 0 {
+		t.Error("default world must have no secondary volunteers")
+	}
+}
