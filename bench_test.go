@@ -9,7 +9,9 @@ package gamma_test
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"github.com/gamma-suite/gamma/internal/core"
 	"github.com/gamma-suite/gamma/internal/geo"
 	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/sched"
 	"github.com/gamma-suite/gamma/internal/targets"
 )
 
@@ -332,5 +335,50 @@ func BenchmarkFullReport(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gamma.FullReport(s, io.Discard)
+	}
+}
+
+// ---- Campaign scheduler ----
+
+// BenchmarkScheduledStudy sweeps the campaign scheduler's worker count over
+// the full 23-volunteer study. Datasets are byte-identical at every width
+// (the determinism tests assert it); this measures the wall-clock effect
+// alone.
+func BenchmarkScheduledStudy(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := gamma.RunStudyWithOptions(context.Background(), uint64(300+i), gamma.StudyOptions{
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(s.Sched.Attempts), "volunteer_attempts")
+			}
+		})
+	}
+}
+
+// BenchmarkScheduledStudyFaulty measures the retry overhead of running the
+// study through injected transient faults: per-call retries absorb every
+// fault, so the extra attempts (reported from the suite fault counters via
+// Study.Sched) are pure overhead against the fault-free run above.
+func BenchmarkScheduledStudyFaulty(b *testing.B) {
+	for _, rate := range []float64{0.05, 0.2} {
+		b.Run(fmt.Sprintf("rate=%v", rate), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := gamma.RunStudyWithOptions(context.Background(), uint64(300+i), gamma.StudyOptions{
+					Workers:     4,
+					FaultRate:   rate,
+					DriverRetry: sched.RetryPolicy{MaxAttempts: 40},
+					Retry:       sched.RetryPolicy{MaxAttempts: 3},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(s.Sched.Retries), "volunteer_retries")
+			}
+		})
 	}
 }

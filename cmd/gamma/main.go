@@ -115,10 +115,7 @@ func run(country string, seed uint64, out string, resume, anon bool, harDir stri
 			return err
 		}
 	} else if chunk > 0 {
-		ds = &core.Dataset{
-			SchemaVersion: 1, VolunteerID: cfg.VolunteerID,
-			Country: cfg.Country, City: cfg.City, VolunteerIP: cfg.VolunteerIP,
-		}
+		ds = suite.NewDataset()
 		if err := suite.ResumeLimit(ctx, ds, chunk); err != nil {
 			return err
 		}

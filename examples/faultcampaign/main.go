@@ -1,0 +1,55 @@
+// Faultcampaign: run the 23-country study through the campaign scheduler
+// twice — once on a clean environment, once with 20% of driver calls
+// failing transiently — and show that retries make the faulty run converge
+// to the exact fault-free Result.
+//
+// This demonstrates the scheduler's core invariant: the seed alone decides
+// the data. Worker count, injected faults, and retry timing never leak into
+// a dataset, so a flaky field campaign that eventually succeeds is
+// indistinguishable from a perfect one.
+//
+//	go run ./examples/faultcampaign
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"reflect"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/sched"
+)
+
+func main() {
+	ctx := context.Background()
+	const seed = 42
+
+	clean, err := gamma.RunStudyWithOptions(ctx, seed, gamma.StudyOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean campaign:  %d volunteers, %d attempts, %d retries\n",
+		clean.Sched.Units, clean.Sched.Attempts, clean.Sched.Retries)
+
+	faulty, err := gamma.RunStudyWithOptions(ctx, seed, gamma.StudyOptions{
+		Workers:     4,
+		FaultRate:   0.2, // every browser/resolver/prober call fails with p=0.2
+		DriverRetry: sched.RetryPolicy{MaxAttempts: 40},
+		Retry:       sched.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faulty campaign: %d volunteers, %d attempts, %d retries (20%% fault rate)\n",
+		faulty.Sched.Units, faulty.Sched.Attempts, faulty.Sched.Retries)
+
+	if !reflect.DeepEqual(clean.Result.Funnel, faulty.Result.Funnel) {
+		log.Fatalf("funnels diverged:\nclean:  %+v\nfaulty: %+v",
+			clean.Result.Funnel, faulty.Result.Funnel)
+	}
+	f := clean.Result.Funnel
+	fmt.Printf("identical funnels: %d targets → %d non-local → %d SOL → %d rDNS → %d trackers\n",
+		f.Targets, f.NonLocalClaimed, f.AfterSOL, f.AfterRDNS, f.Trackers)
+	fmt.Println("faults absorbed; the seed alone decided the data")
+}

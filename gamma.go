@@ -28,14 +28,18 @@ package gamma
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/gamma-suite/gamma/internal/browser"
 	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/sched"
 	"github.com/gamma-suite/gamma/internal/dnssim"
 	"github.com/gamma-suite/gamma/internal/filterlist"
 	"github.com/gamma-suite/gamma/internal/netsim"
@@ -290,11 +294,88 @@ type Study struct {
 	Selections map[string]Selection
 	Datasets   map[string]*Dataset
 	Result     *Result
+	// Sched snapshots the campaign scheduler's counters (volunteer
+	// attempts, retries, latencies) for the run that produced this study.
+	Sched sched.Stats
 }
 
 // RunStudy builds a world, selects targets, runs every volunteer, and
 // analyzes the combined data — the entire paper in one call.
+//
+// Volunteers run concurrently through the campaign scheduler; on the
+// first fatal volunteer error the remaining work is cancelled via a
+// derived context and every error observed is reported through
+// errors.Join. Use RunStudyWithOptions for retries, fault injection,
+// checkpointing, and partial-result campaigns.
 func RunStudy(ctx context.Context, seed uint64) (*Study, error) {
+	study, err := RunStudyWithOptions(ctx, seed, StudyOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return study, nil
+}
+
+// StudyOptions tunes a study campaign (RunStudyWithOptions). The zero
+// value reproduces RunStudy: one attempt per volunteer, GOMAXPROCS
+// workers, fail-fast.
+type StudyOptions struct {
+	// Workers bounds concurrently running volunteers; <= 0 uses
+	// runtime.GOMAXPROCS(0). The result is byte-identical for any value:
+	// every stochastic draw is keyed by stable strings, never by
+	// scheduling order.
+	Workers int
+	// Retry re-runs a failed volunteer (zero value: single attempt).
+	// Each retry resumes the volunteer's dataset, so completed targets
+	// are never re-measured.
+	Retry sched.RetryPolicy
+	// DriverRetry is passed to every volunteer's suite: individual driver
+	// calls that report transient faults (driver.Fault — e.g. from the
+	// sched.Flaky* decorators) are retried at this policy before a target
+	// or volunteer is considered failed.
+	DriverRetry sched.RetryPolicy
+	// VolunteerTimeout bounds one volunteer attempt (0 = unbounded).
+	VolunteerTimeout time.Duration
+	// ContinuePastFailures keeps the campaign running when a volunteer
+	// fails terminally: the study analyzes every completed dataset and
+	// the returned error joins one error per failed volunteer. When
+	// false, the first fatal error cancels outstanding volunteers.
+	ContinuePastFailures bool
+	// FaultRate, when positive, wraps every volunteer's drivers in the
+	// sched.FlakyBrowser/FlakyResolver/FlakyProber decorators at this
+	// transient-failure rate — the campaign-level chaos harness. Draws
+	// are keyed by the study seed, so fault patterns reproduce exactly.
+	FaultRate float64
+	// Clock paces volunteer retries/timeouts and is forwarded to every
+	// suite's scheduler. Nil uses the wall clock; tests inject
+	// sched.NewFakeClock so nothing sleeps for real.
+	Clock sched.Clock
+	// CheckpointDir, when set, persists each volunteer's dataset through
+	// core.SaveDataset after every attempt and resumes from an existing
+	// checkpoint on start — the §3.3 "resume from where it was last
+	// stopped" behaviour at campaign scope. Files are <dir>/<cc>.json.
+	CheckpointDir string
+	// EnvHook, when set, rewrites a volunteer's drivers before the suite
+	// is built (after FaultRate decoration). Tests use it to make
+	// specific volunteers fail permanently.
+	EnvHook func(cc string, env core.Env) core.Env
+}
+
+// RunStudyWithOptions runs the full study as a fault-tolerant campaign:
+// volunteers are scheduled over a bounded worker pool with deterministic
+// retry/backoff, failed volunteers resume rather than restart, and
+// completed datasets are kept even when others fail.
+//
+// The returned *Study is non-nil whenever the world was built: on error it
+// carries every completed dataset (and, with ContinuePastFailures, the
+// analysis of the surviving corpus). The error joins one entry per failed
+// volunteer, each naming its country.
+//
+// Determinism invariant: identical seeds produce byte-identical datasets
+// regardless of Workers and regardless of injected transient faults, as
+// long as retries eventually succeed — every stochastic draw (world,
+// measurement, fault, backoff) is keyed by stable strings, and the
+// simulated drivers are stateless per call.
+func RunStudyWithOptions(ctx context.Context, seed uint64, opts StudyOptions) (*Study, error) {
 	w, err := NewWorld(seed)
 	if err != nil {
 		return nil, err
@@ -304,38 +385,143 @@ func RunStudy(ctx context.Context, seed uint64) (*Study, error) {
 		return nil, err
 	}
 	study := &Study{World: w, Selections: sels, Datasets: make(map[string]*Dataset)}
-	// Volunteers are independent; run them concurrently. All world
-	// components are read-only (or internally locked) during measurement,
-	// and every stochastic draw is keyed by stable strings, so the result
-	// is identical to the sequential run.
 	countries := w.SourceCountries()
-	results := make([]*Dataset, len(countries))
-	errs := make([]error, len(countries))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
+	units := make([]sched.Unit[*Dataset], len(countries))
 	for i, cc := range countries {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, cc string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = RunVolunteer(ctx, w, cc, sels[cc])
-		}(i, cc)
-	}
-	wg.Wait()
-	var all []*Dataset
-	for i, cc := range countries {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("gamma: volunteer %s: %w", cc, errs[i])
+		cc := cc
+		units[i] = sched.Unit[*Dataset]{
+			ID:  "volunteer/" + cc,
+			Run: volunteerUnit(w, cc, sels[cc], seed, opts),
 		}
-		study.Datasets[cc] = results[i]
-		all = append(all, results[i])
 	}
-	study.Result, err = Analyze(w, all)
-	if err != nil {
-		return nil, err
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return study, nil
+	pool := sched.New[*Dataset](sched.Options{
+		Workers:  workers,
+		Timeout:  opts.VolunteerTimeout,
+		Retry:    opts.Retry,
+		Seed:     seed,
+		Clock:    opts.Clock,
+		FailFast: !opts.ContinuePastFailures,
+	})
+	results, runErr := pool.Run(ctx, units)
+	study.Sched = pool.Stats()
+
+	var errs []error
+	var all []*Dataset
+	for i, r := range results {
+		cc := countries[i]
+		switch {
+		case r.Err == nil:
+			study.Datasets[cc] = r.Value
+			all = append(all, r.Value)
+		case !r.Skipped && !errors.Is(r.Err, context.Canceled):
+			errs = append(errs, fmt.Errorf("gamma: volunteer %s: %w", cc, r.Err))
+		}
+	}
+	if runErr != nil {
+		errs = append(errs, runErr)
+	}
+	if len(errs) > 0 && !opts.ContinuePastFailures {
+		// Fail-fast campaigns keep completed datasets but skip analysis.
+		return study, errors.Join(errs...)
+	}
+	if len(all) > 0 {
+		res, aerr := Analyze(w, all)
+		if aerr != nil {
+			errs = append(errs, aerr)
+		} else {
+			study.Result = res
+		}
+	}
+	return study, errors.Join(errs...)
+}
+
+// volunteerUnit builds the campaign work function for one country. State
+// (drivers, suite, dataset) persists across retry attempts so fault
+// decorators keep their call counters and resumes skip completed targets.
+func volunteerUnit(w *World, cc string, sel Selection, seed uint64, opts StudyOptions) func(context.Context) (*Dataset, error) {
+	var (
+		mu      sync.Mutex
+		inited  bool
+		initErr error
+		suite   *core.Suite
+		ds      *Dataset
+		ckpt    string
+	)
+	return func(ctx context.Context) (*Dataset, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !inited {
+			inited = true
+			initErr = func() error {
+				vol, ok := w.Volunteers[cc]
+				if !ok {
+					return fmt.Errorf("gamma: no volunteer in %s", cc)
+				}
+				env, cfg, err := VolunteerEnvFor(w, vol)
+				if err != nil {
+					return err
+				}
+				if opts.FaultRate > 0 {
+					env = FaultyEnv(env, seed, "volunteer/"+cc, opts.FaultRate)
+				}
+				if opts.EnvHook != nil {
+					env = opts.EnvHook(cc, env)
+				}
+				if opts.Clock != nil {
+					env.Timer = opts.Clock
+				}
+				cfg.Targets = sel.Targets()
+				cfg.DriverRetry = opts.DriverRetry
+				cfg.SchedSeed = seed
+				suite, err = core.New(cfg, env)
+				if err != nil {
+					return err
+				}
+				if opts.CheckpointDir != "" {
+					ckpt = filepath.Join(opts.CheckpointDir, cc+".json")
+					if loaded, err := core.LoadDataset(ckpt); err == nil && loaded.VolunteerID == cfg.VolunteerID {
+						ds = loaded
+					}
+				}
+				if ds == nil {
+					ds = suite.NewDataset()
+				}
+				return nil
+			}()
+		}
+		if initErr != nil {
+			// Configuration problems are terminal; no retry can fix them.
+			return nil, sched.Permanent(initErr)
+		}
+		err := suite.Resume(ctx, ds)
+		if ckpt != "" {
+			// Persist progress even on failure so a later attempt — or a
+			// whole later campaign — resumes instead of restarting.
+			if serr := core.SaveDataset(ckpt, ds); err == nil && serr != nil {
+				err = serr
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return ds, nil
+	}
+}
+
+// FaultyEnv wraps an environment's drivers in the sched fault-injection
+// decorators at the given transient-failure rate. scope must be unique per
+// volunteer so concurrent volunteers draw independent fault streams.
+func FaultyEnv(env core.Env, seed uint64, scope string, rate float64) core.Env {
+	env.Browser = sched.NewFlakyBrowser(env.Browser, seed, scope, rate)
+	env.Resolver = sched.NewFlakyResolver(env.Resolver, seed, scope, rate)
+	if env.Prober != nil {
+		env.Prober = sched.NewFlakyProber(env.Prober, seed, scope, rate)
+	}
+	return env
 }
 
 // SiteKindOf reports a domain's site kind in the world ("regional",

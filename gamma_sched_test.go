@@ -1,0 +1,220 @@
+package gamma_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/sched"
+)
+
+func datasetBytes(t *testing.T, ds *gamma.Dataset) string {
+	t.Helper()
+	b, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// requireSameDatasets asserts got reproduces want byte for byte.
+func requireSameDatasets(t *testing.T, want, got map[string]*gamma.Dataset) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("datasets = %d, want %d", len(got), len(want))
+	}
+	for cc, w := range want {
+		g, ok := got[cc]
+		if !ok {
+			t.Fatalf("country %s missing", cc)
+		}
+		if datasetBytes(t, g) != datasetBytes(t, w) {
+			t.Errorf("%s: dataset differs from baseline", cc)
+		}
+	}
+}
+
+func TestStudyDeterministicAcrossWorkers(t *testing.T) {
+	base := fullStudy(t)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		s, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireSameDatasets(t, base.Datasets, s.Datasets)
+		if !reflect.DeepEqual(s.Result.Funnel, base.Result.Funnel) {
+			t.Errorf("workers=%d: funnel differs: %+v vs %+v", workers, s.Result.Funnel, base.Result.Funnel)
+		}
+		if s.Sched.Units != 23 || s.Sched.Succeeded != 23 {
+			t.Errorf("workers=%d: sched stats = %+v", workers, s.Sched)
+		}
+	}
+}
+
+func TestStudyFaultInjectionConverges(t *testing.T) {
+	base := fullStudy(t)
+	s, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{
+		Workers:     4,
+		FaultRate:   0.2,
+		DriverRetry: sched.RetryPolicy{MaxAttempts: 40},
+		Retry:       sched.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatalf("20%% transient faults should be absorbed by retries: %v", err)
+	}
+	requireSameDatasets(t, base.Datasets, s.Datasets)
+	if !reflect.DeepEqual(s.Result.Funnel, base.Result.Funnel) {
+		t.Errorf("faulty-run funnel differs: %+v vs %+v", s.Result.Funnel, base.Result.Funnel)
+	}
+
+	// And the whole faulty campaign is itself reproducible.
+	s2, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{
+		Workers:     2,
+		FaultRate:   0.2,
+		DriverRetry: sched.RetryPolicy{MaxAttempts: 40},
+		Retry:       sched.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDatasets(t, s.Datasets, s2.Datasets)
+}
+
+// deadBrowser fails every load with a plain (non-transient) error.
+type deadBrowser struct{}
+
+func (deadBrowser) Load(context.Context, string) (core.PageRecord, error) {
+	return core.PageRecord{}, fmt.Errorf("injected: browser binary missing")
+}
+
+func killCountry(cc string) func(string, core.Env) core.Env {
+	return func(c string, env core.Env) core.Env {
+		if c == cc {
+			env.Browser = deadBrowser{}
+		}
+		return env
+	}
+}
+
+func TestContinuePastFailuresYieldsPartialStudy(t *testing.T) {
+	base := fullStudy(t)
+	dead := base.World.SourceCountries()[0]
+	s, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{
+		Workers:              4,
+		ContinuePastFailures: true,
+		EnvHook:              killCountry(dead),
+	})
+	if err == nil || !strings.Contains(err.Error(), "volunteer "+dead) {
+		t.Fatalf("error must name the failed country %s: %v", dead, err)
+	}
+	if s == nil {
+		t.Fatal("partial study must be returned alongside the error")
+	}
+	if len(s.Datasets) != 22 {
+		t.Fatalf("datasets = %d, want the 22 surviving countries", len(s.Datasets))
+	}
+	if _, ok := s.Datasets[dead]; ok {
+		t.Errorf("failed country %s must not contribute a dataset", dead)
+	}
+	if s.Result == nil || len(s.Result.Countries) != 22 {
+		t.Fatalf("partial analysis should cover 22 countries: %+v", s.Result)
+	}
+	// The surviving datasets are untouched by the failure.
+	for cc, ds := range s.Datasets {
+		if datasetBytes(t, ds) != datasetBytes(t, base.Datasets[cc]) {
+			t.Errorf("%s: dataset differs from baseline", cc)
+		}
+	}
+	if s.Sched.Failed != 1 || s.Sched.Succeeded != 22 {
+		t.Errorf("sched stats = %+v", s.Sched)
+	}
+}
+
+func TestFailFastCancelsCampaign(t *testing.T) {
+	base := fullStudy(t)
+	dead := base.World.SourceCountries()[0]
+	s, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{
+		Workers: 1, // the dead country is scheduled first: everything after is skipped
+		EnvHook: killCountry(dead),
+	})
+	if err == nil || !strings.Contains(err.Error(), "volunteer "+dead) {
+		t.Fatalf("fail-fast error must name the country: %v", err)
+	}
+	if s == nil || s.Result != nil {
+		t.Error("fail-fast campaigns must not analyze a partial corpus")
+	}
+	if len(s.Datasets) >= 23 {
+		t.Errorf("datasets = %d, campaign should have stopped early", len(s.Datasets))
+	}
+	if s.Sched.Skipped == 0 {
+		t.Errorf("queued volunteers should be skipped: %+v", s.Sched)
+	}
+}
+
+func TestCheckpointResumeAcrossCampaigns(t *testing.T) {
+	base := fullStudy(t)
+	dir := t.TempDir()
+
+	// Campaign 1: heavy faults, shallow retries — most volunteers fail, but
+	// every partial dataset is checkpointed.
+	s1, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{
+		Workers:              4,
+		FaultRate:            0.2,
+		DriverRetry:          sched.RetryPolicy{MaxAttempts: 3},
+		ContinuePastFailures: true,
+		CheckpointDir:        dir,
+	})
+	if err == nil {
+		t.Skip("improbable: every volunteer survived shallow retries")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) == 0 {
+		t.Fatal("failed campaign left no checkpoints")
+	}
+	_ = s1
+
+	// Campaign 2: same seed and directory, deep retries — resumes from the
+	// checkpoints and converges to the fault-free baseline.
+	s2, err := gamma.RunStudyWithOptions(context.Background(), 42, gamma.StudyOptions{
+		Workers:              4,
+		FaultRate:            0.2,
+		DriverRetry:          sched.RetryPolicy{MaxAttempts: 40},
+		Retry:                sched.RetryPolicy{MaxAttempts: 3},
+		ContinuePastFailures: true,
+		CheckpointDir:        dir,
+	})
+	if err != nil {
+		t.Fatalf("resumed campaign should converge: %v", err)
+	}
+	requireSameDatasets(t, base.Datasets, s2.Datasets)
+
+	// Checkpoints on disk now hold the complete datasets.
+	for _, cc := range base.World.SourceCountries()[:3] {
+		ds, err := core.LoadDataset(filepath.Join(dir, cc+".json"))
+		if err != nil {
+			t.Fatalf("checkpoint for %s: %v", cc, err)
+		}
+		if len(ds.Pages) != len(base.Datasets[cc].Pages) {
+			t.Errorf("%s checkpoint has %d pages, want %d", cc, len(ds.Pages), len(base.Datasets[cc].Pages))
+		}
+	}
+}
+
+func TestRunStudyCompatOnError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := gamma.RunStudy(ctx, 42)
+	if err == nil {
+		t.Fatal("cancelled context must error")
+	}
+	if s != nil {
+		t.Error("RunStudy keeps its original contract: nil study on error")
+	}
+}

@@ -6,70 +6,53 @@
 // everything in a portable JSON dataset, supports volunteer opt-outs and
 // resuming interrupted runs, and anonymizes volunteer IPs after analysis.
 //
-// The driver interfaces are the portability boundary the paper describes:
-// in the field they are backed by Selenium, the system resolver, and the
-// OS traceroute/tracert tools; in this repository they are backed by the
-// simulation substrates. core itself imports neither.
+// The driver interfaces (declared in internal/driver and aliased here) are
+// the portability boundary the paper describes: in the field they are
+// backed by Selenium, the system resolver and the OS traceroute/tracert
+// tools; in this repository they are backed by the simulation substrates.
+// core itself imports neither.
+//
+// Targets are scheduled through internal/sched: a bounded worker pool with
+// deterministic retry/backoff. Transient driver faults (marked with
+// driver.Fault) are retried per call under Config.DriverRetry; whole-target
+// attempts are retried under Config.TargetRetry and bounded by
+// Config.TargetTimeout.
 package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
-	"sync"
 	"time"
 
+	"github.com/gamma-suite/gamma/internal/driver"
+	"github.com/gamma-suite/gamma/internal/sched"
 	"github.com/gamma-suite/gamma/internal/tlsprobe"
 	"github.com/gamma-suite/gamma/internal/tracert"
 )
 
 // RequestRecord is one network request observed during a page load.
-type RequestRecord struct {
-	URL       string `json:"url"`
-	Domain    string `json:"domain"`
-	Type      string `json:"type"`
-	Initiator string `json:"initiator"`
-	Blocked   bool   `json:"blocked,omitempty"`
-	// ThirdParty marks requests to a different site than the page.
-	ThirdParty bool `json:"third_party,omitempty"`
-	// SetCookies names cookies the response set.
-	SetCookies []string `json:"set_cookies,omitempty"`
-}
+type RequestRecord = driver.RequestRecord
 
 // PageRecord is the C1 outcome for one target site.
-type PageRecord struct {
-	Site       string          `json:"site"`
-	URL        string          `json:"url"`
-	OK         bool            `json:"ok"`
-	FailReason string          `json:"fail_reason,omitempty"`
-	DurationMs float64         `json:"duration_ms"`
-	Requests   []RequestRecord `json:"requests,omitempty"`
-}
+type PageRecord = driver.PageRecord
 
 // Browser drives isolated browser sessions (C1).
-type Browser interface {
-	Load(ctx context.Context, siteDomain string) (PageRecord, error)
-}
+type Browser = driver.Browser
 
 // Resolver performs forward and reverse DNS (C2).
-type Resolver interface {
-	Resolve(ctx context.Context, domain string) (netip.Addr, error)
-	Reverse(ctx context.Context, addr netip.Addr) (string, bool)
-}
+type Resolver = driver.Resolver
 
 // ChainResolver is an optional Resolver capability: it reports the CNAME
 // chain a resolution traversed. Gamma records chains when available — they
 // are how the pipeline detects CNAME-cloaked trackers.
-type ChainResolver interface {
-	ResolveChain(ctx context.Context, domain string) (netip.Addr, []string, error)
-}
+type ChainResolver = driver.ChainResolver
 
 // Prober launches active measurement probes (C3). Implementations shell
 // out to OS-specific tools; results arrive already normalized through the
 // tracert portability layer.
-type Prober interface {
-	Traceroute(ctx context.Context, dst netip.Addr) (tracert.Normalized, error)
-}
+type Prober = driver.Prober
 
 // Clock abstracts time for deterministic datasets.
 type Clock interface{ Now() time.Time }
@@ -96,6 +79,10 @@ type Env struct {
 	TLS      TLSProber
 	Pinger   Pinger
 	Clock    Clock
+	// Timer paces scheduler retries and timeouts (backoff waits, attempt
+	// deadlines). Nil uses the wall clock; tests inject sched.NewFakeClock
+	// so nothing ever sleeps for real.
+	Timer sched.Clock
 }
 
 func (e Env) validate() error {
@@ -146,9 +133,25 @@ type Config struct {
 	TLSScanEnabled bool `json:"tls_scan_enabled,omitempty"`
 	// PingEnabled adds best-of-three ping probes per resolved server.
 	PingEnabled bool `json:"ping_enabled,omitempty"`
-	// Parallelism is the number of simultaneous browser instances; the
-	// study ran volunteers in single-thread mode (1).
+	// Parallelism is the number of simultaneous browser instances. The
+	// zero value defaults to 1, the paper's single-thread volunteer mode;
+	// negative values are a configuration error.
 	Parallelism int `json:"parallelism"`
+
+	// DriverRetry retries individual driver calls (a page load, one
+	// resolution, one traceroute) that report transient infrastructure
+	// faults (driver.Fault) — the cheapest level at which flaky volunteer
+	// machines can be absorbed. The zero value makes a single attempt.
+	DriverRetry sched.RetryPolicy `json:"driver_retry,omitempty"`
+	// TargetRetry re-runs a whole target measurement when an attempt
+	// fails terminally. The zero value makes a single attempt.
+	TargetRetry sched.RetryPolicy `json:"target_retry,omitempty"`
+	// TargetTimeout bounds one target attempt (0 = unbounded), measured
+	// on Env.Timer.
+	TargetTimeout time.Duration `json:"target_timeout_ns,omitempty"`
+	// SchedSeed keys the deterministic backoff jitter draws; campaigns
+	// pass the study seed so retry timing reproduces run to run.
+	SchedSeed uint64 `json:"sched_seed,omitempty"`
 }
 
 // DNSRecord is one C2 resolution result.
@@ -215,8 +218,9 @@ func (d *Dataset) LoadedOK() int {
 
 // Suite is a configured Gamma instance.
 type Suite struct {
-	cfg Config
-	env Env
+	cfg  Config
+	env  Env
+	pool *sched.Pool[PageResult]
 }
 
 // New validates the configuration and builds a suite.
@@ -230,7 +234,10 @@ func New(cfg Config, env Env) (*Suite, error) {
 	if len(cfg.Targets) == 0 {
 		return nil, fmt.Errorf("core: config needs targets")
 	}
-	if cfg.Parallelism <= 0 {
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: config parallelism must not be negative, got %d (leave 0 for the single-thread default)", cfg.Parallelism)
+	}
+	if cfg.Parallelism == 0 {
 		cfg.Parallelism = 1
 	}
 	if cfg.TracerouteEnabled && env.Prober == nil {
@@ -242,15 +249,38 @@ func New(cfg Config, env Env) (*Suite, error) {
 	if cfg.PingEnabled && env.Pinger == nil {
 		return nil, fmt.Errorf("core: pings enabled but Env.Pinger is nil")
 	}
-	return &Suite{cfg: cfg, env: env}, nil
+	s := &Suite{cfg: cfg, env: env}
+	s.pool = sched.New[PageResult](sched.Options{
+		Workers:  cfg.Parallelism,
+		Timeout:  cfg.TargetTimeout,
+		Retry:    cfg.TargetRetry,
+		Seed:     cfg.SchedSeed,
+		Clock:    env.Timer,
+		FailFast: true,
+	})
+	return s, nil
 }
 
 // Config returns the suite configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
-// Run executes the full measurement and returns a fresh dataset.
-func (s *Suite) Run(ctx context.Context) (*Dataset, error) {
-	ds := &Dataset{
+// SchedStats snapshots the target scheduler's counters (attempts, retries,
+// latencies), accumulated across Run/Resume calls.
+func (s *Suite) SchedStats() sched.Stats { return s.pool.Stats() }
+
+// timer returns the clock pacing retries and timeouts.
+func (s *Suite) timer() sched.Clock {
+	if s.env.Timer != nil {
+		return s.env.Timer
+	}
+	return sched.Wall()
+}
+
+// NewDataset returns the empty dataset a fresh run would fill. Pair it
+// with Resume when the dataset must outlive individual attempts (campaign
+// retries, disk checkpoints).
+func (s *Suite) NewDataset() *Dataset {
+	return &Dataset{
 		SchemaVersion: 1,
 		VolunteerID:   s.cfg.VolunteerID,
 		Country:       s.cfg.Country,
@@ -258,6 +288,11 @@ func (s *Suite) Run(ctx context.Context) (*Dataset, error) {
 		VolunteerIP:   s.cfg.VolunteerIP,
 		StartedAt:     s.env.Clock.Now(),
 	}
+}
+
+// Run executes the full measurement and returns a fresh dataset.
+func (s *Suite) Run(ctx context.Context) (*Dataset, error) {
+	ds := s.NewDataset()
 	return ds, s.Resume(ctx, ds)
 }
 
@@ -269,6 +304,12 @@ func (s *Suite) Resume(ctx context.Context, ds *Dataset) error {
 
 // ResumeLimit resumes but measures at most limit pending targets (0 = all):
 // the "run it in chunks" mode the paper offered volunteers.
+//
+// Pending targets are scheduled through the suite's worker pool
+// (Config.Parallelism workers, per-target retry and timeout). Pages are
+// recorded in target order up to the first terminal failure, so a later
+// Resume continues exactly where this one stopped and the final dataset is
+// byte-identical however many attempts it took.
 func (s *Suite) ResumeLimit(ctx context.Context, ds *Dataset, limit int) error {
 	done := ds.Completed()
 	var pending []Target
@@ -280,35 +321,58 @@ func (s *Suite) ResumeLimit(ctx context.Context, ds *Dataset, limit int) error {
 	if limit > 0 && len(pending) > limit {
 		pending = pending[:limit]
 	}
-	results := make([]PageResult, len(pending))
-	errs := make([]error, len(pending))
-
-	sem := make(chan struct{}, s.cfg.Parallelism)
-	var wg sync.WaitGroup
+	units := make([]sched.Unit[PageResult], len(pending))
 	for i, t := range pending {
-		if ctx.Err() != nil {
-			break
+		t := t
+		units[i] = sched.Unit[PageResult]{
+			ID: s.cfg.VolunteerID + "/target/" + t.Domain,
+			Run: func(ctx context.Context) (PageResult, error) {
+				return s.measureTarget(ctx, t)
+			},
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, t Target) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = s.measureTarget(ctx, t)
-		}(i, t)
 	}
-	wg.Wait()
+	results, _ := s.pool.Run(ctx, units)
 
-	for i := range results {
-		if errs[i] != nil {
-			return fmt.Errorf("core: target %s: %w", pending[i].Domain, errs[i])
+	// Append completed pages in target order, stopping at the first unit
+	// that did not succeed: resume keys on recorded domains, and keeping
+	// the record a strict in-order prefix of the pending list is what
+	// makes retried runs byte-identical to uninterrupted ones. The
+	// reported error is the first *causal* failure — in-flight units
+	// cancelled by fail-fast carry context.Canceled and must not mask it.
+	appendUpTo := len(results)
+	var firstErr error
+	for i, r := range results {
+		if r.Err == nil {
+			continue
 		}
-		ds.Pages = append(ds.Pages, results[i])
+		if i < appendUpTo {
+			appendUpTo = i
+		}
+		if firstErr == nil && !r.Skipped && !errors.Is(r.Err, context.Canceled) {
+			firstErr = fmt.Errorf("core: target %s: %w", pending[i].Domain, r.Err)
+		}
 	}
-	return ctx.Err()
+	for _, r := range results[:appendUpTo] {
+		ds.Pages = append(ds.Pages, r.Value)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if appendUpTo < len(results) {
+		// Only cancellations remain: surface the context's error.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	}
+	return nil
 }
 
-// measureTarget runs C1 -> C2 -> C3 for one site.
+// measureTarget runs C1 -> C2 -> C3 for one site. Individual driver calls
+// are retried under Config.DriverRetry; transient infrastructure faults
+// (driver.Fault) that survive every retry abort the attempt rather than
+// polluting the dataset, while negative measurement results (NXDOMAIN,
+// failed page loads) are recorded as data.
 func (s *Suite) measureTarget(ctx context.Context, t Target) (PageResult, error) {
 	out := PageResult{Target: t}
 	if s.cfg.OptOutSites[t.Domain] {
@@ -316,9 +380,15 @@ func (s *Suite) measureTarget(ctx context.Context, t Target) (PageResult, error)
 		out.Load = PageRecord{Site: t.Domain, FailReason: "volunteer opt-out"}
 		return out, nil
 	}
+	retryID := s.cfg.VolunteerID + "/" + t.Domain
 
-	// C1: browser session.
-	page, err := s.env.Browser.Load(ctx, t.Domain)
+	// C1: browser session. Load errors are infrastructure failures (the
+	// simulator reports unreachable pages as data, not errors), so every
+	// one is retryable.
+	page, err := sched.Do(ctx, s.timer(), s.cfg.DriverRetry, s.cfg.SchedSeed, retryID+"/load",
+		func(ctx context.Context) (PageRecord, error) {
+			return s.env.Browser.Load(ctx, t.Domain)
+		})
 	if err != nil {
 		return out, fmt.Errorf("browser: %w", err)
 	}
@@ -328,6 +398,10 @@ func (s *Suite) measureTarget(ctx context.Context, t Target) (PageResult, error)
 	}
 
 	// C2: forward and reverse DNS for every distinct requested domain.
+	type resolution struct {
+		addr  netip.Addr
+		chain []string
+	}
 	seen := map[string]bool{}
 	resolved := map[string]netip.Addr{}
 	for _, req := range page.Requests {
@@ -336,23 +410,36 @@ func (s *Suite) measureTarget(ctx context.Context, t Target) (PageResult, error)
 		}
 		seen[req.Domain] = true
 		rec := DNSRecord{Domain: req.Domain}
-		var addr netip.Addr
-		var err error
-		if chainRes, ok := s.env.Resolver.(ChainResolver); ok {
-			var chain []string
-			addr, chain, err = chainRes.ResolveChain(ctx, req.Domain)
-			if err == nil && len(chain) > 1 {
-				rec.CNAMEChain = chain
-			}
-		} else {
-			addr, err = s.env.Resolver.Resolve(ctx, req.Domain)
-		}
-		if err != nil {
+		res, err := sched.Do(ctx, s.timer(), s.cfg.DriverRetry, s.cfg.SchedSeed, retryID+"/resolve/"+req.Domain,
+			func(ctx context.Context) (resolution, error) {
+				var r resolution
+				var err error
+				if chainRes, ok := s.env.Resolver.(ChainResolver); ok {
+					r.addr, r.chain, err = chainRes.ResolveChain(ctx, req.Domain)
+				} else {
+					r.addr, err = s.env.Resolver.Resolve(ctx, req.Domain)
+				}
+				if err != nil && !driver.IsFault(err) {
+					// A definitive negative answer (NXDOMAIN) is a
+					// measurement result; don't burn retries on it.
+					err = sched.Permanent(err)
+				}
+				return r, err
+			})
+		switch {
+		case err != nil && driver.IsFault(err):
+			// Transient fault survived every retry: abort the attempt so
+			// the fault is never recorded as data.
+			return out, fmt.Errorf("resolver: %w", err)
+		case err != nil:
 			rec.Err = err.Error()
-		} else {
-			rec.Addr = addr.String()
-			resolved[req.Domain] = addr
-			if name, ok := s.env.Resolver.Reverse(ctx, addr); ok {
+		default:
+			rec.Addr = res.addr.String()
+			if len(res.chain) > 1 {
+				rec.CNAMEChain = res.chain
+			}
+			resolved[req.Domain] = res.addr
+			if name, ok := s.env.Resolver.Reverse(ctx, res.addr); ok {
 				rec.RDNS = name
 			}
 		}
@@ -373,7 +460,10 @@ func (s *Suite) measureTarget(ctx context.Context, t Target) (PageResult, error)
 				continue
 			}
 			traced[addr] = true
-			tr, err := s.env.Prober.Traceroute(ctx, addr)
+			tr, err := sched.Do(ctx, s.timer(), s.cfg.DriverRetry, s.cfg.SchedSeed, retryID+"/trace/"+addr.String(),
+				func(ctx context.Context) (tracert.Normalized, error) {
+					return s.env.Prober.Traceroute(ctx, addr)
+				})
 			if err != nil {
 				return out, fmt.Errorf("prober: %w", err)
 			}

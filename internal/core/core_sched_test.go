@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/driver"
+	"github.com/gamma-suite/gamma/internal/sched"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+// faultFirst injects one driver.Fault per key before delegating, modelling a
+// transient infrastructure failure that a retry of the same call absorbs.
+type faultFirst struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func (f *faultFirst) hit(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen == nil {
+		f.seen = map[string]bool{}
+	}
+	if f.seen[key] {
+		return nil
+	}
+	f.seen[key] = true
+	return driver.Fault(fmt.Errorf("injected: connection reset (%s)", key))
+}
+
+type faultFirstBrowser struct {
+	faultFirst
+	inner Browser
+}
+
+func (b *faultFirstBrowser) Load(ctx context.Context, site string) (PageRecord, error) {
+	if err := b.hit(site); err != nil {
+		return PageRecord{}, err
+	}
+	return b.inner.Load(ctx, site)
+}
+
+type faultFirstResolver struct {
+	faultFirst
+	inner Resolver
+}
+
+func (r *faultFirstResolver) Resolve(ctx context.Context, domain string) (netip.Addr, error) {
+	if err := r.hit(domain); err != nil {
+		return netip.Addr{}, err
+	}
+	return r.inner.Resolve(ctx, domain)
+}
+
+func (r *faultFirstResolver) Reverse(ctx context.Context, addr netip.Addr) (string, bool) {
+	return r.inner.Reverse(ctx, addr)
+}
+
+type faultFirstProber struct {
+	faultFirst
+	inner Prober
+}
+
+func (p *faultFirstProber) Traceroute(ctx context.Context, dst netip.Addr) (tracert.Normalized, error) {
+	if err := p.hit(dst.String()); err != nil {
+		return tracert.Normalized{}, err
+	}
+	return p.inner.Traceroute(ctx, dst)
+}
+
+func datasetJSON(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	b, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNegativeParallelismRejected(t *testing.T) {
+	env, _, _ := testEnv()
+	cfg := testConfig()
+	cfg.Parallelism = -2
+	_, err := New(cfg, env)
+	if err == nil {
+		t.Fatal("negative parallelism must be rejected")
+	}
+	if !strings.Contains(err.Error(), "parallelism") || !strings.Contains(err.Error(), "-2") {
+		t.Errorf("error should name the field and value: %v", err)
+	}
+	// The zero value stays valid and means serial execution.
+	cfg.Parallelism = 0
+	if _, err := New(cfg, env); err != nil {
+		t.Errorf("zero parallelism is the documented default: %v", err)
+	}
+}
+
+func TestDriverRetryAbsorbsTransientFaults(t *testing.T) {
+	env, _, _ := testEnv()
+	s, err := New(testConfig(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flakyEnv, _, _ := testEnv()
+	flakyEnv.Browser = &faultFirstBrowser{inner: flakyEnv.Browser}
+	flakyEnv.Resolver = &faultFirstResolver{inner: flakyEnv.Resolver}
+	flakyEnv.Prober = &faultFirstProber{inner: flakyEnv.Prober}
+	cfg := testConfig()
+	cfg.DriverRetry = sched.RetryPolicy{MaxAttempts: 3}
+	fs, err := New(cfg, flakyEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Run(context.Background())
+	if err != nil {
+		t.Fatalf("retries should absorb every injected fault: %v", err)
+	}
+	if string(datasetJSON(t, got)) != string(datasetJSON(t, want)) {
+		t.Error("dataset with retried transient faults must be byte-identical to the fault-free dataset")
+	}
+}
+
+func TestDriverFaultExhaustionFailsTarget(t *testing.T) {
+	env, _, _ := testEnv()
+	env.Browser = &alwaysFaultBrowser{}
+	cfg := testConfig()
+	cfg.DriverRetry = sched.RetryPolicy{MaxAttempts: 2}
+	s, err := New(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "browser") {
+		t.Fatalf("exhausted driver retries must fail the run: %v", err)
+	}
+}
+
+type alwaysFaultBrowser struct{}
+
+func (alwaysFaultBrowser) Load(context.Context, string) (PageRecord, error) {
+	return PageRecord{}, driver.Fault(fmt.Errorf("injected: network down"))
+}
+
+// countingResolver counts Resolve calls per domain on top of fakeResolver.
+type countingResolver struct {
+	inner Resolver
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (r *countingResolver) Resolve(ctx context.Context, domain string) (netip.Addr, error) {
+	r.mu.Lock()
+	if r.calls == nil {
+		r.calls = map[string]int{}
+	}
+	r.calls[domain]++
+	r.mu.Unlock()
+	return r.inner.Resolve(ctx, domain)
+}
+
+func (r *countingResolver) Reverse(ctx context.Context, addr netip.Addr) (string, bool) {
+	return r.inner.Reverse(ctx, addr)
+}
+
+func TestNXDOMAINRecordedNotRetried(t *testing.T) {
+	env, _, _ := testEnv()
+	// Drop static.site-a.example so its lookup is a definitive NXDOMAIN.
+	cr := &countingResolver{inner: &fakeResolver{addrs: map[string]string{
+		"site-a.example":        "20.0.0.1",
+		"site-b.example":        "20.0.0.3",
+		"static.site-b.example": "20.0.0.4",
+		"t.tracker.example":     "20.0.0.9",
+	}}}
+	env.Resolver = cr
+	cfg := testConfig()
+	cfg.DriverRetry = sched.RetryPolicy{MaxAttempts: 5}
+	s, err := New(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// static.site-a.example is unknown to the fake resolver: a definitive
+	// NXDOMAIN is data, so it must be recorded once, not retried 5 times.
+	if n := cr.calls["static.site-a.example"]; n != 1 {
+		t.Errorf("NXDOMAIN resolved %d times, want 1 (no retry on permanent answers)", n)
+	}
+	var rec *DNSRecord
+	for _, p := range ds.Pages {
+		for i := range p.DNS {
+			if p.DNS[i].Domain == "static.site-a.example" {
+				rec = &p.DNS[i]
+			}
+		}
+	}
+	if rec == nil || !strings.Contains(rec.Err, "NXDOMAIN") {
+		t.Errorf("NXDOMAIN must be recorded as data: %+v", rec)
+	}
+}
+
+// failFirstTargetBrowser fails its very first load with a plain (non-fault)
+// error, so the whole target attempt fails and only TargetRetry can save it.
+type failFirstTargetBrowser struct {
+	inner Browser
+	mu    sync.Mutex
+	calls int
+}
+
+func (b *failFirstTargetBrowser) Load(ctx context.Context, site string) (PageRecord, error) {
+	b.mu.Lock()
+	b.calls++
+	first := b.calls == 1
+	b.mu.Unlock()
+	if first {
+		return PageRecord{}, fmt.Errorf("injected: browser crashed")
+	}
+	return b.inner.Load(ctx, site)
+}
+
+func TestTargetRetryRerunsWholeTarget(t *testing.T) {
+	env, _, _ := testEnv()
+	s, _ := New(testConfig(), env)
+	want, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env2, _, _ := testEnv()
+	env2.Browser = &failFirstTargetBrowser{inner: env2.Browser}
+	cfg := testConfig()
+	cfg.TargetRetry = sched.RetryPolicy{MaxAttempts: 2}
+	s2, err := New(cfg, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Run(context.Background())
+	if err != nil {
+		t.Fatalf("target retry should rerun the failed target: %v", err)
+	}
+	if string(datasetJSON(t, got)) != string(datasetJSON(t, want)) {
+		t.Error("retried target must reproduce the fault-free dataset")
+	}
+	st := s2.SchedStats()
+	if st.Retries < 1 || st.Succeeded != len(testConfig().Targets) {
+		t.Errorf("stats should show the retry: %+v", st)
+	}
+}
+
+func TestSchedStatsCount(t *testing.T) {
+	env, _, _ := testEnv()
+	s, _ := New(testConfig(), env)
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.SchedStats()
+	n := len(testConfig().Targets)
+	if st.Units != n || st.Succeeded != n || st.Attempts != n || st.Failed != 0 {
+		t.Errorf("stats = %+v, want %d clean units", st, n)
+	}
+}

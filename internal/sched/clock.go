@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the scheduler: Now stamps outcomes, After paces
+// retry backoff and attempt timeouts. Production code uses Wall; tests use
+// FakeClock so no test ever sleeps on the wall clock.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Wall returns the real-time clock.
+func Wall() Clock { return wallClock{} }
+
+// FakeClock is a manually driven clock for deterministic tests. Goroutines
+// that call After block until the test Advances virtual time past their
+// deadline; BlockUntilWaiters lets the test rendezvous with them without
+// polling or sleeping.
+type FakeClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a fake clock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	c := &FakeClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires once virtual time advances by d.
+// Non-positive d fires immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &fakeWaiter{at: c.now.Add(d), ch: ch})
+	c.cond.Broadcast()
+	return ch
+}
+
+// Advance moves virtual time forward by d, firing every waiter whose
+// deadline has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setLocked(c.now.Add(d))
+}
+
+// AdvanceToNext jumps to the earliest pending deadline and returns the
+// step taken (0 when no waiter is pending).
+func (c *FakeClock) AdvanceToNext() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) == 0 {
+		return 0
+	}
+	next := c.waiters[0].at
+	for _, w := range c.waiters[1:] {
+		if w.at.Before(next) {
+			next = w.at
+		}
+	}
+	step := next.Sub(c.now)
+	c.setLocked(next)
+	return step
+}
+
+func (c *FakeClock) setLocked(t time.Time) {
+	c.now = t
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// Waiters reports how many goroutines are blocked in After.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// BlockUntilWaiters blocks until at least n goroutines are waiting in
+// After. It synchronizes on a condition variable — no polling, no sleeps.
+func (c *FakeClock) BlockUntilWaiters(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.waiters) < n {
+		c.cond.Wait()
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"sync"
+
+	"github.com/gamma-suite/gamma/internal/driver"
+	"github.com/gamma-suite/gamma/internal/rng"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+// faultSource draws deterministic transient failures. Each (kind, key)
+// pair carries its own call counter, and every draw is keyed by
+// (seed, scope, kind, key, call#) — so a flaky operation fails on a
+// reproducible subset of its calls but never forever (for rates < 1 a
+// retried call eventually draws success), and two runs with the same seed
+// inject the exact same fault pattern.
+type faultSource struct {
+	seed  uint64
+	scope string
+	rate  float64
+
+	mu    sync.Mutex
+	calls map[string]int
+	drawn int
+	fired int
+}
+
+func newFaultSource(seed uint64, scope string, rate float64) *faultSource {
+	return &faultSource{seed: seed, scope: scope, rate: rate, calls: make(map[string]int)}
+}
+
+// draw returns a transient fault error for this call, or nil.
+func (f *faultSource) draw(kind, key string) error {
+	f.mu.Lock()
+	ck := kind + "\x00" + key
+	n := f.calls[ck]
+	f.calls[ck] = n + 1
+	f.drawn++
+	f.mu.Unlock()
+	r := rng.New(f.seed, "sched-fault", f.scope, kind, key, strconv.Itoa(n))
+	if !rng.Bernoulli(r, f.rate) {
+		return nil
+	}
+	f.mu.Lock()
+	f.fired++
+	f.mu.Unlock()
+	return driver.Fault(fmt.Errorf("sched: injected transient %s fault (%s, call %d)", kind, key, n))
+}
+
+func (f *faultSource) counts() (drawn, fired int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drawn, f.fired
+}
+
+// FlakyBrowser wraps a driver.Browser, failing each Load with the given
+// probability. Failures are marked with driver.Fault, so the suite retries
+// them instead of recording them; because the underlying simulated drivers
+// are stateless per call, a retried load returns exactly the record the
+// fault-free run would have.
+type FlakyBrowser struct {
+	inner driver.Browser
+	f     *faultSource
+}
+
+// NewFlakyBrowser decorates inner. scope should identify the volunteer so
+// concurrent volunteers draw from independent fault streams.
+func NewFlakyBrowser(inner driver.Browser, seed uint64, scope string, rate float64) *FlakyBrowser {
+	return &FlakyBrowser{inner: inner, f: newFaultSource(seed, scope, rate)}
+}
+
+// Load implements driver.Browser.
+func (b *FlakyBrowser) Load(ctx context.Context, site string) (driver.PageRecord, error) {
+	if err := b.f.draw("browser", site); err != nil {
+		return driver.PageRecord{}, err
+	}
+	return b.inner.Load(ctx, site)
+}
+
+// FaultCounts reports draws made and faults fired, for test assertions.
+func (b *FlakyBrowser) FaultCounts() (drawn, fired int) { return b.f.counts() }
+
+// FlakyResolver wraps a driver.Resolver, failing each forward resolution
+// with the given probability. Reverse lookups are never faulted: the
+// Resolver interface gives them no error channel, so an injected failure
+// would silently alter recorded data instead of triggering a retry.
+type FlakyResolver struct {
+	inner driver.Resolver
+	f     *faultSource
+}
+
+// flakyChainResolver additionally forwards the ChainResolver capability.
+// Wrapping must not hide it: the suite records CNAME chains only when the
+// capability is present, and losing it would change dataset bytes.
+type flakyChainResolver struct {
+	*FlakyResolver
+	chain driver.ChainResolver
+}
+
+// NewFlakyResolver decorates inner, preserving its optional ChainResolver
+// capability.
+func NewFlakyResolver(inner driver.Resolver, seed uint64, scope string, rate float64) driver.Resolver {
+	fr := &FlakyResolver{inner: inner, f: newFaultSource(seed, scope, rate)}
+	if cr, ok := inner.(driver.ChainResolver); ok {
+		return &flakyChainResolver{FlakyResolver: fr, chain: cr}
+	}
+	return fr
+}
+
+// Resolve implements driver.Resolver.
+func (r *FlakyResolver) Resolve(ctx context.Context, domain string) (netip.Addr, error) {
+	if err := r.f.draw("resolver", domain); err != nil {
+		return netip.Addr{}, err
+	}
+	return r.inner.Resolve(ctx, domain)
+}
+
+// Reverse implements driver.Resolver (never faulted; see type comment).
+func (r *FlakyResolver) Reverse(ctx context.Context, addr netip.Addr) (string, bool) {
+	return r.inner.Reverse(ctx, addr)
+}
+
+// FaultCounts reports draws made and faults fired, for test assertions.
+func (r *FlakyResolver) FaultCounts() (drawn, fired int) { return r.f.counts() }
+
+// ResolveChain implements driver.ChainResolver, sharing the per-domain
+// fault stream with Resolve.
+func (r *flakyChainResolver) ResolveChain(ctx context.Context, domain string) (netip.Addr, []string, error) {
+	if err := r.f.draw("resolver", domain); err != nil {
+		return netip.Addr{}, nil, err
+	}
+	return r.chain.ResolveChain(ctx, domain)
+}
+
+// FlakyProber wraps a driver.Prober, failing each traceroute launch with
+// the given probability.
+type FlakyProber struct {
+	inner driver.Prober
+	f     *faultSource
+}
+
+// NewFlakyProber decorates inner.
+func NewFlakyProber(inner driver.Prober, seed uint64, scope string, rate float64) *FlakyProber {
+	return &FlakyProber{inner: inner, f: newFaultSource(seed, scope, rate)}
+}
+
+// Traceroute implements driver.Prober.
+func (p *FlakyProber) Traceroute(ctx context.Context, dst netip.Addr) (tracert.Normalized, error) {
+	if err := p.f.draw("prober", dst.String()); err != nil {
+		return tracert.Normalized{}, err
+	}
+	return p.inner.Traceroute(ctx, dst)
+}
+
+// FaultCounts reports draws made and faults fired, for test assertions.
+func (p *FlakyProber) FaultCounts() (drawn, fired int) { return p.f.counts() }

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/driver"
+	"github.com/gamma-suite/gamma/internal/tracert"
+)
+
+type stubBrowser struct{ loads int }
+
+func (b *stubBrowser) Load(_ context.Context, site string) (driver.PageRecord, error) {
+	b.loads++
+	return driver.PageRecord{Site: site}, nil
+}
+
+type stubResolver struct{ resolves int }
+
+func (r *stubResolver) Resolve(context.Context, string) (netip.Addr, error) {
+	r.resolves++
+	return netip.MustParseAddr("192.0.2.1"), nil
+}
+
+func (r *stubResolver) Reverse(context.Context, netip.Addr) (string, bool) { return "cdn.test", true }
+
+// stubChainResolver adds the optional ChainResolver capability.
+type stubChainResolver struct{ stubResolver }
+
+func (r *stubChainResolver) ResolveChain(context.Context, string) (netip.Addr, []string, error) {
+	r.resolves++
+	return netip.MustParseAddr("192.0.2.1"), []string{"a.test", "b.test"}, nil
+}
+
+type stubProber struct{ traces int }
+
+func (p *stubProber) Traceroute(_ context.Context, dst netip.Addr) (tracert.Normalized, error) {
+	p.traces++
+	return tracert.Normalized{Target: dst.String()}, nil
+}
+
+func TestFlakyBrowserRateZeroAndOne(t *testing.T) {
+	ctx := context.Background()
+	inner := &stubBrowser{}
+	never := NewFlakyBrowser(inner, 1, "v/US", 0)
+	for i := 0; i < 10; i++ {
+		if _, err := never.Load(ctx, "site.test"); err != nil {
+			t.Fatalf("rate 0 faulted: %v", err)
+		}
+	}
+	always := NewFlakyBrowser(&stubBrowser{}, 1, "v/US", 1)
+	_, err := always.Load(ctx, "site.test")
+	if err == nil {
+		t.Fatal("rate 1 must fault")
+	}
+	if !driver.IsFault(err) {
+		t.Errorf("injected failure must carry the driver.Fault marker: %v", err)
+	}
+	if drawn, fired := always.FaultCounts(); drawn != 1 || fired != 1 {
+		t.Errorf("counts = (%d, %d)", drawn, fired)
+	}
+}
+
+func TestFlakyBrowserDeterministicPerCallCounter(t *testing.T) {
+	ctx := context.Background()
+	pattern := func() []bool {
+		fb := NewFlakyBrowser(&stubBrowser{}, 42, "v/DE", 0.5)
+		var p []bool
+		for i := 0; i < 32; i++ {
+			_, err := fb.Load(ctx, "news.test")
+			p = append(p, err != nil)
+		}
+		return p
+	}
+	a, b := pattern(), pattern()
+	var flips, fails int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: fault pattern not reproducible", i)
+		}
+		if i > 0 && a[i] != a[i-1] {
+			flips++
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	// The per-call counter must vary the draw: at rate 0.5 over 32 calls a
+	// constant pattern (counter ignored) is astronomically unlikely.
+	if flips == 0 {
+		t.Error("fault draws ignore the call counter: same site always draws the same outcome")
+	}
+	if fails == 0 || fails == 32 {
+		t.Errorf("fault rate 0.5 produced %d/32 failures", fails)
+	}
+}
+
+func TestFlakyResolverPreservesChainCapability(t *testing.T) {
+	ctx := context.Background()
+	plain := NewFlakyResolver(&stubResolver{}, 1, "v/JP", 0)
+	if _, ok := plain.(driver.ChainResolver); ok {
+		t.Error("wrapping a plain resolver must not invent ChainResolver")
+	}
+	wrapped := NewFlakyResolver(&stubChainResolver{}, 1, "v/JP", 0)
+	cr, ok := wrapped.(driver.ChainResolver)
+	if !ok {
+		t.Fatal("wrapping a ChainResolver must preserve the capability")
+	}
+	_, chain, err := cr.ResolveChain(ctx, "cdn.test")
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("ResolveChain = (%v, %v)", chain, err)
+	}
+}
+
+func TestFlakyResolverNeverFaultsReverse(t *testing.T) {
+	fr := NewFlakyResolver(&stubResolver{}, 1, "v/BR", 1)
+	if _, err := fr.Resolve(context.Background(), "x.test"); !driver.IsFault(err) {
+		t.Fatalf("Resolve at rate 1 should fault: %v", err)
+	}
+	name, ok := fr.Reverse(context.Background(), netip.MustParseAddr("192.0.2.1"))
+	if !ok || name != "cdn.test" {
+		t.Error("Reverse has no error channel and must never be faulted")
+	}
+}
+
+func TestFlakyProberFaultsAreTransient(t *testing.T) {
+	ctx := context.Background()
+	inner := &stubProber{}
+	fp := NewFlakyProber(inner, 7, "v/KE", 0.5)
+	dst := netip.MustParseAddr("203.0.113.9")
+	// Retrying the same destination advances the per-call counter, so a
+	// rate-0.5 fault stream cannot fail forever.
+	ok := false
+	for i := 0; i < 64 && !ok; i++ {
+		if _, err := fp.Traceroute(ctx, dst); err == nil {
+			ok = true
+		} else if !driver.IsFault(err) {
+			t.Fatalf("non-fault error: %v", err)
+		}
+	}
+	if !ok {
+		t.Fatal("64 retries at rate 0.5 never succeeded — counter not advancing")
+	}
+	drawn, fired := fp.FaultCounts()
+	if drawn < 1 || fired != drawn-1 {
+		t.Errorf("counts = (%d, %d): want every draw but the last to fire", drawn, fired)
+	}
+}
+
+func TestFaultMarkerTransparent(t *testing.T) {
+	base := fmt.Errorf("connection reset")
+	f := driver.Fault(base)
+	if f.Error() != base.Error() {
+		t.Errorf("Fault must not change error text: %q", f.Error())
+	}
+	if !driver.IsFault(f) || driver.IsFault(base) {
+		t.Error("IsFault misclassifies")
+	}
+	if driver.Fault(nil) != nil {
+		t.Error("Fault(nil) must be nil")
+	}
+}
+
+func TestFaultScopesAreIndependent(t *testing.T) {
+	ctx := context.Background()
+	pattern := func(scope string) []bool {
+		fb := NewFlakyBrowser(&stubBrowser{}, 42, scope, 0.5)
+		var p []bool
+		for i := 0; i < 32; i++ {
+			_, err := fb.Load(ctx, "ads.test")
+			p = append(p, err != nil)
+		}
+		return p
+	}
+	us, de := pattern("volunteer/US"), pattern("volunteer/DE")
+	same := true
+	for i := range us {
+		if us[i] != de[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different volunteer scopes drew identical fault streams")
+	}
+}

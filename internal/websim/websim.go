@@ -195,8 +195,16 @@ func (w *Web) AddSite(s Site) error {
 		}
 	}
 	index(cp.Resources)
-	for _, rs := range cp.Variants {
-		index(rs)
+	// Variants must be indexed in a stable order: the cookie index is
+	// first-wins and the children index appends, so ranging the map
+	// directly would make the web differ from build to build.
+	ccs := make([]string, 0, len(cp.Variants))
+	for cc := range cp.Variants {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+	for _, cc := range ccs {
+		index(cp.Variants[cc])
 	}
 	index(cp.Rotating)
 	return nil

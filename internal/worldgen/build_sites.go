@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/netip"
+	"sort"
 	"strings"
 
 	"github.com/gamma-suite/gamma/internal/dnssim"
@@ -364,14 +365,22 @@ func (b *builder) buildGlobalSites() error {
 			return err
 		}
 	}
-	for cc, domain := range googleCCTLDSite {
+	// Register ccTLD sites in sorted order: site registration order decides
+	// first-wins ties in the web's shared cookie/children indices, so a map
+	// range here would vary the built web from run to run.
+	cctldCCs := make([]string, 0, len(googleCCTLDSite))
+	for cc := range googleCCTLDSite {
+		cctldCCs = append(cctldCCs, cc)
+	}
+	sort.Strings(cctldCCs)
+	for _, cc := range cctldCCs {
+		domain := googleCCTLDSite[cc]
 		r := rng.New(b.seed, "global-site", domain)
 		res := firstPartyResources(domain, r)
 		res = append(res, ownTrackers("Google", 3+r.IntN(3), true, domain+"/cctld", r)...)
 		if err := register(domain, "Google", res, nil, r); err != nil {
 			return err
 		}
-		_ = cc
 	}
 	return nil
 }
