@@ -8,6 +8,10 @@
 //	analyze -seed 42 -data ./data            # all *.json datasets in a dir
 //	analyze -seed 42 data/pk.json data/eg.json
 //	analyze -seed 42 -data ./data -json      # machine-readable result
+//	analyze -seed 42 -data ./data -workers 4 # bound the analysis pool
+//
+// Countries are analyzed concurrently; the output is byte-identical for
+// every -workers value (see internal/pipeline's golden harness).
 package main
 
 import (
@@ -29,15 +33,16 @@ func main() {
 		dataDir = flag.String("data", "", "directory of volunteer dataset JSON files")
 		asJSON  = flag.Bool("json", false, "emit the analyzed result as JSON instead of the report")
 		country = flag.String("country", "", "render a single-country profile instead of the full report")
+		workers = flag.Int("workers", 0, "analysis worker pool size; 0 = GOMAXPROCS, 1 = serial")
 	)
 	flag.Parse()
-	if err := run(*seed, *dataDir, flag.Args(), *asJSON, *country); err != nil {
+	if err := run(*seed, *dataDir, flag.Args(), *asJSON, *country, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, dataDir string, files []string, asJSON bool, country string) error {
+func run(seed uint64, dataDir string, files []string, asJSON bool, country string, workers int) error {
 	if dataDir != "" {
 		for _, pattern := range []string{"*.json", "*.json.gz"} {
 			matches, err := filepath.Glob(filepath.Join(dataDir, pattern))
@@ -66,7 +71,7 @@ func run(seed uint64, dataDir string, files []string, asJSON bool, country strin
 	if err != nil {
 		return err
 	}
-	res, err := gamma.Analyze(w, datasets)
+	res, err := gamma.AnalyzeWithWorkers(w, datasets, workers)
 	if err != nil {
 		return err
 	}

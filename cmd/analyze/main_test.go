@@ -28,17 +28,21 @@ func TestRunOverSavedDatasets(t *testing.T) {
 		t.Fatal(err)
 	}
 	// JSON mode (quietest path; report mode writes to stdout).
-	if err := run(42, dir, nil, true, ""); err != nil {
+	if err := run(42, dir, nil, true, "", 0); err != nil {
 		t.Fatal(err)
 	}
-	// Country-profile mode.
-	if err := run(42, dir, nil, false, "TW"); err != nil {
+	// Country-profile mode, forced serial.
+	if err := run(42, dir, nil, false, "TW", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(42, dir, nil, false, "XX"); err == nil {
+	// Bounded parallel pool.
+	if err := run(42, dir, nil, false, "TW", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(42, dir, nil, false, "XX", 0); err == nil {
 		t.Error("unknown country profile must fail")
 	}
-	if err := run(42, t.TempDir(), nil, true, ""); err == nil {
+	if err := run(42, t.TempDir(), nil, true, "", 0); err == nil {
 		t.Error("empty data dir must fail")
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	gamma -country PK -seed 42 -out data/pk.json
 //	gamma -country PK -seed 42 -out data/pk.json -resume   # continue a run
+//	gamma -country PK -seed 42 -out data/pk.json -analyze  # preview Box 2
 package main
 
 import (
@@ -34,6 +35,9 @@ func main() {
 		anon    = flag.Bool("anonymize", false, "strip the volunteer IP before writing")
 		harDir  = flag.String("har", "", "also write one HAR file per loaded page into this directory")
 		chunk   = flag.Int("chunk", 0, "measure at most N pending targets this session (0 = all)")
+
+		analyze  = flag.Bool("analyze", false, "after recording, run the Box-2 pipeline over this dataset and print the funnel")
+		aworkers = flag.Int("analysis-workers", 0, "analysis worker pool size for -analyze; 0 = GOMAXPROCS, 1 = serial")
 
 		showConsent = flag.Bool("show-consent", false, "print the consent document and exit")
 		consentPath = flag.String("consent", "", "path to the consent acceptance record (create with -accept)")
@@ -73,13 +77,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*country, *seed, *out, *resume, *anon, *harDir, *chunk); err != nil {
+	if err := run(*country, *seed, *out, *resume, *anon, *harDir, *chunk, *analyze, *aworkers); err != nil {
 		fmt.Fprintln(os.Stderr, "gamma:", err)
 		os.Exit(1)
 	}
 }
 
-func run(country string, seed uint64, out string, resume, anon bool, harDir string, chunk int) error {
+func run(country string, seed uint64, out string, resume, anon bool, harDir string, chunk int, analyze bool, analysisWorkers int) error {
 	fmt.Fprintf(os.Stderr, "building world (seed %d)...\n", seed)
 	w, err := gamma.NewWorld(seed)
 	if err != nil {
@@ -140,6 +144,25 @@ func run(country string, seed uint64, out string, resume, anon bool, harDir stri
 	}
 	fmt.Fprintf(os.Stderr, "recorded %d targets (%d loaded OK) -> %s\n",
 		len(ds.Pages), ds.LoadedOK(), out)
+	if analyze {
+		return analyzePreview(w, ds, analysisWorkers)
+	}
+	return nil
+}
+
+// analyzePreview runs Box 2 over the freshly recorded dataset so a
+// volunteer can sanity-check a session before uploading. The preview is
+// advisory: the study's authoritative analysis happens server-side over
+// all countries at once.
+func analyzePreview(w *gamma.World, ds *core.Dataset, workers int) error {
+	res, err := gamma.AnalyzeWithWorkers(w, []*core.Dataset{ds}, workers)
+	if err != nil {
+		return fmt.Errorf("analyze preview: %w", err)
+	}
+	fn := res.Funnel
+	fmt.Fprintf(os.Stderr,
+		"analysis preview (%s): %d domain observations, %d claimed non-local, %d survived SOL, %d survived rDNS, %d trackers (%d cloaked)\n",
+		ds.Country, fn.DomainObservations, fn.NonLocalClaimed, fn.AfterSOL, fn.AfterRDNS, fn.Trackers, fn.CloakedTrackers)
 	return nil
 }
 

@@ -12,7 +12,7 @@ import (
 func TestRunRecordsDataset(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "lk.json.gz")
-	if err := run("LK", 42, out, false, false, "", 25); err != nil {
+	if err := run("LK", 42, out, false, false, "", 25, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	ds, err := core.LoadDataset(out)
@@ -23,7 +23,7 @@ func TestRunRecordsDataset(t *testing.T) {
 		t.Fatalf("chunked run recorded %d pages, want 25", len(ds.Pages))
 	}
 	// Resume continues from the same file.
-	if err := run("LK", 42, out, true, true, filepath.Join(dir, "har"), 10); err != nil {
+	if err := run("LK", 42, out, true, true, filepath.Join(dir, "har"), 10, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	ds, err = core.LoadDataset(out)
@@ -48,7 +48,7 @@ func TestRunRecordsDataset(t *testing.T) {
 }
 
 func TestRunRejectsUnknownCountry(t *testing.T) {
-	if err := run("XX", 42, filepath.Join(t.TempDir(), "x.json"), false, false, "", 0); err == nil {
+	if err := run("XX", 42, filepath.Join(t.TempDir(), "x.json"), false, false, "", 0, false, 0); err == nil {
 		t.Error("unknown country must fail")
 	}
 }

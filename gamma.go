@@ -283,9 +283,20 @@ func PipelineEnv(w *World) pipeline.Env {
 	}
 }
 
-// Analyze runs the Box-2 pipeline over volunteer datasets.
+// Analyze runs the Box-2 pipeline over volunteer datasets. Countries are
+// analyzed concurrently over GOMAXPROCS workers; use AnalyzeWithWorkers to
+// bound or serialize the pool. The result is byte-identical for any worker
+// count (see internal/pipeline's golden/differential harness).
 func Analyze(w *World, datasets []*Dataset) (*Result, error) {
-	return pipeline.Process(PipelineEnv(w), datasets)
+	return AnalyzeWithWorkers(w, datasets, 0)
+}
+
+// AnalyzeWithWorkers runs Box 2 with a bounded analysis worker pool;
+// workers <= 0 uses runtime.GOMAXPROCS(0), 1 forces a serial analysis.
+func AnalyzeWithWorkers(w *World, datasets []*Dataset, workers int) (*Result, error) {
+	env := PipelineEnv(w)
+	env.AnalysisWorkers = workers
+	return pipeline.Process(env, datasets)
 }
 
 // Study bundles a complete end-to-end run.
@@ -324,6 +335,11 @@ type StudyOptions struct {
 	// every stochastic draw is keyed by stable strings, never by
 	// scheduling order.
 	Workers int
+	// AnalysisWorkers bounds concurrent per-country analyses in Box 2
+	// (pipeline.Env.AnalysisWorkers): <= 0 uses runtime.GOMAXPROCS(0),
+	// 1 forces a serial analysis. Like Workers, the analyzed result is
+	// byte-identical for every value.
+	AnalysisWorkers int
 	// Retry re-runs a failed volunteer (zero value: single attempt).
 	// Each retry resumes the volunteer's dataset, so completed targets
 	// are never re-measured.
@@ -429,7 +445,7 @@ func RunStudyWithOptions(ctx context.Context, seed uint64, opts StudyOptions) (*
 		return study, errors.Join(errs...)
 	}
 	if len(all) > 0 {
-		res, aerr := Analyze(w, all)
+		res, aerr := AnalyzeWithWorkers(w, all, opts.AnalysisWorkers)
 		if aerr != nil {
 			errs = append(errs, aerr)
 		} else {

@@ -296,6 +296,42 @@ func Fig5DestShares(res *pipeline.Result) []DestShare {
 	return out
 }
 
+// FlowShare is one cell of the row-normalized Fig 5 matrix: the fraction of
+// a source country's tracking flow that lands in a destination.
+type FlowShare struct {
+	Source string  `json:"source"`
+	Dest   string  `json:"dest"`
+	Share  float64 `json:"share"`
+}
+
+// Fig5FlowShares normalizes the Fig 5 flow matrix per source country, so
+// each source's outgoing shares sum to 1. Rows are sorted by source, then
+// descending share, then destination, for a stable rendering order.
+func Fig5FlowShares(flows []Flow) []FlowShare {
+	totals := map[string]int{}
+	for _, f := range flows {
+		totals[f.Source] += f.Sites
+	}
+	out := make([]FlowShare, 0, len(flows))
+	for _, f := range flows {
+		out = append(out, FlowShare{
+			Source: f.Source,
+			Dest:   f.Dest,
+			Share:  float64(f.Sites) / float64(totals[f.Source]),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Dest < out[j].Dest
+	})
+	return out
+}
+
 // SitesWithNonLocal counts loaded sites with ≥1 retained non-local tracker.
 func SitesWithNonLocal(res *pipeline.Result) int {
 	n := 0

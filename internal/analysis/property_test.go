@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geoloc"
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+// randomFlows draws a random source→dest flow matrix. Every draw is keyed
+// by the trial index, so failures reproduce exactly.
+func randomFlows(r *rand.Rand) []Flow {
+	nSrc := 2 + r.IntN(8)
+	nDst := 2 + r.IntN(10)
+	var flows []Flow
+	for s := 0; s < nSrc; s++ {
+		for d := 0; d < nDst; d++ {
+			if r.Float64() < 0.4 {
+				continue // sparse matrix, like the real Fig 5
+			}
+			flows = append(flows, Flow{
+				Source: fmt.Sprintf("S%02d", s),
+				Dest:   fmt.Sprintf("D%02d", d),
+				Sites:  1 + r.IntN(50),
+			})
+		}
+	}
+	return flows
+}
+
+// TestFig5FlowSharesSumToOne: for every source country with outgoing flow,
+// the normalized shares must sum to 1 (within float tolerance), and every
+// share must be in (0, 1].
+func TestFig5FlowSharesSumToOne(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(99, "prop/fig5", fmt.Sprint(trial))
+		flows := randomFlows(r)
+		shares := Fig5FlowShares(flows)
+		if len(shares) != len(flows) {
+			t.Fatalf("trial %d: %d shares for %d flows", trial, len(shares), len(flows))
+		}
+		sums := map[string]float64{}
+		for _, s := range shares {
+			if s.Share <= 0 || s.Share > 1 {
+				t.Fatalf("trial %d: share %v out of (0,1]", trial, s)
+			}
+			sums[s.Source] += s.Share
+		}
+		for src, sum := range sums {
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("trial %d: source %s shares sum to %.12f, want 1", trial, src, sum)
+			}
+		}
+	}
+}
+
+// TestFig3CorrelationProperties: Pearson correlation is symmetric under
+// swapping the two prevalence columns and always lies in [-1, 1].
+func TestFig3CorrelationProperties(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(99, "prop/fig3", fmt.Sprint(trial))
+		n := 3 + r.IntN(20)
+		prev := make([]Prevalence, n)
+		swapped := make([]Prevalence, n)
+		for i := range prev {
+			reg := r.Float64() * 100
+			gov := r.Float64() * 100
+			if r.Float64() < 0.3 {
+				gov = 0.7*reg + r.Float64()*10 // inject correlation sometimes
+			}
+			prev[i] = Prevalence{Country: fmt.Sprintf("C%02d", i), RegionalPct: reg, GovernmentPct: gov}
+			swapped[i] = Prevalence{Country: prev[i].Country, RegionalPct: gov, GovernmentPct: reg}
+		}
+		corr, err := Fig3Correlation(prev)
+		if err != nil {
+			continue // degenerate draw (zero variance) is allowed to error
+		}
+		if corr < -1-1e-12 || corr > 1+1e-12 {
+			t.Fatalf("trial %d: correlation %v outside [-1,1]", trial, corr)
+		}
+		swapCorr, err := Fig3Correlation(swapped)
+		if err != nil {
+			t.Fatalf("trial %d: swapped columns errored: %v", trial, err)
+		}
+		if math.Abs(corr-swapCorr) > 1e-9 {
+			t.Fatalf("trial %d: correlation not symmetric: %v vs %v", trial, corr, swapCorr)
+		}
+	}
+}
+
+// TestTallyFunnelInvariants: for any verdict multiset, the tally partitions
+// the total (Total == Local + NonLocal + Discarded) and the per-stage
+// counts partition the discards.
+func TestTallyFunnelInvariants(t *testing.T) {
+	stages := []geoloc.Stage{
+		"invalid-address", "no-geolocation", "source-missing",
+		"source-unreachable", "source-sol", "dest-sol", "dest-too-far",
+	}
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(99, "prop/tally", fmt.Sprint(trial))
+		n := r.IntN(200)
+		vs := make([]geoloc.Verdict, n)
+		for i := range vs {
+			switch r.IntN(3) {
+			case 0:
+				vs[i].Class = geoloc.Local
+			case 1:
+				vs[i].Class = geoloc.NonLocal
+			default:
+				vs[i].Class = geoloc.Discarded
+				vs[i].Stage = stages[r.IntN(len(stages))]
+			}
+		}
+		fc := geoloc.Tally(vs)
+		if fc.Total != n {
+			t.Fatalf("trial %d: total %d != %d verdicts", trial, fc.Total, n)
+		}
+		if fc.Local+fc.NonLocal+fc.Discarded != fc.Total {
+			t.Fatalf("trial %d: classes do not partition total: %+v", trial, fc)
+		}
+		// The funnel narrows monotonically: no bucket may exceed the total.
+		for _, v := range []int{fc.Local, fc.NonLocal, fc.Discarded} {
+			if v < 0 || v > fc.Total {
+				t.Fatalf("trial %d: bucket out of range: %+v", trial, fc)
+			}
+		}
+		byStage := 0
+		for _, c := range fc.ByStage {
+			byStage += c
+		}
+		if byStage != fc.Discarded {
+			t.Fatalf("trial %d: stage counts %d != discarded %d", trial, byStage, fc.Discarded)
+		}
+	}
+}
+
+// TestOrgTotalsConservation: aggregating per-source org flows into
+// study-wide totals must conserve the overall flow sum and each org's sum.
+func TestOrgTotalsConservation(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(99, "prop/orgs", fmt.Sprint(trial))
+		nSrc, nOrg := 1+r.IntN(8), 1+r.IntN(6)
+		var flows []OrgFlow
+		wantTotal := 0
+		wantByOrg := map[string]int{}
+		for s := 0; s < nSrc; s++ {
+			for o := 0; o < nOrg; o++ {
+				if r.Float64() < 0.3 {
+					continue
+				}
+				f := OrgFlow{
+					Source: fmt.Sprintf("S%02d", s),
+					Org:    fmt.Sprintf("Org%02d", o),
+					Sites:  1 + r.IntN(40),
+				}
+				flows = append(flows, f)
+				wantTotal += f.Sites
+				wantByOrg[f.Org] += f.Sites
+			}
+		}
+		totals := OrgTotals(flows)
+		gotTotal := 0
+		for _, f := range totals {
+			gotTotal += f.Sites
+			if f.Sites != wantByOrg[f.Org] {
+				t.Fatalf("trial %d: org %s total %d, want %d", trial, f.Org, f.Sites, wantByOrg[f.Org])
+			}
+		}
+		if gotTotal != wantTotal {
+			t.Fatalf("trial %d: total flow %d, want %d (flow not conserved)", trial, gotTotal, wantTotal)
+		}
+		if len(totals) != len(wantByOrg) {
+			t.Fatalf("trial %d: %d orgs in totals, want %d", trial, len(totals), len(wantByOrg))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package filterlist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+// matchKey identifies one memoizable Match call. Engines are immutable once
+// built and Match is a pure function of the request, so the full request is
+// the complete cache key; the engine identity is carried by the CachedEngine
+// wrapping it.
+type matchKey struct {
+	url        string
+	domain     string
+	pageDomain string
+	thirdParty bool
+	typ        ResourceType
+}
+
+type matchVal struct {
+	blocked bool
+	rule    *Rule
+}
+
+// matchShards bounds lock contention when many analysis workers consult the
+// same engine: the Box-2 pipeline asks about the same tracker URLs from all
+// 23 countries at once.
+const matchShards = 32
+
+// CachedEngine memoizes Engine.Match results. It is safe for concurrent use;
+// the underlying Engine is read-only after construction, so duplicate
+// concurrent computations of the same key are harmless and simply race to
+// store identical values.
+type CachedEngine struct {
+	engine *Engine
+	shards [matchShards]struct {
+		mu sync.RWMutex
+		m  map[matchKey]matchVal
+	}
+	hits, misses atomic.Int64
+}
+
+// NewCachedEngine wraps an engine in a memoizing, concurrency-safe cache.
+func NewCachedEngine(e *Engine) *CachedEngine {
+	c := &CachedEngine{engine: e}
+	for i := range c.shards {
+		c.shards[i].m = make(map[matchKey]matchVal)
+	}
+	return c
+}
+
+// Engine returns the wrapped engine.
+func (c *CachedEngine) Engine() *Engine { return c.engine }
+
+// MatchCacheStats snapshots the cache counters.
+type MatchCacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Stats returns a snapshot of the cache counters; safe to call while Match
+// runs.
+func (c *CachedEngine) Stats() MatchCacheStats {
+	return MatchCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Match evaluates the request, consulting the cache first. Cached and
+// uncached calls return identical verdicts and the identical *Rule pointer:
+// Engine.Match is deterministic and rules are never copied.
+func (c *CachedEngine) Match(req Request) (bool, *Rule) {
+	key := matchKey{
+		url:        req.URL,
+		domain:     req.Domain,
+		pageDomain: req.PageDomain,
+		thirdParty: req.ThirdParty,
+		typ:        req.Type,
+	}
+	s := &c.shards[rng.Hash(key.url, key.domain, key.pageDomain)%matchShards]
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v.blocked, v.rule
+	}
+	c.misses.Add(1)
+	blocked, rule := c.engine.Match(req)
+	s.mu.Lock()
+	s.m[key] = matchVal{blocked: blocked, rule: rule}
+	s.mu.Unlock()
+	return blocked, rule
+}

@@ -1,0 +1,111 @@
+package filterlist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func cacheTestEngine() *Engine {
+	list := ParseList("test", `
+||tracker.example^$third-party
+||ads.example^
+@@||ads.example/allowed^
+/banner/*$script
+||cdn.example^$domain=news.example
+`)
+	return NewEngine(list)
+}
+
+func cacheTestRequests() []Request {
+	var reqs []Request
+	domains := []string{
+		"tracker.example", "sub.tracker.example", "ads.example",
+		"cdn.example", "clean.example", "banner.clean.example",
+	}
+	for _, d := range domains {
+		for _, page := range []string{"news.example", "other.example"} {
+			for _, third := range []bool{true, false} {
+				reqs = append(reqs, Request{
+					URL:        "https://" + d + "/",
+					Domain:     d,
+					PageDomain: page,
+					ThirdParty: third,
+					Type:       TypeScript,
+				})
+			}
+		}
+	}
+	reqs = append(reqs, Request{
+		URL: "https://clean.example/banner/x.js", Domain: "clean.example",
+		PageDomain: "news.example", ThirdParty: true, Type: TypeScript,
+	})
+	return reqs
+}
+
+// TestCachedEngineEquivalence proves cached and uncached verdicts are
+// identical — same decision and the same *Rule pointer — on first and
+// repeat lookups.
+func TestCachedEngineEquivalence(t *testing.T) {
+	e := cacheTestEngine()
+	c := NewCachedEngine(e)
+	reqs := cacheTestRequests()
+	for round := 0; round < 3; round++ {
+		for i, req := range reqs {
+			wantB, wantR := e.Match(req)
+			gotB, gotR := c.Match(req)
+			if gotB != wantB || gotR != wantR {
+				t.Fatalf("round %d req %d: cached (%v,%p) != uncached (%v,%p)",
+					round, i, gotB, gotR, wantB, wantR)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != int64(len(reqs)) {
+		t.Errorf("misses = %d, want one per unique request (%d)", st.Misses, len(reqs))
+	}
+	if st.Hits != int64(2*len(reqs)) {
+		t.Errorf("hits = %d, want %d", st.Hits, 2*len(reqs))
+	}
+}
+
+// TestCachedEngineConcurrent hammers the cache from 8 goroutines; run under
+// -race it proves the shard locking is sound.
+func TestCachedEngineConcurrent(t *testing.T) {
+	c := NewCachedEngine(cacheTestEngine())
+	reqs := cacheTestRequests()
+	want := make([]bool, len(reqs))
+	for i, req := range reqs {
+		want[i], _ = c.engine.Match(req)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				for i := range reqs {
+					j := (i + g) % len(reqs)
+					if got, _ := c.Match(reqs[j]); got != want[j] {
+						select {
+						case errs <- fmt.Sprintf("req %d: got %v want %v", j, got, want[j]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != int64(8*200*len(reqs)) {
+		t.Errorf("hits(%d)+misses(%d) != calls(%d)", st.Hits, st.Misses, 8*200*len(reqs))
+	}
+}

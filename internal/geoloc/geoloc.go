@@ -21,10 +21,12 @@ package geoloc
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gamma-suite/gamma/internal/atlas"
 	"github.com/gamma-suite/gamma/internal/geo"
 	"github.com/gamma-suite/gamma/internal/geodb"
+	"github.com/gamma-suite/gamma/internal/rng"
 	"github.com/gamma-suite/gamma/internal/tracert"
 )
 
@@ -109,7 +111,11 @@ func DefaultConfig() Config {
 	return Config{ReferenceFloor: 0.8, CountryRadiusSlack: 2.0, SlackKm: 400}
 }
 
-// Framework evaluates candidates against the constraint cascade.
+// Framework evaluates candidates against the constraint cascade. It is safe
+// for concurrent Classify calls: the destination-traceroute cache is sharded
+// behind per-shard mutexes with single-flight semantics, so no matter how
+// many goroutines ask about the same destination IP, exactly one traceroute
+// is launched and everyone else waits for (or reuses) its result.
 type Framework struct {
 	cfg   Config
 	ipmap *geodb.DB
@@ -117,12 +123,45 @@ type Framework struct {
 	mesh  *atlas.Mesh
 	reg   *geo.Registry
 
-	mu        sync.Mutex
-	destCache map[netip.Addr]destResult
+	shards [destShards]destShard
+
+	hits     atomic.Int64 // completed cache entries served
+	misses   atomic.Int64 // lookups that launched the traceroute themselves
+	inflight atomic.Int64 // lookups that waited on another goroutine's launch
 }
 
-type destResult struct {
+// destShards bounds lock contention under concurrent Classify calls.
+const destShards = 16
+
+type destShard struct {
+	mu      sync.Mutex
+	entries map[netip.Addr]*destEntry
+}
+
+// destEntry is a single-flight slot: the goroutine that created it computes
+// stage and closes done; everyone else blocks on done.
+type destEntry struct {
+	done  chan struct{}
 	stage Stage // StageNone when the destination constraint passed
+}
+
+// CacheStats snapshots the destination-cache counters. Misses equals the
+// number of destination traceroutes actually launched: under any level of
+// concurrency it stays exactly one per unique destination IP.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Inflight int64 `json:"inflight"`
+}
+
+// Stats returns a snapshot of the destination-cache counters; safe to call
+// while Classify runs.
+func (f *Framework) Stats() CacheStats {
+	return CacheStats{
+		Hits:     f.hits.Load(),
+		Misses:   f.misses.Load(),
+		Inflight: f.inflight.Load(),
+	}
 }
 
 // New builds a framework. mesh may be nil, in which case the destination
@@ -131,14 +170,17 @@ func New(cfg Config, ipmap *geodb.DB, ref *geodb.RefTable, mesh *atlas.Mesh, reg
 	if cfg.ReferenceFloor == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Framework{
-		cfg:       cfg,
-		ipmap:     ipmap,
-		ref:       ref,
-		mesh:      mesh,
-		reg:       reg,
-		destCache: make(map[netip.Addr]destResult),
+	f := &Framework{
+		cfg:   cfg,
+		ipmap: ipmap,
+		ref:   ref,
+		mesh:  mesh,
+		reg:   reg,
 	}
+	for i := range f.shards {
+		f.shards[i].entries = make(map[netip.Addr]*destEntry)
+	}
+	return f
 }
 
 // CleanLatency extracts the local-network-corrected latency from a source
@@ -223,21 +265,37 @@ func (f *Framework) Classify(volCountry string, volCity geo.City, c Candidate) V
 }
 
 // destinationConstraint launches (and caches) the destination traceroute
-// for a server address against its claimed location.
+// for a server address against its claimed location. The claimed city is a
+// pure function of the address (an IPmap lookup), so the address alone keys
+// the cache and concurrent callers with the same address always agree.
 func (f *Framework) destinationConstraint(addr netip.Addr, claimed geo.City) Stage {
-	f.mu.Lock()
-	if res, ok := f.destCache[addr]; ok {
-		f.mu.Unlock()
-		return res.stage
+	s := &f.shards[shardOf(addr)]
+	s.mu.Lock()
+	if e, ok := s.entries[addr]; ok {
+		s.mu.Unlock()
+		select {
+		case <-e.done:
+			f.hits.Add(1)
+		default:
+			f.inflight.Add(1)
+			<-e.done
+		}
+		return e.stage
 	}
-	f.mu.Unlock()
+	e := &destEntry{done: make(chan struct{})}
+	s.entries[addr] = e
+	s.mu.Unlock()
 
-	stage := f.destinationConstraintUncached(addr, claimed)
+	f.misses.Add(1)
+	e.stage = f.destinationConstraintUncached(addr, claimed)
+	close(e.done)
+	return e.stage
+}
 
-	f.mu.Lock()
-	f.destCache[addr] = destResult{stage: stage}
-	f.mu.Unlock()
-	return stage
+// shardOf maps an address to its cache shard.
+func shardOf(addr netip.Addr) int {
+	b := addr.As16()
+	return int(rng.Hash(string(b[:])) % destShards)
 }
 
 func (f *Framework) destinationConstraintUncached(addr netip.Addr, claimed geo.City) Stage {

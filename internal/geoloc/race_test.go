@@ -1,0 +1,110 @@
+package geoloc
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/atlas"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/geodb"
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+// raceSetup builds a Karachi observer and a set of Paris-hosted servers so
+// every candidate is claimed non-local and must pass through the destination
+// constraint (the cached, single-flight hot path).
+func raceSetup(t *testing.T, hosts int) (*Framework, geo.City, []Candidate) {
+	t.Helper()
+	reg := geo.Default()
+	cfg := netsim.DefaultConfig(7)
+	cfg.TraceLossProb = 0
+	net := netsim.New(cfg)
+	if err := net.AddAS(netsim.AS{Number: 1, Name: "r", Org: "r", Country: "FR"}); err != nil {
+		t.Fatal(err)
+	}
+	khi, _ := reg.City("Karachi, PK")
+	paris, _ := reg.City("Paris, FR")
+	var cands []Candidate
+	for i := 0; i < hosts; i++ {
+		h, err := net.AddHost(netsim.Host{City: paris, ASN: 1, Responsive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, Candidate{Domain: fmt.Sprintf("h%d.example", i), Addr: h.Addr})
+	}
+	mesh, err := atlas.BuildMesh(net, reg, atlas.DefaultMeshConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipmap := geodb.Build("ipmap", net, reg, geodb.BuildConfig{Seed: 1, Coverage: 1})
+	fcfg := DefaultConfig()
+	// Skip the source and rDNS constraints so every call exercises the
+	// destination cache.
+	fcfg.DisableSourceConstraint = true
+	fcfg.DisableRDNSConstraint = true
+	fw := New(fcfg, ipmap, nil, mesh, reg)
+	return fw, khi, cands
+}
+
+// TestClassifyConcurrentRace hammers Classify from 8 goroutines over
+// overlapping destination IPs. Run under -race this is the regression test
+// for the destCache data race; the stats assertions prove the single-flight
+// invariant: exactly one destination traceroute per unique IP, no matter
+// how many goroutines ask.
+func TestClassifyConcurrentRace(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+	)
+	fw, khi, cands := raceSetup(t, 12)
+
+	// Serial baseline on an identical, independent framework: the simulator
+	// is deterministic, so the two frameworks must agree exactly.
+	serial, _, _ := raceSetup(t, 12)
+	want := map[netip.Addr]Verdict{}
+	for _, c := range cands {
+		want[c.Addr] = serial.Classify("PK", khi, c)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the candidates at a different phase so
+				// lookups overlap in every interleaving.
+				for i := range cands {
+					c := cands[(i+g)%len(cands)]
+					got := fw.Classify("PK", khi, c)
+					if got.Class != want[c.Addr].Class || got.Stage != want[c.Addr].Stage {
+						select {
+						case errs <- fmt.Sprintf("%s: got %v/%v want %v/%v",
+							c.Domain, got.Class, got.Stage, want[c.Addr].Class, want[c.Addr].Stage):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := fw.Stats()
+	if st.Misses != int64(len(cands)) {
+		t.Errorf("misses = %d, want exactly one launch per unique IP (%d)", st.Misses, len(cands))
+	}
+	total := int64(goroutines * rounds * len(cands))
+	if st.Hits+st.Inflight+st.Misses != total {
+		t.Errorf("hits(%d)+inflight(%d)+misses(%d) != calls(%d)", st.Hits, st.Inflight, st.Misses, total)
+	}
+}

@@ -1,0 +1,83 @@
+package pipeline_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+// benchState records the full 23-country study corpus once; recording is
+// Box 1 work and must not be charged to the Box 2 benchmark.
+var benchState struct {
+	once     sync.Once
+	world    *gamma.World
+	datasets []*core.Dataset
+	err      error
+}
+
+func benchCorpus(b *testing.B) (*gamma.World, []*core.Dataset) {
+	b.Helper()
+	benchState.once.Do(func() {
+		w, err := gamma.NewWorld(42)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		sels, err := gamma.SelectTargets(w)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		codes := make([]string, 0, len(w.Volunteers))
+		for cc := range w.Volunteers {
+			codes = append(codes, cc)
+		}
+		sort.Strings(codes)
+		ctx := context.Background()
+		for _, cc := range codes {
+			ds, err := gamma.RunVolunteer(ctx, w, cc, sels[cc])
+			if err != nil {
+				benchState.err = fmt.Errorf("record %s: %w", cc, err)
+				return
+			}
+			benchState.datasets = append(benchState.datasets, ds)
+		}
+		benchState.world = w
+	})
+	if benchState.err != nil {
+		b.Fatal(benchState.err)
+	}
+	return benchState.world, benchState.datasets
+}
+
+// BenchmarkProcessParallel sweeps the analysis worker pool over the full
+// 23-country corpus, with the shared caches on (production topology) and
+// off (serial-era topology), to measure the Parallel Box 2 speedup.
+func BenchmarkProcessParallel(b *testing.B) {
+	w, datasets := benchCorpus(b)
+	for _, cache := range []struct {
+		name    string
+		disable bool
+	}{{"cache=on", false}, {"cache=off", true}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", cache.name, workers), func(b *testing.B) {
+				env := gamma.PipelineEnv(w)
+				env.AnalysisWorkers = workers
+				env.DisableAnalysisCaches = cache.disable
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pipeline.Process(env, datasets); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

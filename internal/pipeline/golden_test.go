@@ -1,0 +1,264 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/analysis"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// goldenState caches the truncated corpus the golden files are built from:
+// the fixture world's PK/EG/AU volunteers re-run over 8 regional + 4
+// government targets each, so the committed JSON stays reviewably small
+// while still covering the volunteer, Atlas-substitution, and blocked-probe
+// trace origins.
+var goldenState struct {
+	world    *gamma.World
+	datasets []*core.Dataset
+}
+
+func goldenSetup(t *testing.T) (*gamma.World, []*core.Dataset) {
+	t.Helper()
+	if goldenState.world != nil {
+		return goldenState.world, goldenState.datasets
+	}
+	f := setup(t)
+	sels, err := gamma.SelectTargets(f.world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var datasets []*core.Dataset
+	for _, cc := range []string{"PK", "EG", "AU"} {
+		sel := sels[cc]
+		sel.Regional = sel.Regional[:8]
+		sel.Government = sel.Government[:4]
+		ds, err := gamma.RunVolunteer(ctx, f.world, cc, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	goldenState.world, goldenState.datasets = f.world, datasets
+	return f.world, datasets
+}
+
+// processWith runs Box 2 over the datasets with an explicit worker count and
+// cache topology. Re-running over the same datasets is safe: Anonymize only
+// blanks VolunteerIP, which the pipeline never reads.
+func processWith(t *testing.T, w *gamma.World, datasets []*core.Dataset, workers int, disableCaches bool) *pipeline.Result {
+	t.Helper()
+	env := gamma.PipelineEnv(w)
+	env.AnalysisWorkers = workers
+	env.DisableAnalysisCaches = disableCaches
+	res, err := pipeline.Process(env, datasets)
+	if err != nil {
+		t.Fatalf("Process(workers=%d, caches-off=%v): %v", workers, disableCaches, err)
+	}
+	return res
+}
+
+// goldenResult pairs the Result with the per-country Verdicts maps, which
+// are excluded from CountryResult's own JSON (`json:"-"`) but are exactly
+// what the equivalence proof must cover.
+type goldenResult struct {
+	Result   *pipeline.Result                         `json:"result"`
+	Verdicts map[string]map[string]pipeline.DomainObs `json:"verdicts"`
+}
+
+func dumpResult(t *testing.T, res *pipeline.Result) []byte {
+	t.Helper()
+	verdicts := make(map[string]map[string]pipeline.DomainObs, len(res.Countries))
+	for _, cc := range res.CountryCodes() {
+		verdicts[cc] = res.Countries[cc].Verdicts
+	}
+	b, err := json.MarshalIndent(goldenResult{Result: res, Verdicts: verdicts}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// goldenFigures is every downstream analysis output derived from a Result.
+// If any of these differs between a serial and a parallel run, the
+// parallelization changed the science, not just the wall clock.
+type goldenFigures struct {
+	Fig2Composition     []analysis.Composition            `json:"fig2_composition"`
+	Fig2LoadSuccess     []analysis.LoadSuccess            `json:"fig2_load_success"`
+	Fig3Prevalence      []analysis.Prevalence             `json:"fig3_prevalence"`
+	Fig3Correlation     *float64                          `json:"fig3_correlation"`
+	Fig4Distribution    []analysis.Distribution           `json:"fig4_distribution"`
+	Fig5CountryFlows    []analysis.Flow                   `json:"fig5_country_flows"`
+	Fig5FlowShares      []analysis.FlowShare              `json:"fig5_flow_shares"`
+	Fig5DestShares      []analysis.DestShare              `json:"fig5_dest_shares"`
+	SitesWithNonLocal   int                               `json:"sites_with_non_local"`
+	Fig6ContinentFlows  []analysis.ContinentFlow          `json:"fig6_continent_flows"`
+	InwardFlow          map[geo.Continent][]geo.Continent `json:"inward_flow"`
+	Fig7HostingCounts   []analysis.HostingCount           `json:"fig7_hosting_counts"`
+	Fig8OrgFlows        []analysis.OrgFlow                `json:"fig8_org_flows"`
+	OrgTotals           []analysis.OrgFlow                `json:"org_totals"`
+	ExclusiveOrgs       map[string]string                 `json:"exclusive_orgs"`
+	Fig9DomainFrequency []analysis.DomainFrequency        `json:"fig9_domain_frequency"`
+	Table1              []analysis.PolicyRow              `json:"table1"`
+}
+
+func dumpFigures(t *testing.T, w *gamma.World, res *pipeline.Result) []byte {
+	t.Helper()
+	prev := analysis.Fig3Prevalence(res)
+	flows := analysis.Fig5CountryFlows(res)
+	cont := analysis.Fig6ContinentFlows(res, w.Registry)
+	orgs := analysis.Fig8OrgFlows(res)
+	doc := goldenFigures{
+		Fig2Composition:     analysis.Fig2Composition(res),
+		Fig2LoadSuccess:     analysis.Fig2LoadSuccess(res),
+		Fig3Prevalence:      prev,
+		Fig4Distribution:    analysis.Fig4Distribution(res),
+		Fig5CountryFlows:    flows,
+		Fig5FlowShares:      analysis.Fig5FlowShares(flows),
+		Fig5DestShares:      analysis.Fig5DestShares(res),
+		SitesWithNonLocal:   analysis.SitesWithNonLocal(res),
+		Fig6ContinentFlows:  cont,
+		InwardFlow:          analysis.InwardFlowContinents(cont),
+		Fig7HostingCounts:   analysis.Fig7HostingCounts(res),
+		Fig8OrgFlows:        orgs,
+		OrgTotals:           analysis.OrgTotals(orgs),
+		ExclusiveOrgs:       analysis.ExclusiveOrgs(orgs),
+		Fig9DomainFrequency: analysis.Fig9DomainFrequency(res),
+		Table1:              analysis.Table1(prev, gamma.PolicyRegistry(w)),
+	}
+	if corr, err := analysis.Fig3Correlation(prev); err == nil {
+		doc.Fig3Correlation = &corr
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// firstDiff pinpoints the first diverging line of two canonical dumps so a
+// golden failure says what changed, not just that something did.
+func firstDiff(got, want []byte) string {
+	g, w := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("first divergence at line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("one dump is a prefix of the other (%d vs %d lines)", len(g), len(w))
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — regenerate with `go test ./internal/pipeline -run Golden -update`: %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from committed golden; %s", path, firstDiff(got, want))
+	}
+}
+
+// TestGoldenByteIdentity is the equivalence proof for Parallel Box 2:
+// a serial run, parallel runs at several widths, and a cache-disabled run
+// must serialize byte-for-byte identically — for the full Result (verdicts
+// included) and for every figure/table derived from it — and must match the
+// committed golden files.
+func TestGoldenByteIdentity(t *testing.T) {
+	w, datasets := goldenSetup(t)
+	serial := processWith(t, w, datasets, 1, false)
+	wantRes := dumpResult(t, serial)
+	wantFig := dumpFigures(t, w, serial)
+
+	variants := []struct {
+		name     string
+		workers  int
+		disabled bool
+	}{
+		{"workers=4", 4, false},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0), false},
+		{"workers=0 (default pool)", 0, false},
+		{"workers=4, caches disabled", 4, true},
+	}
+	for _, v := range variants {
+		res := processWith(t, w, datasets, v.workers, v.disabled)
+		if got := dumpResult(t, res); !bytes.Equal(got, wantRes) {
+			t.Errorf("%s: Result differs from serial run; %s", v.name, firstDiff(got, wantRes))
+		}
+		if got := dumpFigures(t, w, res); !bytes.Equal(got, wantFig) {
+			t.Errorf("%s: figures differ from serial run; %s", v.name, firstDiff(got, wantFig))
+		}
+	}
+
+	compareGolden(t, filepath.Join("testdata", "golden_result.json"), wantRes)
+	compareGolden(t, filepath.Join("testdata", "golden_figures.json"), wantFig)
+}
+
+// TestParallelMatchesSerialFullCorpus repeats the differential half of the
+// proof on the full (untruncated) PK/EG/AU corpus, where site counts, ad
+// rotations, and failure draws are realistic.
+func TestParallelMatchesSerialFullCorpus(t *testing.T) {
+	f := setup(t)
+	serial := processWith(t, f.world, f.datasets, 1, false)
+	wantRes := dumpResult(t, serial)
+	wantFig := dumpFigures(t, f.world, serial)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		res := processWith(t, f.world, f.datasets, workers, false)
+		if got := dumpResult(t, res); !bytes.Equal(got, wantRes) {
+			t.Errorf("workers=%d: Result differs from serial; %s", workers, firstDiff(got, wantRes))
+		}
+		if got := dumpFigures(t, f.world, res); !bytes.Equal(got, wantFig) {
+			t.Errorf("workers=%d: figures differ from serial; %s", workers, firstDiff(got, wantFig))
+		}
+	}
+	uncached := processWith(t, f.world, f.datasets, 4, true)
+	if got := dumpResult(t, uncached); !bytes.Equal(got, wantRes) {
+		t.Errorf("caches disabled: Result differs from serial; %s", firstDiff(got, wantRes))
+	}
+}
+
+// TestCacheStatsInvariant checks the single-flight guarantee end to end:
+// the shared geoloc cache launches exactly as many destination traceroutes
+// in a wide parallel run as in a serial one (one per unique destination IP),
+// and the memoized match cache actually absorbs repeat lookups.
+func TestCacheStatsInvariant(t *testing.T) {
+	f := setup(t)
+	serial := processWith(t, f.world, f.datasets, 1, false)
+	par := processWith(t, f.world, f.datasets, 8, false)
+	if par.Caches.Geoloc.Misses != serial.Caches.Geoloc.Misses {
+		t.Errorf("geoloc cache misses: parallel %d != serial %d — duplicate traceroutes launched",
+			par.Caches.Geoloc.Misses, serial.Caches.Geoloc.Misses)
+	}
+	if par.Caches.Geoloc.Misses > int64(par.Funnel.UniqueIPs) {
+		t.Errorf("geoloc cache misses %d exceed unique IPs %d", par.Caches.Geoloc.Misses, par.Funnel.UniqueIPs)
+	}
+	if par.Caches.Geoloc.Misses == 0 {
+		t.Error("geoloc cache never exercised")
+	}
+	if par.Caches.Lists.Hits == 0 {
+		t.Error("match cache absorbed no repeat lookups")
+	}
+}

@@ -10,8 +10,10 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -22,6 +24,7 @@ import (
 	"github.com/gamma-suite/gamma/internal/geodb"
 	"github.com/gamma-suite/gamma/internal/geoloc"
 	"github.com/gamma-suite/gamma/internal/netsim"
+	"github.com/gamma-suite/gamma/internal/sched"
 	"github.com/gamma-suite/gamma/internal/tracert"
 	"github.com/gamma-suite/gamma/internal/trackerdb"
 )
@@ -43,6 +46,19 @@ type Env struct {
 
 	// GeolocConfig tunes the constraint cascade; zero value uses defaults.
 	GeolocConfig geoloc.Config
+
+	// AnalysisWorkers bounds how many countries Process analyzes
+	// concurrently; <= 0 uses runtime.GOMAXPROCS(0). The output is
+	// byte-identical for every value — the golden/differential harness in
+	// golden_test.go is the proof obligation for that invariant.
+	AnalysisWorkers int
+
+	// DisableAnalysisCaches reverts to the serial-era cache topology: a
+	// fresh geolocation framework per country (no cross-country destination
+	// sharing) and unmemoized filter-list matching. Verdicts are identical
+	// either way — the framework and the engines are deterministic pure
+	// functions — so this exists for benchmarking and differential tests.
+	DisableAnalysisCaches bool
 }
 
 // trackerCategories are the org categories manual inspection labels as
@@ -136,6 +152,14 @@ type Funnel struct {
 	CloakedTrackers    int `json:"cloaked_trackers"`      // CNAME-cloaked subset of the above
 }
 
+// AnalysisCacheStats reports analysis-cache effectiveness for one Process
+// run: destination-traceroute reuse in the geolocation framework and
+// filter-list match memoization.
+type AnalysisCacheStats struct {
+	Geoloc geoloc.CacheStats          `json:"geoloc"`
+	Lists  filterlist.MatchCacheStats `json:"lists"`
+}
+
 // Result is the fully analyzed study corpus.
 type Result struct {
 	Countries map[string]*CountryResult `json:"countries"`
@@ -144,6 +168,9 @@ type Result struct {
 	// with their identification source (the paper's 505 = 441 list + 64
 	// manual).
 	TrackerDomains map[string]string `json:"tracker_domains"`
+	// Caches reports cache behaviour for the run. Excluded from the
+	// serialized corpus: it describes the run, not the measured world.
+	Caches AnalysisCacheStats `json:"-"`
 }
 
 // CountryCodes returns the analyzed countries in sorted order.
@@ -156,36 +183,114 @@ func (r *Result) CountryCodes() []string {
 	return out
 }
 
-// Process runs Box 2 over the uploaded datasets.
+// Process runs Box 2 over the uploaded datasets. Countries are analyzed
+// concurrently over Env.AnalysisWorkers workers and merged deterministically
+// in sorted country-code order, so the result is byte-identical to a serial
+// run for any worker count.
 func Process(env Env, datasets []*core.Dataset) (*Result, error) {
 	if env.Reg == nil || env.IPMap == nil {
 		return nil, fmt.Errorf("pipeline: Env requires Reg and IPMap")
 	}
+	// A country code identifies one volunteer dataset; two datasets claiming
+	// the same country would silently shadow each other in the result map.
+	seen := map[string]int{}
+	for i, ds := range datasets {
+		if j, dup := seen[ds.Country]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate country %s in datasets %d and %d", ds.Country, j, i)
+		}
+		seen[ds.Country] = i
+	}
+
+	// The geolocation framework and filter-list caches are shared across
+	// countries: the same tracker IPs and URLs recur in every dataset, and
+	// both are deterministic pure functions of their inputs, so sharing
+	// changes wall-clock only, never verdicts.
+	match := newMatchers(env)
+	var sharedFW *geoloc.Framework
+	if !env.DisableAnalysisCaches {
+		sharedFW = geoloc.New(env.GeolocConfig, env.IPMap, env.Ref, env.Mesh, env.Reg)
+	}
+
+	type countryOutcome struct {
+		cr *CountryResult
+		// geoloc holds the per-country framework's counters when the shared
+		// framework is disabled; zero otherwise.
+		geoloc geoloc.CacheStats
+	}
+	units := make([]sched.Unit[countryOutcome], len(datasets))
+	for i, ds := range datasets {
+		ds := ds
+		units[i] = sched.Unit[countryOutcome]{
+			ID: "analyze/" + ds.Country,
+			Run: func(context.Context) (countryOutcome, error) {
+				fw := sharedFW
+				if fw == nil {
+					fw = geoloc.New(env.GeolocConfig, env.IPMap, env.Ref, env.Mesh, env.Reg)
+				}
+				cr, err := processCountry(env, match, fw, ds)
+				if err != nil {
+					return countryOutcome{}, err
+				}
+				// With the analysis complete, anonymize the volunteer's
+				// dataset.
+				ds.Anonymize()
+				out := countryOutcome{cr: cr}
+				if sharedFW == nil {
+					out.geoloc = fw.Stats()
+				}
+				return out, nil
+			},
+		}
+	}
+	workers := env.AnalysisWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := sched.New[countryOutcome](sched.Options{Workers: workers})
+	results, err := pool.Run(context.Background(), units)
+	if err != nil {
+		return nil, err
+	}
+	// Without FailFast every unit has a terminal outcome, so the reported
+	// error is deterministic: the first failing dataset in submission order.
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("pipeline: country %s: %w", datasets[i].Country, r.Err)
+		}
+	}
+
 	res := &Result{
 		Countries:      make(map[string]*CountryResult),
 		TrackerDomains: make(map[string]string),
 	}
+	for _, r := range results {
+		res.Countries[r.Value.cr.Country] = r.Value.cr
+		res.Caches.Geoloc.Hits += r.Value.geoloc.Hits
+		res.Caches.Geoloc.Misses += r.Value.geoloc.Misses
+		res.Caches.Geoloc.Inflight += r.Value.geoloc.Inflight
+	}
+	if sharedFW != nil {
+		res.Caches.Geoloc = sharedFW.Stats()
+	}
+	res.Caches.Lists = match.stats()
+
+	// Merge the global dedup sets and the study-wide funnel in sorted
+	// country order. Set unions and counter sums are order-independent;
+	// TrackerDomains is last-writer-wins per domain, so a fixed order makes
+	// the merge deterministic even when countries disagree on a domain's
+	// identification source (e.g. two different regional lists).
 	globalDomains := map[string]bool{}
 	globalIPs := map[string]bool{}
 	uniqueTargets := map[string]bool{}
-
-	for _, ds := range datasets {
-		cr, err := processCountry(env, ds, res, globalDomains, globalIPs)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: country %s: %w", ds.Country, err)
+	for _, cc := range res.CountryCodes() {
+		cr := res.Countries[cc]
+		for domain, obs := range cr.Verdicts {
+			globalDomains[domain] = true
+			globalIPs[obs.Addr] = true
 		}
-		res.Countries[ds.Country] = cr
-		for _, p := range ds.Pages {
-			uniqueTargets[p.Target.Domain] = true
+		for _, s := range cr.Sites {
+			uniqueTargets[s.Site] = true
 		}
-		// With the analysis complete, anonymize the volunteer's dataset.
-		ds.Anonymize()
-	}
-
-	res.Funnel.UniqueDomains = len(globalDomains)
-	res.Funnel.UniqueIPs = len(globalIPs)
-	res.Funnel.UniqueTargets = len(uniqueTargets)
-	for _, cr := range res.Countries {
 		res.Funnel.Targets += cr.Targets
 		res.Funnel.TargetsAfterOptOut += cr.Targets - cr.OptOuts
 		res.Funnel.LoadedOK += cr.LoadedOK
@@ -213,6 +318,9 @@ func Process(env Env, datasets []*core.Dataset) (*Result, error) {
 			}
 		}
 	}
+	res.Funnel.UniqueDomains = len(globalDomains)
+	res.Funnel.UniqueIPs = len(globalIPs)
+	res.Funnel.UniqueTargets = len(uniqueTargets)
 	return res, nil
 }
 
@@ -229,7 +337,55 @@ func isPostClassificationStage(s geoloc.Stage) bool {
 	}
 }
 
-func processCountry(env Env, ds *core.Dataset, res *Result, globalDomains, globalIPs map[string]bool) (*CountryResult, error) {
+// listMatcher is the engine behaviour tracker identification needs,
+// satisfied by both *filterlist.Engine and *filterlist.CachedEngine.
+type listMatcher interface {
+	Match(filterlist.Request) (bool, *filterlist.Rule)
+}
+
+// matchers bundles the global and regional filter engines, memoized unless
+// Env.DisableAnalysisCaches asks for the raw engines. One matchers value is
+// shared by every analysis worker: the same tracker URLs recur across all
+// countries, so cross-country memoization is where the cache pays off.
+type matchers struct {
+	global   listMatcher
+	regional map[string]listMatcher
+	caches   []*filterlist.CachedEngine
+}
+
+func newMatchers(env Env) *matchers {
+	m := &matchers{regional: make(map[string]listMatcher, len(env.RegionalLists))}
+	wrap := func(e *filterlist.Engine) listMatcher {
+		if env.DisableAnalysisCaches {
+			return e
+		}
+		c := filterlist.NewCachedEngine(e)
+		m.caches = append(m.caches, c)
+		return c
+	}
+	if env.Lists != nil {
+		m.global = wrap(env.Lists)
+	}
+	for cc, e := range env.RegionalLists {
+		if e != nil {
+			m.regional[cc] = wrap(e)
+		}
+	}
+	return m
+}
+
+// stats sums the match-cache counters across all wrapped engines.
+func (m *matchers) stats() filterlist.MatchCacheStats {
+	var out filterlist.MatchCacheStats
+	for _, c := range m.caches {
+		s := c.Stats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+	}
+	return out
+}
+
+func processCountry(env Env, match *matchers, fw *geoloc.Framework, ds *core.Dataset) (*CountryResult, error) {
 	volCity, ok := env.Reg.City(ds.City)
 	if !ok {
 		return nil, fmt.Errorf("unknown volunteer city %q", ds.City)
@@ -307,7 +463,7 @@ func processCountry(env Env, ds *core.Dataset, res *Result, globalDomains, globa
 		}
 		return nil
 	}
-	if !anyReached {
+	if !anyReached && len(domainAddr) > 0 {
 		if env.Mesh == nil {
 			return nil, fmt.Errorf("volunteer traces unusable and no probe mesh available")
 		}
@@ -345,7 +501,6 @@ func processCountry(env Env, ds *core.Dataset, res *Result, globalDomains, globa
 	}
 
 	// Classify every unique domain once.
-	fw := geoloc.New(env.GeolocConfig, env.IPMap, env.Ref, env.Mesh, env.Reg)
 	for _, domain := range sortedKeys(domainAddr) {
 		addr := domainAddr[domain]
 		verdict := fw.Classify(ds.Country, sourceCity, geoloc.Candidate{
@@ -368,10 +523,8 @@ func processCountry(env Env, ds *core.Dataset, res *Result, globalDomains, globa
 			DestCity:    verdict.DestCity,
 			CNAMEChain:  domainChain[domain],
 		}
-		annotate(env, ds.Country, &obs)
+		annotate(env, match, ds.Country, &obs)
 		cr.Verdicts[domain] = obs
-		globalDomains[domain] = true
-		globalIPs[addr.String()] = true
 	}
 
 	var verdictList []geoloc.Verdict
@@ -427,7 +580,7 @@ func isDestStage(s geoloc.Stage) bool {
 
 // annotate attaches tracker identification, organization ownership and
 // hosting-AS metadata to a non-local domain observation.
-func annotate(env Env, cc string, obs *DomainObs) {
+func annotate(env Env, match *matchers, cc string, obs *DomainObs) {
 	if env.Net != nil {
 		if addr, err := netip.ParseAddr(obs.Addr); err == nil {
 			if host, ok := env.Net.HostByAddr(addr); ok {
@@ -449,8 +602,8 @@ func annotate(env Env, cc string, obs *DomainObs) {
 	}
 	// Filter lists first (§4.2)...
 	page := "unrelated-page.example"
-	if env.Lists != nil {
-		if blocked, rule := env.Lists.Match(filterlist.Request{
+	if match.global != nil {
+		if blocked, rule := match.global.Match(filterlist.Request{
 			URL:        "https://" + obs.Domain + "/",
 			Domain:     obs.Domain,
 			PageDomain: page,
@@ -462,7 +615,7 @@ func annotate(env Env, cc string, obs *DomainObs) {
 			return
 		}
 	}
-	if regional, ok := env.RegionalLists[cc]; ok {
+	if regional, ok := match.regional[cc]; ok {
 		if blocked, rule := regional.Match(filterlist.Request{
 			URL:        "https://" + obs.Domain + "/",
 			Domain:     obs.Domain,
@@ -490,7 +643,7 @@ func annotate(env Env, cc string, obs *DomainObs) {
 	// aliases onto tracker infrastructure is a cloaked tracker. Lists miss
 	// it by construction; the chain Gamma recorded does not.
 	for _, alias := range obs.CNAMEChain[min(1, len(obs.CNAMEChain)):] {
-		if matchTrackerName(env, cc, alias) {
+		if matchTrackerName(match, cc, alias) {
 			obs.IsTracker = true
 			obs.Cloaked = true
 			obs.TrackerSource = "cname:" + alias
@@ -509,7 +662,7 @@ func annotate(env Env, cc string, obs *DomainObs) {
 }
 
 // matchTrackerName checks a bare hostname against the filter engines.
-func matchTrackerName(env Env, cc, hostname string) bool {
+func matchTrackerName(match *matchers, cc, hostname string) bool {
 	req := filterlist.Request{
 		URL:        "https://" + hostname + "/",
 		Domain:     hostname,
@@ -517,12 +670,12 @@ func matchTrackerName(env Env, cc, hostname string) bool {
 		ThirdParty: true,
 		Type:       filterlist.TypeScript,
 	}
-	if env.Lists != nil {
-		if blocked, _ := env.Lists.Match(req); blocked {
+	if match.global != nil {
+		if blocked, _ := match.global.Match(req); blocked {
 			return true
 		}
 	}
-	if regional, ok := env.RegionalLists[cc]; ok {
+	if regional, ok := match.regional[cc]; ok {
 		if blocked, _ := regional.Match(req); blocked {
 			return true
 		}

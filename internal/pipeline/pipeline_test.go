@@ -15,9 +15,10 @@ import (
 // PK (normal), EG (traceroute opt-out -> Atlas substitution), AU (blocked
 // probes -> Atlas substitution).
 type fixture struct {
-	world  *gamma.World
-	result *gamma.Result
-	pk     *core.Dataset
+	world    *gamma.World
+	result   *gamma.Result
+	datasets []*core.Dataset
+	pk       *core.Dataset
 }
 
 var shared *fixture
@@ -52,7 +53,7 @@ func setup(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared = &fixture{world: w, result: res, pk: pk}
+	shared = &fixture{world: w, result: res, datasets: datasets, pk: pk}
 	return shared
 }
 
