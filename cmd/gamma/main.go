@@ -18,12 +18,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	gamma "github.com/gamma-suite/gamma"
 	"github.com/gamma-suite/gamma/internal/browser"
 	"github.com/gamma-suite/gamma/internal/consent"
 	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/sched"
 )
 
 func main() {
@@ -54,7 +54,7 @@ func main() {
 			os.Exit(2)
 		}
 		doc := consent.Document(consent.DefaultStudy())
-		a := consent.Accept("vol-"+strings.ToLower(*country), doc, time.Now())
+		a := consent.Accept("vol-"+strings.ToLower(*country), doc, sched.Wall().Now())
 		if err := consent.Save(*consentPath, a); err != nil {
 			fmt.Fprintln(os.Stderr, "gamma:", err)
 			os.Exit(1)

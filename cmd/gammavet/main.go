@@ -1,0 +1,134 @@
+// Command gammavet is the suite's custom determinism & concurrency
+// linter. It type-checks every package in the module with the standard
+// library's go/ast, go/parser and go/types and enforces the invariants
+// behind the golden-harness guarantee:
+//
+//	maporder    — no map iteration feeding slices/writers/channels unsorted
+//	walltime    — no wall-clock reads outside the injectable sched.Clock
+//	ambientrand — no randomness that isn't keyed off the study seed
+//	sharedmap   — no unguarded shared-map writes from pool-submitted work
+//
+// Usage:
+//
+//	go run ./cmd/gammavet ./...
+//	go run ./cmd/gammavet -json ./internal/pipeline/...
+//	go run ./cmd/gammavet -write-baseline ./...   # grandfather current findings
+//
+// Findings are suppressible with a reasoned directive on or above the
+// offending line:
+//
+//	//gammavet:ignore maporder verdict is order-invariant: values all identical
+//
+// gammavet exits 2 on usage/load errors, 1 when any non-baselined
+// error-severity diagnostic remains, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/gamma-suite/gamma/internal/lint"
+)
+
+func main() {
+	var (
+		dir           = flag.String("C", ".", "module root (directory containing go.mod)")
+		jsonOut       = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		baselinePath  = flag.String("baseline", ".gammavet-baseline.json", "baseline file of grandfathered findings (relative to -C)")
+		writeBaseline = flag.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
+		checkNames    = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		listChecks    = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Parse()
+
+	checks := lint.Checks()
+	if *listChecks {
+		for _, c := range checks {
+			fmt.Printf("%-12s %s\n", c.ID, c.Doc)
+		}
+		return
+	}
+	if *checkNames != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*checkNames, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var subset []lint.Check
+		for _, c := range checks {
+			if want[c.ID] {
+				subset = append(subset, c)
+				delete(want, c.ID)
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "gammavet: unknown check(s): %s (try -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		checks = subset
+	}
+
+	diags, err := lint.Run(*dir, flag.Args(), checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gammavet:", err)
+		os.Exit(2)
+	}
+
+	basePath := *baselinePath
+	if !strings.HasPrefix(basePath, "/") {
+		basePath = *dir + "/" + basePath
+	}
+	if *writeBaseline {
+		if err := lint.FromDiagnostics(diags).Save(basePath); err != nil {
+			fmt.Fprintln(os.Stderr, "gammavet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "gammavet: wrote %d finding(s) to %s\n", len(diags), basePath)
+		return
+	}
+	baseline, err := lint.LoadBaseline(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gammavet:", err)
+		os.Exit(2)
+	}
+	fresh, grandfathered := baseline.Filter(diags)
+
+	if *jsonOut {
+		out := fresh
+		if out == nil {
+			out = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "gammavet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Println(d)
+		}
+		if len(grandfathered) > 0 {
+			fmt.Fprintf(os.Stderr, "gammavet: %d baselined finding(s) suppressed\n", len(grandfathered))
+		}
+	}
+
+	failing := 0
+	for _, d := range fresh {
+		if d.Severity == lint.Error {
+			failing++
+		}
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "gammavet: %d finding(s)\n", failing)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	gamma "github.com/gamma-suite/gamma"
@@ -47,7 +48,14 @@ func main() {
 	fmt.Println("country  cloaked domain                      hides                        destination")
 	fmt.Println("-------  ----------------------------------  ---------------------------  -----------")
 	for _, cc := range countries {
-		for _, obs := range result.Countries[cc].Verdicts {
+		verdicts := result.Countries[cc].Verdicts
+		domains := make([]string, 0, len(verdicts))
+		for d := range verdicts {
+			domains = append(domains, d)
+		}
+		sort.Strings(domains)
+		for _, d := range domains {
+			obs := verdicts[d]
 			if !obs.Cloaked {
 				continue
 			}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	gamma "github.com/gamma-suite/gamma"
 	"github.com/gamma-suite/gamma/internal/analysis"
@@ -41,11 +42,17 @@ func main() {
 		}
 		perDest[f.Dest][f.Source] += f.Sites
 	}
-	for dest, srcs := range perDest {
+	dests := make([]string, 0, len(perDest))
+	for d := range perDest {
+		dests = append(dests, d)
+	}
+	sort.Strings(dests)
+	for _, dest := range dests {
+		srcs := perDest[dest]
 		total, top, topSrc := 0, 0, ""
 		for src, n := range srcs {
 			total += n
-			if n > top {
+			if n > top || (n == top && src < topSrc) {
 				top, topSrc = n, src
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 
 	gamma "github.com/gamma-suite/gamma"
 	"github.com/gamma-suite/gamma/internal/core"
@@ -59,7 +60,12 @@ func main() {
 		}
 	}
 	fmt.Println("sites sending tracking data abroad, by destination:")
-	for dest, n := range dests {
-		fmt.Printf("  %s: %d sites\n", dest, n)
+	order := make([]string, 0, len(dests))
+	for dest := range dests {
+		order = append(order, dest)
+	}
+	sort.Strings(order)
+	for _, dest := range order {
+		fmt.Printf("  %s: %d sites\n", dest, dests[dest])
 	}
 }

@@ -39,12 +39,12 @@ import (
 
 	"github.com/gamma-suite/gamma/internal/browser"
 	"github.com/gamma-suite/gamma/internal/core"
-	"github.com/gamma-suite/gamma/internal/sched"
 	"github.com/gamma-suite/gamma/internal/dnssim"
 	"github.com/gamma-suite/gamma/internal/filterlist"
 	"github.com/gamma-suite/gamma/internal/netsim"
 	"github.com/gamma-suite/gamma/internal/pipeline"
 	"github.com/gamma-suite/gamma/internal/rng"
+	"github.com/gamma-suite/gamma/internal/sched"
 	"github.com/gamma-suite/gamma/internal/targets"
 	"github.com/gamma-suite/gamma/internal/tracert"
 	"github.com/gamma-suite/gamma/internal/websim"

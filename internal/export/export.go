@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 
 	"github.com/gamma-suite/gamma/internal/analysis"
@@ -37,7 +38,18 @@ func writeCSV(path string, header []string, rows [][]string) error {
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
-func itoa(v int) string     { return strconv.Itoa(v) }
+
+// sortedKeys fixes an iteration order for map-driven CSV rows; exported
+// artifacts must be byte-identical across runs of the same seed.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+func itoa(v int) string { return strconv.Itoa(v) }
 
 // Artifacts writes every figure's and table's data into dir and returns the
 // file names written.
@@ -160,8 +172,8 @@ func Artifacts(res *pipeline.Result, reg *geo.Registry, policies map[string]anal
 	// fig9.csv
 	rows = nil
 	for _, df := range analysis.Fig9DomainFrequency(res) {
-		for domain, n := range df.Counts {
-			rows = append(rows, []string{df.Country, domain, itoa(n)})
+		for _, domain := range sortedKeys(df.Counts) {
+			rows = append(rows, []string{df.Country, domain, itoa(df.Counts[domain])})
 		}
 	}
 	if err := emit("fig9.csv", []string{"country", "domain", "sites"}, rows); err != nil {
@@ -184,7 +196,9 @@ func Artifacts(res *pipeline.Result, reg *geo.Registry, policies map[string]anal
 	// trackers.csv — the identified tracker domains with attribution.
 	rows = nil
 	for _, cc := range res.CountryCodes() {
-		for _, obs := range res.Countries[cc].Verdicts {
+		verdicts := res.Countries[cc].Verdicts
+		for _, domain := range sortedKeys(verdicts) {
+			obs := verdicts[domain]
 			if obs.Class != geoloc.NonLocal || !obs.IsTracker {
 				continue
 			}

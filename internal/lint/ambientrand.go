@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// randSourceConstructors create raw math/rand/v2 sources. Only the seeded
+// keying layer (internal/rng) and worldgen's seeded builders may touch
+// them; everyone else derives streams via rng.New(seed, keys...) so every
+// draw is keyed off the campaign seed.
+var randSourceConstructors = map[string]bool{
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// randConstructorPkgs may construct raw sources (suffix match on the
+// package import path).
+var randConstructorPkgs = []string{"internal/rng", "internal/worldgen"}
+
+// randWrapperFuncs are order-preserving wrappers that take an explicit
+// source or *Rand and are fine anywhere.
+var randWrapperFuncs = map[string]bool{
+	"New": true, "NewZipf": true,
+}
+
+// checkAmbientRand flags ambient randomness: any import of the legacy
+// math/rand package (its global source cannot be keyed per-study), calls
+// to math/rand/v2 top-level convenience functions (they draw from the
+// shared ChaCha8 source seeded at process start), and raw source
+// construction outside the seeded-constructor packages.
+func checkAmbientRand(pkg *Package, r *Reporter) {
+	inConstructorPkg := false
+	for _, suffix := range randConstructorPkgs {
+		if strings.HasSuffix(pkg.ImportPath, suffix) {
+			inConstructorPkg = true
+		}
+	}
+	inRNG := strings.HasSuffix(pkg.ImportPath, "internal/rng")
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "math/rand" {
+				r.Reportf(imp.Pos(), "import of legacy math/rand; use seeded streams from internal/rng (math/rand/v2 PCG under the hood)")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncCall(pkg.Info, call)
+			if !ok || path != "math/rand/v2" {
+				return true
+			}
+			switch {
+			case randSourceConstructors[name]:
+				if !inConstructorPkg {
+					r.Reportf(call.Pos(), "raw rand.%s source outside the seeded constructors; derive streams with rng.New(seed, keys...)", name)
+				}
+			case randWrapperFuncs[name]:
+				// explicit-source wrappers are fine; the source itself is
+				// what must be seeded.
+			case isPkgLevelFunc(pkg.Info, call):
+				if !inRNG {
+					r.Reportf(call.Pos(), "ambient rand.%s draws from the process-global source; use a stream from rng.New keyed off the study seed", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPkgLevelFunc reports whether the call's selector resolves to a
+// package-level function (as opposed to a type conversion or type name).
+func isPkgLevelFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	_, ok = info.Uses[sel.Sel].(*types.Func)
+	return ok
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// BaselineEntry identifies one grandfathered finding. Line numbers are
+// deliberately absent so unrelated edits above a finding don't invalidate
+// the baseline; a finding matches on check + file + message.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed set of grandfathered findings. The goal state
+// is an empty baseline: it exists so the linter can land green and debt
+// can be burned down finding by finding, never to hide new regressions.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diagnostics into new findings and baselined ones.
+// Matching is multiset-style: each baseline entry absorbs at most one
+// diagnostic, so a second instance of a grandfathered finding still
+// fails.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, grandfathered []Diagnostic) {
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Check: d.Check, File: d.File, Message: d.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			grandfathered = append(grandfathered, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, grandfathered
+}
+
+// FromDiagnostics builds the baseline that would absorb exactly diags.
+func FromDiagnostics(diags []Diagnostic) *Baseline {
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{Check: d.Check, File: d.File, Message: d.Message})
+	}
+	return b
+}

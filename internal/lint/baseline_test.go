@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func diag(check, file, msg string) Diagnostic {
+	return Diagnostic{Check: check, Severity: Error, File: file, Line: 1, Col: 1, Message: msg}
+}
+
+// TestBaselineFilter pins the multiset semantics: each baseline entry
+// absorbs exactly one matching diagnostic, so a second instance of a
+// grandfathered finding is fresh and fails the build.
+func TestBaselineFilter(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{Check: "maporder", File: "a.go", Message: "old finding"},
+	}}
+	diags := []Diagnostic{
+		diag("maporder", "a.go", "old finding"),
+		diag("maporder", "a.go", "old finding"), // duplicate beyond the budget
+		diag("walltime", "b.go", "new finding"),
+	}
+	fresh, grandfathered := b.Filter(diags)
+	if len(grandfathered) != 1 {
+		t.Fatalf("grandfathered = %d, want 1", len(grandfathered))
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %d, want 2", len(fresh))
+	}
+	if fresh[0].Check != "maporder" || fresh[1].Check != "walltime" {
+		t.Fatalf("fresh = %v", fresh)
+	}
+}
+
+// TestBaselineRoundTrip covers save → load → filter and the
+// missing-file-is-empty contract.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	empty, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Findings) != 0 {
+		t.Fatalf("missing baseline loaded %d findings", len(empty.Findings))
+	}
+
+	diags := []Diagnostic{
+		diag("sharedmap", "x.go", "unguarded map"),
+		diag("ambientrand", "y.go", "ambient draw"),
+	}
+	if err := FromDiagnostics(diags).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, grandfathered := loaded.Filter(diags)
+	if len(fresh) != 0 || len(grandfathered) != 2 {
+		t.Fatalf("round trip: fresh=%d grandfathered=%d, want 0/2", len(fresh), len(grandfathered))
+	}
+}
+
+// TestBaselineRejectsGarbage: a corrupt baseline must be a hard error,
+// not an empty baseline — silently dropping it would unbaseline nothing
+// and baseline nothing, both wrong.
+func TestBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("corrupt baseline loaded without error")
+	}
+}

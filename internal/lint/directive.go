@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// directiveCheck is the pseudo-check ID under which malformed suppression
+// directives are reported. A directive can suppress real findings, so a
+// broken one is itself a build-failing diagnostic, never silently inert.
+const directiveCheck = "directive"
+
+// directivePrefix introduces a suppression comment:
+//
+//	//gammavet:ignore <check-id> <reason...>
+//
+// The directive suppresses diagnostics of <check-id> on its own line
+// (trailing-comment form) or on the line directly below (standalone form).
+const directivePrefix = "//gammavet:ignore"
+
+// directives indexes suppression lines by file and check ID.
+type directives struct {
+	// lines[file][check] holds the source lines carrying a well-formed
+	// directive for that check.
+	lines map[string]map[string]map[int]bool
+}
+
+// suppresses reports whether d is covered by a directive on its line or
+// the line above.
+func (ds directives) suppresses(d Diagnostic) bool {
+	byCheck, ok := ds.lines[d.File]
+	if !ok {
+		return false
+	}
+	lines, ok := byCheck[d.Check]
+	if !ok {
+		return false
+	}
+	return lines[d.Line] || lines[d.Line-1]
+}
+
+// parseDirectives scans every comment of the package for gammavet
+// directives. Well-formed ones populate the suppression index; malformed
+// ones (missing check ID, unknown check ID, or missing reason) become
+// diagnostics.
+func parseDirectives(pkg *Package) (directives, []Diagnostic) {
+	ds := directives{lines: map[string]map[string]map[int]bool{}}
+	var diags []Diagnostic
+	valid := checkIDs()
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				file := pkg.Rel(pos.Filename)
+				bad := func(format string, args ...any) {
+					diags = append(diags, Diagnostic{
+						Check: directiveCheck, Severity: Error,
+						Pos: pos, File: file, Line: pos.Line, Col: pos.Column,
+						Message: fmt.Sprintf(format, args...),
+					})
+				}
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					bad("malformed directive %q: want %q", c.Text, directivePrefix+" <check> <reason>")
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad("directive missing check ID: want %q", directivePrefix+" <check> <reason>")
+					continue
+				}
+				check := fields[0]
+				if !valid[check] {
+					bad("directive names unknown check %q", check)
+					continue
+				}
+				if len(fields) < 2 {
+					bad("directive for %q missing reason: every suppression must say why", check)
+					continue
+				}
+				byCheck := ds.lines[file]
+				if byCheck == nil {
+					byCheck = map[string]map[int]bool{}
+					ds.lines[file] = byCheck
+				}
+				if byCheck[check] == nil {
+					byCheck[check] = map[int]bool{}
+				}
+				byCheck[check][pos.Line] = true
+			}
+		}
+	}
+	return ds, diags
+}

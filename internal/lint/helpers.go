@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcBody pairs a function-like node with its body: FuncDecls and
+// FuncLits alike. Each body is analyzed as its own scope — "same
+// function" in check semantics means the innermost enclosing one.
+type funcBody struct {
+	node ast.Node
+	body *ast.BlockStmt
+}
+
+// functionBodies returns every function body in the file, declarations
+// and literals both.
+func functionBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{fn, fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{fn, fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks the statements of body without descending into
+// nested function literals (each literal is its own funcBody).
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// importedPackage resolves expr to the import path of the package it
+// names, if expr is a package identifier (e.g. the "time" in time.Now).
+func importedPackage(info *types.Info, expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// pkgFuncCall matches a call of the form pkgname.Func(...) and returns
+// the package path and function name.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	path, isPkg := importedPackage(info, sel.X)
+	if !isPkg {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// isMapExpr reports whether expr's type is (or points to) a map.
+func isMapExpr(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// structHasLock reports whether the struct type (after stripping
+// pointers) has a sync.Mutex/RWMutex field, directly or via an embedded
+// or array/slice-of-shard field one level down.
+func structHasLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isSyncLock(ft) {
+			return true
+		}
+	}
+	return false
+}

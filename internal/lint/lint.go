@@ -1,0 +1,147 @@
+// Package lint implements gammavet, the suite's custom static analyzer.
+// It enforces the determinism and concurrency invariants that back the
+// golden-harness guarantee (seed → byte-identical datasets, figures and
+// tables): no unsorted map iteration feeding output, no ambient wall
+// time, no ambient randomness, no unguarded shared-map writes from
+// pool-submitted work.
+//
+// The analyzer is written against stdlib go/ast, go/parser and go/types
+// only — no golang.org/x/tools dependency — with a recursive source
+// importer so every package in the module is fully type-checked.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Severity grades a diagnostic.
+type Severity string
+
+const (
+	// Error findings fail the build (exit nonzero) unless baselined.
+	Error Severity = "error"
+	// Warn findings are reported but do not affect the exit code.
+	Warn Severity = "warn"
+)
+
+// Diagnostic is one finding with a stable check ID and file:line position.
+type Diagnostic struct {
+	Check    string         `json:"check"`
+	Severity Severity       `json:"severity"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"` // module-relative, slash-separated
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one invariant the analyzer enforces over a type-checked package.
+type Check struct {
+	ID  string
+	Doc string
+	Run func(pkg *Package, r *Reporter)
+}
+
+// Checks returns the full check set in stable order.
+func Checks() []Check {
+	return []Check{
+		{ID: "maporder", Doc: "range over a map feeding a slice, writer/encoder, or channel without a sorted-keys idiom", Run: checkMapOrder},
+		{ID: "walltime", Doc: "direct time.Now/Since/Sleep (and friends) outside the injectable Clock", Run: checkWallTime},
+		{ID: "ambientrand", Doc: "math/rand global functions or raw sources outside internal/rng seeded constructors", Run: checkAmbientRand},
+		{ID: "sharedmap", Doc: "package-level or struct-field map written from go/sched-submitted work without an associated mutex", Run: checkSharedMap},
+	}
+}
+
+// checkIDs is the set of valid IDs an ignore directive may name.
+func checkIDs() map[string]bool {
+	ids := map[string]bool{directiveCheck: true}
+	for _, c := range Checks() {
+		ids[c.ID] = true
+	}
+	return ids
+}
+
+// Reporter accumulates diagnostics for one check over one package.
+type Reporter struct {
+	check    string
+	severity Severity
+	fset     *token.FileSet
+	rel      func(string) string
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.fset.Position(pos)
+	r.diags = append(r.diags, Diagnostic{
+		Check:    r.check,
+		Severity: r.severity,
+		Pos:      p,
+		File:     r.rel(p.Filename),
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run loads every package matched by patterns under the module rooted at
+// root and returns all diagnostics, sorted by file, line, column, check.
+// Suppression directives are applied; malformed directives surface as
+// "directive" diagnostics.
+func Run(root string, patterns []string, checks []Check) ([]Diagnostic, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Match(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, RunPackage(pkg, checks)...)
+	}
+	Sort(all)
+	return all, nil
+}
+
+// RunPackage runs the checks over one loaded package and applies its
+// suppression directives.
+func RunPackage(pkg *Package, checks []Check) []Diagnostic {
+	dirs, diags := parseDirectives(pkg)
+	for _, c := range checks {
+		r := &Reporter{check: c.ID, severity: Error, fset: pkg.Fset, rel: pkg.Rel}
+		c.Run(pkg, r)
+		for _, d := range r.diags {
+			if !dirs.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags
+}
+
+// Sort orders diagnostics by file, line, column, then check ID, so output
+// is deterministic regardless of check or package visit order.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}

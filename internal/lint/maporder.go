@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkMapOrder flags `range` loops over map-typed expressions whose body
+// leaks Go's randomized iteration order into an ordered sink: appending
+// to a slice declared outside the loop, writing through a writer/encoder,
+// or sending on a channel. A loop whose only sinks are appends is excused
+// when every appended-to slice is sorted (sort.* / slices.Sort*) later in
+// the same function — the collect-then-sort idiom the codebase uses to
+// make map iteration deterministic.
+//
+// This is the bug class behind all three nondeterminism fixes to date
+// (websim.AddSite, worldgen ccTLD registration, pipeline TrackerDomains),
+// each of which survived review and was caught only by manual audit.
+func checkMapOrder(pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		for _, fb := range functionBodies(f) {
+			checkMapOrderFunc(pkg, r, fb)
+		}
+	}
+}
+
+// mapSinks records how a map-range body leaks iteration order.
+type mapSinks struct {
+	appendTargets []types.Object // slices appended to, declared outside the loop
+	hardSinkPos   ast.Node       // first writer/encoder call or channel send
+	hardSinkKind  string
+}
+
+func checkMapOrderFunc(pkg *Package, r *Reporter, fb funcBody) {
+	info := pkg.Info
+	inspectShallow(fb.body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(info, rng.X) {
+			return true
+		}
+		sinks := collectMapSinks(info, rng)
+		if sinks.hardSinkPos != nil {
+			r.Reportf(rng.Pos(), "map iteration over %s feeds %s in nondeterministic order; iterate sorted keys instead",
+				types.ExprString(rng.X), sinks.hardSinkKind)
+			return true
+		}
+		for _, target := range sinks.appendTargets {
+			if !sortedInFunc(info, fb.body, target) {
+				r.Reportf(rng.Pos(), "map iteration over %s appends to %s in nondeterministic order; sort %s afterwards (slices.Sort) or iterate sorted keys",
+					types.ExprString(rng.X), target.Name(), target.Name())
+				break
+			}
+		}
+		return true
+	})
+}
+
+// collectMapSinks scans a map-range body for order-sensitive sinks.
+func collectMapSinks(info *types.Info, rng *ast.RangeStmt) mapSinks {
+	var sinks mapSinks
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sinks.hardSinkPos != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sinks.hardSinkPos = n
+			sinks.hardSinkKind = "a channel send"
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") && len(n.Args) > 0 {
+				if obj := rootObject(info, n.Args[0]); obj != nil && !declaredWithin(obj, rng.Body) {
+					sinks.appendTargets = append(sinks.appendTargets, obj)
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && emissionMethods[sel.Sel.Name] {
+				// A writer that lives inside the loop body (one builder
+				// per iteration) never leaks iteration order.
+				target := sel.X
+				if path, _, isPkg := pkgFuncCall(info, n); isPkg && path == "fmt" && len(n.Args) > 0 {
+					target = n.Args[0] // fmt.Fprint*(w, ...): order leaks into w
+				}
+				if obj := rootObject(info, target); obj != nil && declaredWithin(obj, rng.Body) {
+					return true
+				}
+				sinks.hardSinkPos = n
+				sinks.hardSinkKind = "a " + sel.Sel.Name + " call"
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// emissionMethods are selector names that emit bytes/rows/values in call
+// order, so feeding them from a map range leaks iteration order into
+// output.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRow": true, "Encode": true, "EncodeElement": true, "EncodeToken": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// rootObject resolves the base identifier of expr (x, x.f, x[i], *x) to
+// its declaring object.
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				return obj
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedInFunc reports whether the function body contains a recognized
+// sort call whose argument resolves to target — the collect-then-sort
+// idiom that makes a map-range append order-invariant.
+func sortedInFunc(info *types.Info, body *ast.BlockStmt, target types.Object) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFuncCall(info, call)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !(path == "sort" && sortPkgFuncs[name]) && !(path == "slices" && slicesPkgFuncs[name]) {
+			return true
+		}
+		arg := call.Args[0]
+		// Unwrap sort.Sort(byName(s))-style single-argument conversions.
+		if conv, isCall := arg.(*ast.CallExpr); isCall && len(conv.Args) == 1 {
+			arg = conv.Args[0]
+		}
+		if obj := rootObject(info, arg); obj == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var sortPkgFuncs = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+}
+
+var slicesPkgFuncs = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true,
+}

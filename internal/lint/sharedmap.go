@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkSharedMap flags writes to package-level or struct-field maps from
+// inside work launched concurrently — `go` statements or closures
+// submitted to the sched pool as Unit.Run — when no sync.Mutex/RWMutex is
+// associated with the map (a lock field in the owning struct, a
+// package-level lock var, or an explicit Lock/RLock call in the closure).
+// This is the exact shape of the geoloc destCache race PR 2 fixed with a
+// sharded, per-shard-mutex cache.
+func checkSharedMap(pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		for _, lit := range concurrentLiterals(pkg.Info, f) {
+			checkConcurrentLiteral(pkg, r, lit)
+		}
+	}
+}
+
+// concurrentLiterals finds function literals that run concurrently with
+// their creator: goroutine bodies and sched.Unit Run closures.
+func concurrentLiterals(info *types.Info, f *ast.File) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	seen := map[*ast.FuncLit]bool{}
+	add := func(l *ast.FuncLit) {
+		if l != nil && !seen[l] {
+			seen[l] = true
+			lits = append(lits, l)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				add(lit)
+			}
+		case *ast.CompositeLit:
+			if !isSchedUnit(info.TypeOf(n)) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Run" {
+					if lit, ok := kv.Value.(*ast.FuncLit); ok {
+						add(lit)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// u.Run = func(...){...} on a sched.Unit value.
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Run" || i >= len(n.Rhs) {
+					continue
+				}
+				if lit, ok := n.Rhs[i].(*ast.FuncLit); ok && isSchedUnit(info.TypeOf(sel.X)) {
+					add(lit)
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// isSchedUnit reports whether t is (a pointer to) the scheduler's Unit
+// type, matched by type name and package path suffix so fixture
+// stand-ins qualify too.
+func isSchedUnit(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Unit" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sched" || strings.HasSuffix(path, "/sched")
+}
+
+// checkConcurrentLiteral reports unguarded shared-map writes in one
+// concurrently-running closure.
+func checkConcurrentLiteral(pkg *Package, r *Reporter, lit *ast.FuncLit) {
+	info := pkg.Info
+	if bodyLocks(info, lit.Body) {
+		return // closure takes a lock itself; trust its critical section
+	}
+	reported := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var written ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isMapExpr(info, idx.X) {
+					written = idx.X
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := n.X.(*ast.IndexExpr); ok && isMapExpr(info, idx.X) {
+				written = idx.X
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "delete") && len(n.Args) > 0 && isMapExpr(info, n.Args[0]) {
+				written = n.Args[0]
+			}
+		}
+		if written == nil {
+			return true
+		}
+		expr := types.ExprString(written)
+		if reported[expr] || sharedMapGuarded(pkg, written) {
+			return true
+		}
+		reported[expr] = true
+		r.Reportf(written.Pos(), "map %s written from concurrently-launched work without an associated sync.Mutex/RWMutex; guard it or use a sharded cache", expr)
+		return true
+	})
+}
+
+// sharedMapGuarded decides whether the written map expression is outside
+// this check's scope (a closure-local map) or has an associated mutex.
+func sharedMapGuarded(pkg *Package, written ast.Expr) bool {
+	info := pkg.Info
+	switch e := written.(type) {
+	case *ast.SelectorExpr:
+		// Struct-field map: excused when the owning struct also carries a
+		// lock (incl. sharded caches, whose shard structs hold one each).
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return structHasLock(sel.Recv())
+		}
+		// Qualified package-level var from another package: treat like a
+		// package-level map with no visible lock.
+		return false
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return true
+		}
+		if pkg.Types != nil && obj.Parent() == pkg.Types.Scope() {
+			return packageHasLockVar(pkg.Types)
+		}
+		// Locals (including captured ones) are out of scope for this
+		// check: the spec targets package-level and struct-field maps.
+		return true
+	default:
+		return true
+	}
+}
+
+// bodyLocks reports whether the closure calls Lock/RLock on anything —
+// an explicit critical section.
+func bodyLocks(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// packageHasLockVar reports whether the package declares any top-level
+// sync.Mutex/RWMutex variable.
+func packageHasLockVar(tpkg *types.Package) bool {
+	scope := tpkg.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok && isSyncLock(v.Type()) {
+			return true
+		}
+	}
+	return false
+}

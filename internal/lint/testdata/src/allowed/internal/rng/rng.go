@@ -1,0 +1,14 @@
+// Package rng mirrors the real internal/rng import-path suffix so the
+// fixture suite can assert the ambientrand allowlist: seeded-constructor
+// packages may build raw sources and even use package-level draws.
+package rng
+
+import "math/rand/v2"
+
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 7))
+}
+
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,30 @@
+package ambientrand
+
+import (
+	legacy "math/rand" // want `import of legacy math/rand`
+	"math/rand/v2"
+)
+
+func legacyDraw() int {
+	return legacy.Intn(3)
+}
+
+func globalDraw() int {
+	return rand.IntN(10) // want `ambient rand.IntN draws from the process-global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `ambient rand.Shuffle`
+}
+
+func rawSource() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2)) // want `raw rand.NewPCG source`
+}
+
+func explicitStreamFine(r *rand.Rand) int {
+	return r.IntN(10)
+}
+
+func typeUseFine(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.2, 1, 100)
+}

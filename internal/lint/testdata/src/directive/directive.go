@@ -1,0 +1,32 @@
+package directive
+
+import "time"
+
+func missingCheckID() time.Time {
+	//gammavet:ignore
+	// want-1 `directive missing check ID`
+	return time.Now() // want `direct time.Now call`
+}
+
+func missingReason() time.Time {
+	//gammavet:ignore walltime
+	// want-1 `directive for "walltime" missing reason`
+	return time.Now() // want `direct time.Now call`
+}
+
+func unknownCheck() time.Time {
+	//gammavet:ignore flibbertigibbet the check does not exist
+	// want-1 `directive names unknown check "flibbertigibbet"`
+	return time.Now() // want `direct time.Now call`
+}
+
+func mangledShape() time.Time {
+	//gammavet:ignorewalltime oops
+	// want-1 `malformed directive`
+	return time.Now() // want `direct time.Now call`
+}
+
+func wellFormedSuppresses() time.Time {
+	//gammavet:ignore walltime fixture records consent wall-clock stamps on purpose
+	return time.Now()
+}

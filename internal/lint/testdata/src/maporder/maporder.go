@@ -1,0 +1,94 @@
+package maporder
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func leaksToSlice(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedAfterwards(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesSortedAfterwards(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func printsDirect(m map[string]int) {
+	for k, v := range m { // want `feeds a Printf call`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func writesBuilder(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `feeds a WriteString call`
+		sb.WriteString(k)
+	}
+}
+
+func perIterationWriter(m map[string][]string) map[string]string {
+	out := map[string]string{}
+	for k, vs := range m {
+		var sb strings.Builder
+		for _, v := range vs {
+			sb.WriteString(v)
+		}
+		fmt.Fprintf(&sb, "(%d)", len(vs))
+		out[k] = sb.String()
+	}
+	return out
+}
+
+func sendsOnChannel(m map[string]int, ch chan string) {
+	for k := range m { // want `feeds a channel send`
+		ch <- k
+	}
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func sliceRangeFine(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+func accumulatorFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func suppressedStandalone(m map[string]int, ch chan int) {
+	//gammavet:ignore maporder every value sent is the zero key count, order cannot matter
+	for range m {
+		ch <- 0
+	}
+}

@@ -1,0 +1,12 @@
+// Package sched is a minimal stand-in for the real scheduler: the
+// sharedmap check matches Unit by type name plus import-path suffix, so
+// fixtures can exercise pool-submission detection without dragging the
+// full scheduler (and its stdlib closure) into every fixture load.
+package sched
+
+import "context"
+
+type Unit[T any] struct {
+	ID  string
+	Run func(ctx context.Context) (T, error)
+}

@@ -1,0 +1,67 @@
+package sharedmap
+
+import (
+	"context"
+
+	"github.com/gamma-suite/gamma/internal/lint/testdata/src/sched"
+)
+
+var hits = map[string]int{}
+
+type collector struct {
+	counts map[string]int
+}
+
+func goWrite() {
+	go func() {
+		hits["x"]++ // want `map hits written from concurrently-launched work`
+	}()
+}
+
+func goDelete() {
+	go func() {
+		delete(hits, "x") // want `map hits written from concurrently-launched work`
+	}()
+}
+
+func unitWrite(c *collector) sched.Unit[int] {
+	return sched.Unit[int]{
+		ID: "u",
+		Run: func(ctx context.Context) (int, error) {
+			c.counts["k"] = 1 // want `map c.counts written from concurrently-launched work`
+			return 0, nil
+		},
+	}
+}
+
+func assignedRunWrite(c *collector) sched.Unit[int] {
+	var u sched.Unit[int]
+	u.Run = func(ctx context.Context) (int, error) {
+		c.counts["z"]++ // want `map c.counts written from concurrently-launched work`
+		return 0, nil
+	}
+	return u
+}
+
+func closureLocalFine() {
+	go func() {
+		local := map[string]int{}
+		local["x"] = 1
+	}()
+}
+
+func synchronousWriteFine(c *collector) {
+	c.counts["k"] = 1
+}
+
+func readOnlyFine() {
+	go func() {
+		_ = hits["x"]
+	}()
+}
+
+func suppressed() {
+	go func() {
+		hits["warm"] = 1 //gammavet:ignore sharedmap single warm-up goroutine joined before any reader starts
+	}()
+}

@@ -1,0 +1,62 @@
+package sharedmapguarded
+
+import (
+	"context"
+	"sync"
+
+	"github.com/gamma-suite/gamma/internal/lint/testdata/src/sched"
+)
+
+var (
+	tableMu sync.Mutex
+	table   = map[string]int{}
+)
+
+type cache struct {
+	mu      sync.RWMutex
+	entries map[string]string
+}
+
+type shardedCache struct {
+	shards [4]struct {
+		mu sync.Mutex
+		m  map[string]int
+	}
+}
+
+func goPackageLevelGuarded() {
+	go func() {
+		tableMu.Lock()
+		table["x"] = 1
+		tableMu.Unlock()
+	}()
+}
+
+func structFieldGuarded(c *cache) sched.Unit[string] {
+	return sched.Unit[string]{
+		ID: "g",
+		Run: func(ctx context.Context) (string, error) {
+			c.entries["k"] = "v" // owning struct carries the lock
+			return "", nil
+		},
+	}
+}
+
+func explicitLockInClosure(c *cache) sched.Unit[string] {
+	var u sched.Unit[string]
+	u.Run = func(ctx context.Context) (string, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.entries["k"] = "v"
+		return "", nil
+	}
+	return u
+}
+
+func shardWrite(s *shardedCache, i int) {
+	go func() {
+		s.shards[i].mu.Lock()
+		s.shards[i].m["k"]++
+		s.shards[i].mu.Unlock()
+	}()
+}

@@ -1,0 +1,25 @@
+package walltime
+
+import "time"
+
+func stamps() time.Time {
+	return time.Now() // want `direct time.Now call`
+}
+
+func paces() {
+	time.Sleep(time.Millisecond) // want `direct time.Sleep call`
+	<-time.After(time.Second)    // want `direct time.After call`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `direct time.Since call`
+}
+
+func pureConstructionFine() time.Time {
+	d := 3 * time.Second
+	return time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC).Add(d)
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //gammavet:ignore walltime fixture exercises trailing-directive suppression
+}

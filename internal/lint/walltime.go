@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallTimeFuncs are the time-package functions that read or pace the wall
+// clock. Pure construction/formatting (time.Date, time.Parse, durations)
+// is fine anywhere.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// wallTimeAllowedFiles may touch the wall clock directly: the one place
+// that adapts it into the injectable sched.Clock. Test files are excluded
+// from analysis altogether (the loader skips them by default), which is
+// the _test.go half of the allowlist.
+var wallTimeAllowedFiles = map[string]bool{
+	"internal/sched/clock.go": true,
+}
+
+// checkWallTime flags direct wall-clock reads and sleeps. All timing in
+// the suite must flow through sched.Clock so campaigns are replayable
+// under a fake clock and identical seeds yield byte-identical outputs.
+func checkWallTime(pkg *Package, r *Reporter) {
+	for _, f := range pkg.Files {
+		pos := pkg.Fset.Position(f.Pos())
+		rel := pkg.Rel(pos.Filename)
+		if wallTimeAllowedFiles[rel] || strings.HasSuffix(rel, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncCall(pkg.Info, call)
+			if ok && path == "time" && wallTimeFuncs[name] {
+				r.Reportf(call.Pos(), "direct time.%s call; route timing through the injectable sched.Clock (sched.Wall() at the edge)", name)
+			}
+			return true
+		})
+	}
+}

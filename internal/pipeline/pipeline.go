@@ -528,6 +528,7 @@ func processCountry(env Env, match *matchers, fw *geoloc.Framework, ds *core.Dat
 	}
 
 	var verdictList []geoloc.Verdict
+	//gammavet:ignore maporder Tally only counts (Class, Stage) occurrences, so the result is independent of element order
 	for _, obs := range cr.Verdicts {
 		verdictList = append(verdictList, geoloc.Verdict{Class: obs.Class, Stage: obs.Stage})
 	}
