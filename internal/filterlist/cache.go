@@ -92,3 +92,15 @@ func (c *CachedEngine) Match(req Request) (bool, *Rule) {
 	s.mu.Unlock()
 	return blocked, rule
 }
+
+// MatchName is the memoized counterpart of Engine.MatchName: the bare
+// third-party hostname probe, cached under an empty-URL key so it never
+// materializes a URL string on hit or miss.
+func (c *CachedEngine) MatchName(domain, pageDomain string) (bool, *Rule) {
+	return c.Match(Request{
+		Domain:     domain,
+		PageDomain: pageDomain,
+		ThirdParty: !domainOrSub(domain, pageDomain) && !domainOrSub(pageDomain, domain),
+		Type:       TypeScript,
+	})
+}

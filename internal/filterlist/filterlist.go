@@ -8,12 +8,17 @@
 // `@@` exception rules, and the `$` option suffix with third-party,
 // domain=, and resource-type options. Element-hiding rules (`##`, `#@#`)
 // are recognized and skipped, as they never match network requests.
+//
+// Matching is regexp-free: patterns are interpreted directly over the URL
+// bytes (matcher.go), and the engine finds candidate rules through a
+// uBlock-style reverse token index (token.go, index.go) instead of scanning
+// the rule list, so cost scales with the request, not the list.
 package filterlist
 
 import (
 	"fmt"
-	"regexp"
 	"strings"
+	"sync/atomic"
 )
 
 // ResourceType classifies the kind of network request being filtered.
@@ -47,7 +52,7 @@ var typeNames = map[string]ResourceType{
 
 // Request is a network request to evaluate against the engine.
 type Request struct {
-	URL        string       // full request URL
+	URL        string       // full request URL; empty implies https://Domain/
 	Domain     string       // request hostname
 	PageDomain string       // hostname of the page issuing the request
 	ThirdParty bool         // whether request and page belong to different sites
@@ -62,8 +67,8 @@ type Rule struct {
 
 	// anchorDomain is set for ||domain... rules; it allows indexed lookup.
 	anchorDomain string
-	// re matches the request URL (nil when the anchor-domain check suffices).
-	re *regexp.Regexp
+	// m matches the request URL (nil when the anchor-domain check suffices).
+	m *matcher
 
 	// Options.
 	thirdParty     int8 // 0 unset, +1 require third-party, -1 require first-party
@@ -85,6 +90,7 @@ type List struct {
 
 // ParseList parses filter-list text. Unparseable lines are skipped and
 // counted rather than failing the whole list, matching ad-blocker behavior.
+// Parsing compiles no regexps: a rule is a few slices into its own text.
 func ParseList(name, text string) *List {
 	l := &List{Name: name}
 	for _, line := range strings.Split(text, "\n") {
@@ -179,7 +185,7 @@ func (r *Rule) parseOptions(opts string) error {
 }
 
 // compile turns the Adblock pattern into either an anchor-domain fast path
-// or a regular expression over the request URL.
+// or a compiled pattern matcher over the request URL.
 func (r *Rule) compile(pattern string) error {
 	if strings.HasPrefix(pattern, "||") {
 		rest := pattern[2:]
@@ -197,57 +203,17 @@ func (r *Rule) compile(pattern string) error {
 		if tail == "" || tail == "^" || tail == "^*" || tail == "*" {
 			return nil // domain match alone decides
 		}
-		re, err := patternToRegexp("||" + rest)
-		if err != nil {
-			return err
-		}
-		r.re = re
+		m := compileMatcher("||" + rest)
+		r.m = &m
 		return nil
 	}
-	re, err := patternToRegexp(pattern)
-	if err != nil {
-		return err
-	}
-	r.re = re
+	m := compileMatcher(pattern)
+	r.m = &m
 	return nil
 }
 
-// patternToRegexp translates Adblock wildcard syntax to a Go regexp.
-func patternToRegexp(pattern string) (*regexp.Regexp, error) {
-	var b strings.Builder
-	i := 0
-	switch {
-	case strings.HasPrefix(pattern, "||"):
-		b.WriteString(`^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?`)
-		i = 2
-	case strings.HasPrefix(pattern, "|"):
-		b.WriteString(`^`)
-		i = 1
-	}
-	endAnchor := false
-	end := len(pattern)
-	if strings.HasSuffix(pattern, "|") && end > i {
-		endAnchor = true
-		end--
-	}
-	for ; i < end; i++ {
-		switch c := pattern[i]; c {
-		case '*':
-			b.WriteString(`.*`)
-		case '^':
-			b.WriteString(`(?:[^a-zA-Z0-9_.%-]|$)`)
-		default:
-			b.WriteString(regexp.QuoteMeta(string(c)))
-		}
-	}
-	if endAnchor {
-		b.WriteString(`$`)
-	}
-	return regexp.Compile(`(?i)` + b.String())
-}
-
 // matchesOptions checks the $-options against the request.
-func (r *Rule) matchesOptions(req Request) bool {
+func (r *Rule) matchesOptions(req *Request) bool {
 	if r.thirdParty == +1 && !req.ThirdParty {
 		return false
 	}
@@ -285,7 +251,9 @@ func (r *Rule) matchesOptions(req Request) bool {
 }
 
 // Matches reports whether the rule matches the request.
-func (r *Rule) Matches(req Request) bool {
+func (r *Rule) Matches(req Request) bool { return r.matches(&req) }
+
+func (r *Rule) matches(req *Request) bool {
 	if !r.matchesOptions(req) {
 		return false
 	}
@@ -293,109 +261,151 @@ func (r *Rule) Matches(req Request) bool {
 		if !domainOrSub(req.Domain, r.anchorDomain) {
 			return false
 		}
-		if r.re == nil {
+		if r.m == nil {
 			return true
 		}
 	}
-	url := req.URL
-	if url == "" {
-		url = "https://" + req.Domain + "/"
+	if req.URL != "" {
+		return matchPattern(r.m, req.URL)
 	}
-	return r.re.MatchString(url)
+	// Bare-hostname probe: evaluate against the virtual URL
+	// https://<domain>/ assembled on the stack, never materialized.
+	var buf [200]byte
+	b := append(buf[:0], "https://"...)
+	b = append(b, req.Domain...)
+	b = append(b, '/')
+	return matchPattern(r.m, b)
 }
 
+// domainOrSub reports whether host equals domain or is a subdomain of it,
+// comparing ASCII case-insensitively without allocating.
 func domainOrSub(host, domain string) bool {
-	host, domain = strings.ToLower(host), strings.ToLower(domain)
-	return host == domain || strings.HasSuffix(host, "."+domain)
+	if len(host) < len(domain) {
+		return false
+	}
+	off := len(host) - len(domain)
+	for i := 0; i < len(domain); i++ {
+		if foldByte(host[off+i]) != foldByte(domain[i]) {
+			return false
+		}
+	}
+	return off == 0 || host[off-1] == '.'
 }
 
-// Engine evaluates requests against a set of filter lists, with an index
-// over anchor domains for the common ||domain^ case.
+// Engine evaluates requests against a set of filter lists through the
+// reverse token index (index.go). It is immutable after the last AddList
+// call — Match goroutines share it without locks; the only writes Match
+// performs are the atomic stats counters.
 type Engine struct {
-	lists    []*List
-	byDomain map[string][]*Rule // anchorDomain -> rules
-	generic  []*Rule
+	lists   []*List
+	nextIdx uint64 // global insertion counter feeding makePrio
+
+	block  ruleSet // blocking rules
+	except ruleSet // @@ exception rules
+
+	matches   atomic.Int64
+	inspected atomic.Int64
 }
 
 // NewEngine builds an engine over the given lists.
 func NewEngine(lists ...*List) *Engine {
-	e := &Engine{byDomain: make(map[string][]*Rule)}
+	e := &Engine{}
 	for _, l := range lists {
 		e.AddList(l)
 	}
 	return e
 }
 
-// AddList appends a list's rules to the engine.
+// AddList appends a list's rules to the engine and rebuilds the indexes.
+// Not safe to call concurrently with Match.
 func (e *Engine) AddList(l *List) {
 	e.lists = append(e.lists, l)
 	for _, r := range l.Rules {
-		if r.anchorDomain != "" {
-			e.byDomain[r.anchorDomain] = append(e.byDomain[r.anchorDomain], r)
+		ir := idxRule{r: r, prio: makePrio(r.anchorDomain, e.nextIdx)}
+		e.nextIdx++
+		if r.Exception {
+			e.except.rules = append(e.except.rules, ir)
 		} else {
-			e.generic = append(e.generic, r)
+			e.block.rules = append(e.block.rules, ir)
 		}
 	}
+	e.rebuild()
 }
 
 // NumRules returns the total number of network rules loaded.
 func (e *Engine) NumRules() int {
-	n := len(e.generic)
-	for _, rs := range e.byDomain {
-		n += len(rs)
-	}
-	return n
+	return len(e.block.rules) + len(e.except.rules)
 }
+
+// maxStackTokens bounds the stack-resident URL token buffer; longer URLs
+// spill to the heap but stay correct.
+const maxStackTokens = 64
 
 // Match evaluates the request. It returns whether the request is blocked
 // and the rule that decided (the blocking rule, or the exception rule that
-// rescued the request).
+// rescued it). The verdict and the winning rule are deterministic: ties are
+// broken by lowest list order then rule order, exactly the scan order of
+// the pre-index engine, independent of index layout. Exceptions are only
+// consulted after a blocking candidate fires, so an unmatched request costs
+// one index probe; a request nothing blocks returns (false, nil).
 func (e *Engine) Match(req Request) (bool, *Rule) {
-	var blockRule *Rule
-	consider := func(r *Rule) bool { // returns true to stop: exception wins
-		if !r.Matches(req) {
-			return false
-		}
-		if r.Exception {
-			blockRule = r
-			return true
-		}
-		if blockRule == nil {
-			blockRule = r
-		}
-		return false
+	host := req.Domain
+	if !isLowerASCII(host) {
+		host = strings.ToLower(host)
 	}
-	// Walk the request hostname's parent domains through the index.
-	host := strings.ToLower(req.Domain)
-	for h := host; h != ""; {
-		for _, r := range e.byDomain[h] {
-			if consider(r) {
-				return false, blockRule
-			}
-		}
-		dot := strings.IndexByte(h, '.')
-		if dot < 0 {
-			break
-		}
-		h = h[dot+1:]
+	var tokArr [maxStackTokens]uint32
+	toks := tokArr[:0]
+	if req.URL != "" {
+		toks = appendTokens(toks, req.URL)
+	} else {
+		toks = append(toks, httpsToken)
+		toks = appendTokens(toks, req.Domain)
 	}
-	for _, r := range e.generic {
-		if consider(r) {
-			return false, blockRule
-		}
+
+	inspected := 0
+	block := e.block.find(&req, host, toks, &inspected)
+	var exc *Rule
+	if block != nil {
+		exc = e.except.find(&req, host, toks, &inspected)
 	}
-	return blockRule != nil && !blockRule.Exception, blockRule
+	e.matches.Add(1)
+	e.inspected.Add(int64(inspected))
+
+	if exc != nil {
+		return false, exc
+	}
+	if block != nil {
+		return true, block
+	}
+	return false, nil
 }
 
-// MatchDomain is the convenience used for tracker identification: it checks
-// whether a bare third-party request to the domain would be blocked.
-func (e *Engine) MatchDomain(domain, pageDomain string) bool {
-	blocked, _ := e.Match(Request{
-		URL:        "https://" + domain + "/",
+// isLowerASCII reports whether s is pure ASCII with no upper-case letters —
+// the common case for request hostnames, skipping the ToLower pass.
+func isLowerASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' || c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchName evaluates the canonical tracker-identification probe — a bare
+// third-party script request to domain — without materializing a URL
+// string, and returns the deciding rule.
+func (e *Engine) MatchName(domain, pageDomain string) (bool, *Rule) {
+	return e.Match(Request{
 		Domain:     domain,
 		PageDomain: pageDomain,
 		ThirdParty: !domainOrSub(domain, pageDomain) && !domainOrSub(pageDomain, domain),
 		Type:       TypeScript,
 	})
+}
+
+// MatchDomain is the convenience used for tracker identification: it checks
+// whether a bare third-party request to the domain would be blocked.
+func (e *Engine) MatchDomain(domain, pageDomain string) bool {
+	blocked, _ := e.MatchName(domain, pageDomain)
 	return blocked
 }

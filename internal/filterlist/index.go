@@ -1,0 +1,198 @@
+package filterlist
+
+import (
+	"sort"
+	"strings"
+)
+
+// The reverse index, uBlock-style. Rules split into two polarities (blocks
+// and exceptions), each held in a ruleSet with three tiers:
+//
+//   - `||domain` rules sit in a map keyed by their anchor domain and are
+//     found by walking the request hostname's parent domains — exact, cheap,
+//     and independent of the URL bytes;
+//   - every other rule is indexed under the *rarest* of its safe tokens
+//     (see appendSafeTokens), so a match probes only the buckets whose token
+//     actually occurs in the URL;
+//   - rules with no safe token land in a small always-checked fallback.
+//
+// Concurrency invariant: a ruleSet is built single-threaded inside
+// Engine.AddList and is read-only afterwards; Match goroutines share it
+// without locks. TestMatchConcurrentRace is the -race regression test for
+// this invariant — mutating a ruleSet after AddList is a bug.
+
+// idxRule pairs a rule with its engine-local match priority. Priorities are
+// engine-local (not stored on the Rule) so one parsed List can back several
+// engines.
+type idxRule struct {
+	r    *Rule
+	prio uint64
+}
+
+// makePrio encodes the deterministic tie-break order: the exact scan order
+// of the pre-index engine, so the indexed engine returns bit-identical
+// verdicts AND the identical winning *Rule no matter how its buckets are
+// iterated. The old engine walked the hostname's parent domains from most
+// to least specific (deeper anchors first), each bucket in insertion order,
+// then the generic rules in insertion order — hence: anchor label depth
+// (descending) in the high bits, generic rules above every anchored depth,
+// global insertion index (list order, then rule order) in the low bits.
+func makePrio(anchorDomain string, idx uint64) uint64 {
+	depth := uint64(0xff)
+	if anchorDomain != "" {
+		labels := uint64(1 + strings.Count(anchorDomain, "."))
+		if labels > 254 {
+			labels = 254
+		}
+		depth = 0xff - labels
+	}
+	return depth<<48 | idx&0xffffffffffff
+}
+
+// ruleSet indexes one polarity of rules.
+type ruleSet struct {
+	rules    []idxRule            // insertion order; the build source
+	byDomain map[string][]idxRule // `||` rules keyed by anchor domain
+	buckets  map[uint32][]idxRule // generic rules keyed by rarest safe token
+	fallback []idxRule            // generic rules with no safe token
+}
+
+// rebuild recomputes both rule sets' indexes. Token rarity is counted over
+// every generic rule in the engine (both polarities) so bucket sizes stay
+// balanced however the rules split. Deterministic by construction: it
+// iterates only insertion-ordered slices; maps are written by key.
+func (e *Engine) rebuild() {
+	counts := map[uint32]int{}
+	var scratch []uint32
+	for _, s := range [2]*ruleSet{&e.block, &e.except} {
+		for _, ir := range s.rules {
+			if ir.r.anchorDomain != "" {
+				continue
+			}
+			scratch = ir.r.m.appendSafeTokens(scratch[:0])
+			for _, t := range scratch {
+				counts[t]++
+			}
+		}
+	}
+	for _, s := range [2]*ruleSet{&e.block, &e.except} {
+		s.byDomain = make(map[string][]idxRule)
+		s.buckets = make(map[uint32][]idxRule)
+		s.fallback = nil
+		for _, ir := range s.rules {
+			if ir.r.anchorDomain != "" {
+				s.byDomain[ir.r.anchorDomain] = append(s.byDomain[ir.r.anchorDomain], ir)
+				continue
+			}
+			scratch = ir.r.m.appendSafeTokens(scratch[:0])
+			best, bestCount := uint32(0), -1
+			for _, t := range scratch {
+				// Strict less-than: ties go to the earliest token in the
+				// pattern, keeping the choice deterministic.
+				if c := counts[t]; bestCount < 0 || c < bestCount {
+					best, bestCount = t, c
+				}
+			}
+			if bestCount < 0 {
+				s.fallback = append(s.fallback, ir)
+			} else {
+				s.buckets[best] = append(s.buckets[best], ir)
+			}
+		}
+	}
+}
+
+// find returns the matching rule with the lowest priority — the rule the
+// pre-index engine's scan would have reported — or nil. host must be
+// lowercase; toks are the request URL's token hashes. inspected accumulates
+// how many candidate rules the indexes surfaced.
+func (s *ruleSet) find(req *Request, host string, toks []uint32, inspected *int) *Rule {
+	var best *Rule
+	bestPrio := ^uint64(0)
+	consider := func(rs []idxRule) {
+		*inspected += len(rs)
+		for _, ir := range rs {
+			if ir.prio < bestPrio && ir.r.matches(req) {
+				best, bestPrio = ir.r, ir.prio
+			}
+		}
+	}
+	if len(s.byDomain) > 0 {
+		for h := host; h != ""; {
+			if rs, ok := s.byDomain[h]; ok {
+				consider(rs)
+			}
+			dot := strings.IndexByte(h, '.')
+			if dot < 0 {
+				break
+			}
+			h = h[dot+1:]
+		}
+	}
+	for _, t := range toks {
+		if rs, ok := s.buckets[t]; ok {
+			consider(rs)
+		}
+	}
+	consider(s.fallback)
+	return best
+}
+
+// EngineStats describes the index shape and, cumulatively, how much work
+// Match has done: CandidatesInspected / Matches is the average number of
+// rules the indexes surface per request (the pre-index engine inspected
+// every rule, every time).
+type EngineStats struct {
+	Matches             int64 `json:"matches"`
+	CandidatesInspected int64 `json:"candidates_inspected"`
+
+	Rules         int `json:"rules"`
+	AnchorRules   int `json:"anchor_rules"`   // in domain buckets
+	TokenRules    int `json:"token_rules"`    // in token buckets
+	FallbackRules int `json:"fallback_rules"` // always checked
+	DomainBuckets int `json:"domain_buckets"`
+	TokenBuckets  int `json:"token_buckets"`
+
+	// TokenBucketHist maps bucket size -> number of token buckets of that
+	// size; MaxTokenBucket is its largest key.
+	TokenBucketHist map[int]int `json:"token_bucket_hist"`
+	MaxTokenBucket  int         `json:"max_token_bucket"`
+}
+
+// Stats snapshots the engine's index shape and match counters. Safe to call
+// while Match runs.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Matches:             e.matches.Load(),
+		CandidatesInspected: e.inspected.Load(),
+		TokenBucketHist:     make(map[int]int),
+	}
+	for _, s := range [2]*ruleSet{&e.block, &e.except} {
+		st.Rules += len(s.rules)
+		st.FallbackRules += len(s.fallback)
+		st.DomainBuckets += len(s.byDomain)
+		st.TokenBuckets += len(s.buckets)
+		for _, rs := range s.byDomain {
+			st.AnchorRules += len(rs)
+		}
+		for _, rs := range s.buckets {
+			st.TokenRules += len(rs)
+			st.TokenBucketHist[len(rs)]++
+			if len(rs) > st.MaxTokenBucket {
+				st.MaxTokenBucket = len(rs)
+			}
+		}
+	}
+	return st
+}
+
+// BucketSizes returns the token-bucket occupancy histogram as sorted
+// (size, buckets) pairs, for stable reporting.
+func (st EngineStats) BucketSizes() [][2]int {
+	out := make([][2]int, 0, len(st.TokenBucketHist))
+	for size, n := range st.TokenBucketHist {
+		out = append(out, [2]int{size, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,132 @@
+package filterlist
+
+import "testing"
+
+// TestTieBreakAnchorBeatsGeneric: the pre-index engine scanned the domain
+// buckets before the generic rules, so an anchored rule must win over a
+// generic rule that also matches — even when the generic rule was listed
+// first. The token index iterates buckets in arbitrary order; the prio
+// tie-break has to restore this.
+func TestTieBreakAnchorBeatsGeneric(t *testing.T) {
+	e := NewEngine(ParseList("l", "/x/*\n||t.example^\n"))
+	req := Request{URL: "https://t.example/x/y", Domain: "t.example",
+		PageDomain: "page.example", ThirdParty: true, Type: TypeScript}
+	blocked, rule := e.Match(req)
+	if !blocked || rule == nil {
+		t.Fatalf("Match = (%v, %v), want blocked", blocked, rule)
+	}
+	if rule.Raw != "||t.example^" {
+		t.Errorf("winner = %q, want the anchored rule", rule.Raw)
+	}
+}
+
+// TestTieBreakDeeperAnchorWins: the old byDomain walk visited the hostname's
+// parent domains from most to least specific, so the deeper anchor wins
+// regardless of insertion order.
+func TestTieBreakDeeperAnchorWins(t *testing.T) {
+	for _, text := range []string{
+		"||example^\n||t.example^\n",
+		"||t.example^\n||example^\n",
+	} {
+		e := NewEngine(ParseList("l", text))
+		req := Request{URL: "https://a.t.example/x", Domain: "a.t.example",
+			PageDomain: "page.example", ThirdParty: true, Type: TypeScript}
+		blocked, rule := e.Match(req)
+		if !blocked || rule == nil {
+			t.Fatalf("list %q: Match not blocked", text)
+		}
+		if rule.Raw != "||t.example^" {
+			t.Errorf("list %q: winner = %q, want ||t.example^", text, rule.Raw)
+		}
+	}
+}
+
+// TestTieBreakGenericListOrder: among generic rules the first listed wins,
+// even if the index files them under different token buckets.
+func TestTieBreakGenericListOrder(t *testing.T) {
+	e := NewEngine(ParseList("l", "/banner/\n/creative/\n"))
+	req := Request{URL: "https://x.example/banner/creative/a.gif", Domain: "x.example",
+		PageDomain: "page.example", ThirdParty: true, Type: TypeImage}
+	blocked, rule := e.Match(req)
+	if !blocked || rule == nil {
+		t.Fatal("Match not blocked")
+	}
+	if rule.Raw != "/banner/" {
+		t.Errorf("winner = %q, want the first-listed generic rule", rule.Raw)
+	}
+}
+
+// TestMatchNameEquivalence: the bare-hostname probe must agree with the
+// materialized-URL request it replaces, verdict and rule pointer both.
+func TestMatchNameEquivalence(t *testing.T) {
+	e := NewEngine(ParseList("l",
+		"||tracker.example^\n||ads.example^$third-party\n/banner/*\n@@||safe.example^\n||safe.example^\n"))
+	const page = "unrelated-page.example"
+	for _, d := range []string{
+		"tracker.example", "sub.tracker.example", "ads.example",
+		"safe.example", "clean.example", "banner.example",
+	} {
+		urlB, urlR := e.Match(Request{URL: "https://" + d + "/", Domain: d,
+			PageDomain: page, ThirdParty: true, Type: TypeScript})
+		nameB, nameR := e.MatchName(d, page)
+		if urlB != nameB || urlR != nameR {
+			t.Errorf("%s: Match=(%v,%v) MatchName=(%v,%v)", d, urlB, urlR, nameB, nameR)
+		}
+		if domB := e.MatchDomain(d, page); domB != nameB {
+			t.Errorf("%s: MatchDomain=%v MatchName=%v", d, domB, nameB)
+		}
+	}
+}
+
+// TestMatchZeroAllocs pins the hot path at zero allocations per call: hit,
+// miss, and the bare-hostname probe (which assembles its virtual URL on the
+// stack).
+func TestMatchZeroAllocs(t *testing.T) {
+	e := buildBigEngine(10000)
+	hit := Request{URL: "https://sub.tracker-4000.example/x.js", Domain: "sub.tracker-4000.example",
+		PageDomain: "page.example", ThirdParty: true, Type: TypeScript}
+	miss := Request{URL: "https://www.innocent.example/app.js", Domain: "www.innocent.example",
+		PageDomain: "page.example", ThirdParty: true, Type: TypeScript}
+	cases := map[string]func(){
+		"hit":  func() { e.Match(hit) },
+		"miss": func() { e.Match(miss) },
+		"name": func() { e.MatchName("sub.tracker-4000.example", "page.example") },
+	}
+	for name, fn := range cases {
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s path: %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+// TestStatsShape sanity-checks the index-shape counters against a corpus
+// whose composition is known by construction.
+func TestStatsShape(t *testing.T) {
+	e := NewEngine(ParseList("l",
+		"||a.example^\n||b.example^\n/banner/*\n/creative/*\n*\n@@||a.example/allow\n"))
+	st := e.Stats()
+	if st.Rules != e.NumRules() {
+		t.Errorf("Rules = %d, want %d", st.Rules, e.NumRules())
+	}
+	// The `||` rules — including the `@@||` exception — live in the domain
+	// tier regardless of their tails.
+	if st.AnchorRules != 3 {
+		t.Errorf("AnchorRules = %d, want 3", st.AnchorRules)
+	}
+	// "/banner/*" and "/creative/*" each carry a safe token; the bare "*"
+	// cannot and must land in the fallback tier.
+	if st.TokenRules != 2 {
+		t.Errorf("TokenRules = %d, want 2", st.TokenRules)
+	}
+	if st.FallbackRules != 1 {
+		t.Errorf("FallbackRules = %d, want 1", st.FallbackRules)
+	}
+	if got := st.AnchorRules + st.TokenRules + st.FallbackRules; got != st.Rules {
+		t.Errorf("tier sum = %d, want %d", got, st.Rules)
+	}
+	for _, pair := range st.BucketSizes() {
+		if pair[0] < 1 || pair[1] < 1 {
+			t.Errorf("BucketSizes contains non-positive entry %v", pair)
+		}
+	}
+}

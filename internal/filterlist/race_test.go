@@ -1,0 +1,91 @@
+package filterlist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// raceRequests mixes hit, miss, exception-rescued and bare-hostname probes
+// so the goroutines exercise every index tier.
+func raceRequests() []Request {
+	reqs := []Request{
+		{URL: "https://sub.tracker-40.example/x.js", Domain: "sub.tracker-40.example",
+			PageDomain: "page.example", ThirdParty: true, Type: TypeScript},
+		{URL: "https://www.innocent.example/app.js", Domain: "www.innocent.example",
+			PageDomain: "page.example", ThirdParty: true, Type: TypeScript},
+		{URL: "https://x.example/banner-42/ad.gif", Domain: "x.example",
+			PageDomain: "page.example", ThirdParty: true, Type: TypeImage},
+		{URL: "https://safe-43.example/x.js", Domain: "safe-43.example",
+			PageDomain: "page.example", ThirdParty: true, Type: TypeScript},
+		{URL: "https://ads-41.example/a", Domain: "ads-41.example",
+			PageDomain: "ads-41.example", ThirdParty: false, Type: TypeScript},
+		{Domain: "tracker-80.example", PageDomain: "page.example",
+			ThirdParty: true, Type: TypeScript}, // empty URL: virtual probe
+		{Domain: "clean.example", PageDomain: "page.example",
+			ThirdParty: true, Type: TypeScript},
+	}
+	return reqs
+}
+
+// TestMatchConcurrentRace hammers Match from 8 goroutines over a shared
+// engine. Run under -race it is the regression test for the token index's
+// read-only invariant: buckets are built once at AddList time and never
+// mutated by Match (the stats counters are the only writes, and they are
+// atomic). Mirrors geoloc's TestClassifyConcurrentRace.
+func TestMatchConcurrentRace(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 200
+	)
+	list := benchLists(200)
+	e := NewEngine(list)
+	// Serial baseline on a second engine over the SAME parsed list, so the
+	// expected *Rule pointers are comparable across engines.
+	serial := NewEngine(list)
+	reqs := raceRequests()
+	wantB := make([]bool, len(reqs))
+	wantR := make([]*Rule, len(reqs))
+	for i, req := range reqs {
+		wantB[i], wantR[i] = serial.Match(req)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the requests at a different phase so
+				// probes overlap in every interleaving.
+				for i := range reqs {
+					j := (i + g) % len(reqs)
+					gotB, gotR := e.Match(reqs[j])
+					if gotB != wantB[j] || gotR != wantR[j] {
+						select {
+						case errs <- fmt.Sprintf("req %d: got (%v,%v) want (%v,%v)",
+							j, gotB, gotR, wantB[j], wantR[j]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := e.Stats()
+	if st.Matches != int64(goroutines*rounds*len(reqs)) {
+		t.Errorf("stats.Matches = %d, want %d", st.Matches, goroutines*rounds*len(reqs))
+	}
+	if st.Rules != e.NumRules() {
+		t.Errorf("stats.Rules = %d, want %d", st.Rules, e.NumRules())
+	}
+}

@@ -1,0 +1,339 @@
+package filterlist
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// This file keeps the pre-index engine alive as a test oracle: the exact
+// pattern-to-regexp translation and linear exception-interleaved scan the
+// engine used before the tokenized matcher. The differential tests and
+// FuzzMatchDifferential assert the production engine agrees with it on
+// every ASCII input. (The oracle is ASCII-only by design: regexp (?i) does
+// Unicode rune folding and its `^` class consumes runes, while the
+// production matcher is byte-oriented — real request URLs are ASCII.)
+
+// patternToRegexp translates Adblock wildcard syntax to a Go regexp. Moved
+// verbatim out of the production engine when matcher.go replaced it.
+func patternToRegexp(pattern string) (*regexp.Regexp, error) {
+	var b strings.Builder
+	i := 0
+	switch {
+	case strings.HasPrefix(pattern, "||"):
+		b.WriteString(`^[a-z][a-z0-9+.-]*://(?:[^/?#]*\.)?`)
+		i = 2
+	case strings.HasPrefix(pattern, "|"):
+		b.WriteString(`^`)
+		i = 1
+	}
+	endAnchor := false
+	end := len(pattern)
+	if strings.HasSuffix(pattern, "|") && end > i {
+		endAnchor = true
+		end--
+	}
+	for ; i < end; i++ {
+		switch c := pattern[i]; c {
+		case '*':
+			b.WriteString(`.*`)
+		case '^':
+			b.WriteString(`(?:[^a-zA-Z0-9_.%-]|$)`)
+		default:
+			b.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	if endAnchor {
+		b.WriteString(`$`)
+	}
+	return regexp.Compile(`(?i)` + b.String())
+}
+
+// refRule wraps a production *Rule with the oracle's compiled regexp, so
+// rule identity is comparable across the two engines by pointer.
+type refRule struct {
+	r  *Rule
+	re *regexp.Regexp // nil when the anchor-domain check suffices
+}
+
+// compileRefRule re-derives the pattern from the raw rule text with the
+// same stripping logic as parseRule and compiles it the pre-index way.
+func compileRefRule(t *testing.T, r *Rule) refRule {
+	t.Helper()
+	pattern := r.Raw
+	pattern = strings.TrimPrefix(pattern, "@@")
+	if i := strings.LastIndex(pattern, "$"); i >= 0 && !strings.Contains(pattern[i:], "/") {
+		pattern = pattern[:i]
+	}
+	rr := refRule{r: r}
+	if strings.HasPrefix(pattern, "||") {
+		rest := pattern[2:]
+		cut := strings.IndexAny(rest, "^/*|")
+		domain := rest
+		if cut >= 0 {
+			domain = rest[:cut]
+		}
+		tail := rest[len(domain):]
+		if tail == "" || tail == "^" || tail == "^*" || tail == "*" {
+			return rr // anchor-domain fast path, no regexp
+		}
+		re, err := patternToRegexp("||" + rest)
+		if err != nil {
+			t.Fatalf("oracle compile %q: %v", r.Raw, err)
+		}
+		rr.re = re
+		return rr
+	}
+	re, err := patternToRegexp(pattern)
+	if err != nil {
+		t.Fatalf("oracle compile %q: %v", r.Raw, err)
+	}
+	rr.re = re
+	return rr
+}
+
+func refDomainOrSub(host, domain string) bool {
+	host, domain = strings.ToLower(host), strings.ToLower(domain)
+	return host == domain || strings.HasSuffix(host, "."+domain)
+}
+
+func (rr refRule) matches(req Request) bool {
+	if !rr.r.matchesOptions(&req) {
+		return false
+	}
+	if rr.r.anchorDomain != "" {
+		if !refDomainOrSub(req.Domain, rr.r.anchorDomain) {
+			return false
+		}
+		if rr.re == nil {
+			return true
+		}
+	}
+	url := req.URL
+	if url == "" {
+		url = "https://" + req.Domain + "/"
+	}
+	return rr.re.MatchString(url)
+}
+
+// refEngine is the pre-index engine: an anchor-domain map plus a linear
+// scan of generic rules, exceptions interleaved in insertion order.
+type refEngine struct {
+	byDomain map[string][]refRule
+	generic  []refRule
+}
+
+func newRefEngine(t *testing.T, lists ...*List) *refEngine {
+	t.Helper()
+	e := &refEngine{byDomain: make(map[string][]refRule)}
+	for _, l := range lists {
+		for _, r := range l.Rules {
+			rr := compileRefRule(t, r)
+			if r.anchorDomain != "" {
+				e.byDomain[r.anchorDomain] = append(e.byDomain[r.anchorDomain], rr)
+			} else {
+				e.generic = append(e.generic, rr)
+			}
+		}
+	}
+	return e
+}
+
+// Match replicates the pre-index Engine.Match verbatim: walk the hostname's
+// parent domains through the index, then scan the generic rules; the first
+// matching exception wins immediately.
+func (e *refEngine) Match(req Request) (bool, *Rule) {
+	var blockRule *Rule
+	consider := func(rr refRule) bool {
+		if !rr.matches(req) {
+			return false
+		}
+		if rr.r.Exception {
+			blockRule = rr.r
+			return true
+		}
+		if blockRule == nil {
+			blockRule = rr.r
+		}
+		return false
+	}
+	host := strings.ToLower(req.Domain)
+	for h := host; h != ""; {
+		for _, rr := range e.byDomain[h] {
+			if consider(rr) {
+				return false, blockRule
+			}
+		}
+		dot := strings.IndexByte(h, '.')
+		if dot < 0 {
+			break
+		}
+		h = h[dot+1:]
+	}
+	for _, rr := range e.generic {
+		if consider(rr) {
+			return false, blockRule
+		}
+	}
+	return blockRule != nil && !blockRule.Exception, blockRule
+}
+
+func isASCII(ss ...string) bool {
+	for _, s := range ss {
+		for i := 0; i < len(s); i++ {
+			if s[i] >= 0x80 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkAgainstOracle asserts the production engine and the oracle agree on
+// one request: same verdict always; same winning *Rule whenever blocked;
+// and when the production engine reports a rescuing exception, it is the
+// rule the oracle reported. (The one sanctioned divergence: when nothing
+// blocks, the production engine skips the exception index and returns a nil
+// rule, while the oracle may name a matching exception.)
+func checkAgainstOracle(t *testing.T, e *Engine, ref *refEngine, req Request) {
+	t.Helper()
+	wantB, wantR := ref.Match(req)
+	gotB, gotR := e.Match(req)
+	if gotB != wantB {
+		t.Fatalf("verdict mismatch on %+v: engine=%v oracle=%v (oracle rule %v)", req, gotB, wantB, wantR)
+	}
+	if gotB && gotR != wantR {
+		t.Fatalf("winning rule mismatch on %+v: engine=%v oracle=%v", req, gotR, wantR)
+	}
+	if !gotB && gotR != nil && gotR != wantR {
+		t.Fatalf("exception mismatch on %+v: engine=%v oracle=%v", req, gotR, wantR)
+	}
+}
+
+// easyListShapes is a corpus of real EasyList/EasyPrivacy rule shapes.
+var easyListShapes = []string{
+	"||doubleclick.net^",
+	"||google-analytics.com^$third-party",
+	"||ads.example.com^$script,image",
+	"||example.com/ads/*$third-party",
+	"||cdn.example^$domain=a.com|~b.a.com",
+	"||pixel.example/track?id=*&ref=^",
+	"@@||ads.example.com/allowed^",
+	"@@||cdn.example^$~third-party",
+	"/adbanner/*",
+	"/banner-468x60.",
+	"/telemetry/collect^",
+	"&ad_type=",
+	"-ad-loader.",
+	"_adtracker.js",
+	"|https://tracker.io/pixel.gif|",
+	"|http://",
+	".gif|",
+	"*$image",
+	"||Tracker.Example^",
+	"||sub.deep.tracker.example^",
+	"@@/adbanner/*$domain=news.example",
+	"||a.b^*/path",
+	"^promo^banner^",
+	"||multi.example/a/*/b/*/c|",
+}
+
+var shapeURLs = []struct {
+	url, domain string
+}{
+	{"https://doubleclick.net/x.js", "doubleclick.net"},
+	{"https://ad.doubleclick.net/adbanner/img.gif", "ad.doubleclick.net"},
+	{"https://stats.g.doubleclick.net/r/collect?ad_type=banner", "stats.g.doubleclick.net"},
+	{"https://notdoubleclick.net/", "notdoubleclick.net"},
+	{"https://doubleclick.net.evil.com/", "doubleclick.net.evil.com"},
+	{"https://ads.example.com:8080/allowed/x", "ads.example.com"},
+	{"https://ads.example.com/allowed", "ads.example.com"},
+	{"https://example.com/ads/banner.png", "example.com"},
+	{"https://example.com/news/", "example.com"},
+	{"https://x.com/advert/img/banner-468x60.gif", "x.com"},
+	{"https://x.com/telemetry/collect", "x.com"},
+	{"https://x.com/telemetry/collector", "x.com"},
+	{"https://tracker.io/pixel.gif", "tracker.io"},
+	{"https://tracker.io/pixel.gif?x=1", "tracker.io"},
+	{"http://insecure.example/ad-loader.js", "insecure.example"},
+	{"HTTPS://TRACKER.EXAMPLE/A/B", "TRACKER.EXAMPLE"},
+	{"https://sub.deep.tracker.example/", "sub.deep.tracker.example"},
+	{"https://a.b/x/path", "a.b"},
+	{"https://p.example/!promo!banner!", "p.example"},
+	{"https://multi.example/a/x/b/y/c", "multi.example"},
+	{"https://multi.example/a/x/b/y/c/d", "multi.example"},
+	{"https://cdn.example/w.js?_adtracker.js", "cdn.example"},
+	{"ftp://odd.example/adbanner/x", "odd.example"},
+	{"//no-scheme/adbanner/", "no-scheme"},
+	{"", "bare-probe.example"},
+	{"", "ad.doubleclick.net"},
+}
+
+// TestDifferentialEasyListShapes runs the full shape corpus — one engine
+// over all rules at once, plus one engine per individual rule — against the
+// oracle, across page domains, party-ness and resource types.
+func TestDifferentialEasyListShapes(t *testing.T) {
+	lists := []*List{
+		ParseList("easylist", strings.Join(easyListShapes[:len(easyListShapes)/2], "\n")),
+		ParseList("easyprivacy", strings.Join(easyListShapes[len(easyListShapes)/2:], "\n")),
+	}
+	engines := []*Engine{NewEngine(lists...)}
+	oracles := []*refEngine{newRefEngine(t, lists...)}
+	for _, shape := range easyListShapes {
+		l := ParseList("single", shape)
+		engines = append(engines, NewEngine(l))
+		oracles = append(oracles, newRefEngine(t, l))
+	}
+	for i := range engines {
+		for _, u := range shapeURLs {
+			for _, page := range []string{"news.example", "a.com", "b.a.com"} {
+				for _, third := range []bool{true, false} {
+					for _, typ := range []ResourceType{TypeScript, TypeImage, TypeOther} {
+						checkAgainstOracle(t, engines[i], oracles[i], Request{
+							URL: u.url, Domain: u.domain, PageDomain: page,
+							ThirdParty: third, Type: typ,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzMatchDifferential fuzzes (list text, URL, domain, page, options)
+// against the oracle. The engine's token index, bespoke matcher and
+// tie-break must agree with the regexp reference on every verdict — for the
+// URL as given, and for the bare-hostname probe implied by an empty URL.
+func FuzzMatchDifferential(f *testing.F) {
+	for _, shape := range easyListShapes {
+		f.Add(shape, "https://ad.doubleclick.net/adbanner/img.gif?ad_type=banner",
+			"ad.doubleclick.net", "news.example", true, uint16(TypeScript))
+	}
+	// Seeds inherited from FuzzParseList plus adversarial shapes.
+	for _, s := range []string{
+		"||doubleclick.net^",
+		"@@||analytics.example/allowed^$third-party",
+		"/adbanner/*$image,domain=a.com|~b.a.com",
+		"|https://x/|",
+		"||a^$unknownopt,~third-party",
+		"*$*", "|", "^", "*", "^^", "||a.b.c.d^",
+		"a*", "*a", "a**b", "^|", "|^|", "ad",
+	} {
+		f.Add(s, "https://tracker.example/x.js", "tracker.example", "page.example", true, uint16(TypeScript))
+		f.Add(s, "a://b.c/", "b.c", "p", false, uint16(TypeImage))
+	}
+	f.Fuzz(func(t *testing.T, list, url, domain, page string, third bool, typ uint16) {
+		if !isASCII(list, url, domain, page) {
+			t.Skip("oracle is rune-oriented; production matcher is byte-oriented ASCII")
+		}
+		l := ParseList("fuzz", list)
+		e := NewEngine(l)
+		ref := newRefEngine(t, l)
+		req := Request{URL: url, Domain: domain, PageDomain: page,
+			ThirdParty: third, Type: ResourceType(typ)}
+		checkAgainstOracle(t, e, ref, req)
+		// The bare-hostname probe path (stack-assembled virtual URL).
+		req.URL = ""
+		checkAgainstOracle(t, e, ref, req)
+	})
+}

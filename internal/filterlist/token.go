@@ -1,0 +1,80 @@
+package filterlist
+
+// Token extraction for the reverse index. A token is a maximal run of
+// [0-9a-z] bytes (ASCII case-folded); everything else — including `_`, `%`
+// and `-`, which the `^` separator does NOT match — is a boundary. Tokens
+// are represented by a 32-bit FNV-1a hash: a collision only merges two
+// buckets, adding false candidates, never hiding a rule.
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func isTokenByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}
+
+// hashToken hashes an already-lowercase token literal.
+func hashToken(s string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime32
+	}
+	return h
+}
+
+// httpsToken stands in for the scheme of the virtual "https://<domain>/"
+// URL that bare-hostname probes imply without ever materializing it.
+var httpsToken = hashToken("https")
+
+// appendTokens appends the hash of every token in s to dst and returns it.
+// Callers pass a stack-backed dst so the common case allocates nothing.
+func appendTokens[S byteseq](dst []uint32, s S) []uint32 {
+	h := uint32(fnvOffset32)
+	in := false
+	for i := 0; i < len(s); i++ {
+		if c := foldByte(s[i]); isTokenByte(c) {
+			h = (h ^ uint32(c)) * fnvPrime32
+			in = true
+		} else if in {
+			dst = append(dst, h)
+			h, in = fnvOffset32, false
+		}
+	}
+	if in {
+		dst = append(dst, h)
+	}
+	return dst
+}
+
+// appendSafeTokens appends the hashes of the pattern's safe tokens: token
+// runs every matching URL is guaranteed to contain as complete URL tokens.
+// A run qualifies only when both of its pattern-side boundaries are hard: a
+// non-alphanumeric literal byte or a `^` separator inside the body, or the
+// body edge when an anchor pins it there (`|`/`||` on the left, trailing
+// `|` on the right). A `*` wildcard or an unanchored edge leaves the
+// neighbouring URL byte unconstrained — it could extend the run — so the
+// token is unsafe and contributes nothing.
+func (m *matcher) appendSafeTokens(dst []uint32) []uint32 {
+	body := m.body
+	for i := 0; i < len(body); {
+		if !isTokenByte(body[i]) {
+			i++
+			continue
+		}
+		j := i
+		h := uint32(fnvOffset32)
+		for j < len(body) && isTokenByte(body[j]) {
+			h = (h ^ uint32(body[j])) * fnvPrime32
+			j++
+		}
+		leftOK := i > 0 && body[i-1] != '*' || i == 0 && (m.start || m.host)
+		rightOK := j < len(body) && body[j] != '*' || j == len(body) && m.end
+		if leftOK && rightOK {
+			dst = append(dst, h)
+		}
+		i = j
+	}
+	return dst
+}

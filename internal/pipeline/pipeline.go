@@ -339,8 +339,11 @@ func isPostClassificationStage(s geoloc.Stage) bool {
 
 // listMatcher is the engine behaviour tracker identification needs,
 // satisfied by both *filterlist.Engine and *filterlist.CachedEngine.
+// MatchName is the bare-hostname probe: unlike a hand-built
+// "https://"+domain+"/" Match request, it never materializes a URL string.
 type listMatcher interface {
 	Match(filterlist.Request) (bool, *filterlist.Rule)
+	MatchName(domain, pageDomain string) (bool, *filterlist.Rule)
 }
 
 // matchers bundles the global and regional filter engines, memoized unless
@@ -604,26 +607,14 @@ func annotate(env Env, match *matchers, cc string, obs *DomainObs) {
 	// Filter lists first (§4.2)...
 	page := "unrelated-page.example"
 	if match.global != nil {
-		if blocked, rule := match.global.Match(filterlist.Request{
-			URL:        "https://" + obs.Domain + "/",
-			Domain:     obs.Domain,
-			PageDomain: page,
-			ThirdParty: true,
-			Type:       filterlist.TypeScript,
-		}); blocked {
+		if blocked, rule := match.global.MatchName(obs.Domain, page); blocked {
 			obs.IsTracker = true
 			obs.TrackerSource = rule.List
 			return
 		}
 	}
 	if regional, ok := match.regional[cc]; ok {
-		if blocked, rule := regional.Match(filterlist.Request{
-			URL:        "https://" + obs.Domain + "/",
-			Domain:     obs.Domain,
-			PageDomain: page,
-			ThirdParty: true,
-			Type:       filterlist.TypeScript,
-		}); blocked {
+		if blocked, rule := regional.MatchName(obs.Domain, page); blocked {
 			obs.IsTracker = true
 			obs.TrackerSource = rule.List
 			return
@@ -664,20 +655,14 @@ func annotate(env Env, match *matchers, cc string, obs *DomainObs) {
 
 // matchTrackerName checks a bare hostname against the filter engines.
 func matchTrackerName(match *matchers, cc, hostname string) bool {
-	req := filterlist.Request{
-		URL:        "https://" + hostname + "/",
-		Domain:     hostname,
-		PageDomain: "unrelated-page.example",
-		ThirdParty: true,
-		Type:       filterlist.TypeScript,
-	}
+	const page = "unrelated-page.example"
 	if match.global != nil {
-		if blocked, _ := match.global.Match(req); blocked {
+		if blocked, _ := match.global.MatchName(hostname, page); blocked {
 			return true
 		}
 	}
 	if regional, ok := match.regional[cc]; ok {
-		if blocked, _ := regional.Match(req); blocked {
+		if blocked, _ := regional.MatchName(hostname, page); blocked {
 			return true
 		}
 	}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# bench.sh — the repo's benchmark trajectory, one smoke iteration each.
+#
+# Runs the filterlist matching-engine benchmarks (hit, miss, bare-hostname
+# probe, index build, parse) and the pipeline's parallel-analysis benchmark
+# with -benchtime=1x -count=1: fast enough for CI, and a compile+run check
+# that every benchmark still works. Real before/after numbers are collected
+# with longer benchtimes and recorded in BENCH_*.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench 'BenchmarkMatch|BenchmarkEngineBuild|BenchmarkParse' \
+	-benchtime=1x -count=1 ./internal/filterlist/
+go test -run '^$' -bench 'BenchmarkProcessParallel' \
+	-benchtime=1x -count=1 ./internal/pipeline/
