@@ -1,0 +1,200 @@
+// Command gammad is the query daemon over analyzed tracking-flow corpora:
+// it builds an immutable serving snapshot (from a simulated study or a
+// directory of uploaded volunteer datasets), then answers the /v1 API
+// from precomputed payloads — zero allocations per request — with
+// zero-downtime hot reloads via POST /admin/reload.
+//
+// Usage:
+//
+//	gammad -seed 42 -addr :8080              # serve a simulated study
+//	gammad -seed 42 -data ./uploads          # serve analyzed datasets
+//	gammad -seed 42 -selfcheck               # boot, probe every endpoint, exit
+//
+// Endpoints:
+//
+//	GET  /v1/countries            all source countries, summarized
+//	GET  /v1/countries/{cc}       one country's full profile
+//	GET  /v1/trackers             all cross-border tracker domains
+//	GET  /v1/trackers/{domain}    reverse index: who observes this tracker
+//	GET  /v1/flows                country/continent/organization flow matrices
+//	GET  /v1/figures              figure ids
+//	GET  /v1/figures/{id}         one paper figure's data payload
+//	GET  /healthz                 liveness
+//	GET  /debug/metrics           per-endpoint counters + latency histograms
+//	POST /admin/reload[?seed=N]   rebuild and atomically swap the snapshot
+//
+// Reloads are validation-gated: a failed rebuild or an invalid
+// replacement snapshot reports 422 and leaves the current snapshot
+// serving. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/core"
+	"github.com/gamma-suite/gamma/internal/sched"
+	"github.com/gamma-suite/gamma/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 42, "world seed (and dataset analysis seed)")
+		dataDir     = flag.String("data", "", "directory of volunteer dataset JSON files; empty simulates the full study")
+		workers     = flag.Int("workers", 0, "worker pool size for study/analysis; 0 = GOMAXPROCS")
+		maxInflight = flag.Int("max-inflight", 256, "concurrent request limit before load-shedding")
+		acquire     = flag.Duration("acquire-timeout", time.Second, "how long a request may wait for admission before 503")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+		selfcheck   = flag.Bool("selfcheck", false, "boot on an ephemeral port, probe every endpoint against the snapshot, reload, exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *seed, *dataDir, *workers, *maxInflight, *acquire, *drain, *selfcheck); err != nil {
+		fmt.Fprintln(os.Stderr, "gammad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed uint64, dataDir string, workers, maxInflight int, acquire, drain time.Duration, selfcheck bool) error {
+	fmt.Fprintf(os.Stderr, "gammad: building snapshot %s...\n", snapshotID(seed, dataDir))
+	snap, err := buildSnapshot(context.Background(), seed, dataDir, workers)
+	if err != nil {
+		return err
+	}
+	store, err := serve.NewStore(snap)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(store, serve.Options{
+		MaxConcurrent:  maxInflight,
+		AcquireTimeout: acquire,
+		Reload: func(ctx context.Context, params url.Values) (*serve.Snapshot, error) {
+			s := seed
+			if raw := params.Get("seed"); raw != "" {
+				v, err := strconv.ParseUint(raw, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad seed %q: %w", raw, err)
+				}
+				s = v
+			}
+			return buildSnapshot(ctx, s, dataDir, workers)
+		},
+	})
+	fmt.Fprintf(os.Stderr, "gammad: snapshot %s ready: %d countries, %d tracker domains, %d endpoints\n",
+		snap.Meta().ID, len(snap.CountryCodes()), len(snap.TrackerDomains()), len(snap.Endpoints()))
+
+	if selfcheck {
+		return runSelfcheck(srv, store)
+	}
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "gammad: listening on %s\n", addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "gammad: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "gammad: drained, bye")
+	return nil
+}
+
+// snapshotID names a snapshot's provenance for the X-Gamma-Snapshot
+// header and /debug/metrics.
+func snapshotID(seed uint64, dataDir string) string {
+	if dataDir != "" {
+		return fmt.Sprintf("data-%s@seed-%d", filepath.Clean(dataDir), seed)
+	}
+	return fmt.Sprintf("seed-%d", seed)
+}
+
+// buildSnapshot produces a serving snapshot: from the datasets in dataDir
+// when given, else from a full simulated study at seed. Response bodies
+// depend only on (seed, datasets), so a same-input rebuild is
+// byte-identical — the property the selfcheck's reload probe asserts.
+func buildSnapshot(ctx context.Context, seed uint64, dataDir string, workers int) (*serve.Snapshot, error) {
+	meta := serve.Meta{ID: snapshotID(seed, dataDir), BuiltAt: sched.Wall().Now()}
+	if dataDir == "" {
+		study, err := gamma.RunStudyWithOptions(ctx, seed, gamma.StudyOptions{
+			Workers:         workers,
+			AnalysisWorkers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.Build(study.Result, study.World.Registry, gamma.PolicyRegistry(study.World), meta)
+	}
+	datasets, err := loadDatasets(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	w, err := gamma.NewWorld(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gamma.AnalyzeWithWorkers(w, datasets, workers)
+	if err != nil {
+		return nil, err
+	}
+	return serve.Build(res, w.Registry, gamma.PolicyRegistry(w), meta)
+}
+
+// loadDatasets reads every *.json / *.json.gz volunteer dataset in dir,
+// in sorted filename order.
+func loadDatasets(dir string) ([]*core.Dataset, error) {
+	var files []string
+	for _, pattern := range []string{"*.json", "*.json.gz"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no datasets in %s", dir)
+	}
+	sort.Strings(files)
+	datasets := make([]*core.Dataset, 0, len(files))
+	for _, f := range files {
+		ds, err := core.LoadDataset(f)
+		if err != nil {
+			return nil, err
+		}
+		datasets = append(datasets, ds)
+	}
+	return datasets, nil
+}

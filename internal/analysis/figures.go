@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/pipeline"
+)
+
+// figureIDs is the canonical identifier list for the figure/table payloads
+// the serving layer exposes at /v1/figures/{id}. Order is the paper's.
+var figureIDs = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1",
+}
+
+// FigureIDs returns the identifiers of every servable figure payload, in
+// presentation order. The returned slice is fresh; callers may mutate it.
+func FigureIDs() []string {
+	return append([]string(nil), figureIDs...)
+}
+
+// Fig2Payload bundles both halves of Figure 2.
+type Fig2Payload struct {
+	Composition []Composition `json:"composition"`
+	LoadSuccess []LoadSuccess `json:"load_success"`
+}
+
+// Fig3Payload is the Figure 3 prevalence data with its headline statistics.
+type Fig3Payload struct {
+	Prevalence  []Prevalence `json:"prevalence"`
+	Correlation float64      `json:"reg_gov_correlation"`
+}
+
+// Fig5Payload bundles the Figure 5 flow matrix in all three renderings.
+type Fig5Payload struct {
+	Flows      []Flow      `json:"flows"`
+	Shares     []FlowShare `json:"shares"`
+	DestShares []DestShare `json:"dest_shares"`
+}
+
+// Fig8Payload bundles the org flows with their per-organization totals.
+type Fig8Payload struct {
+	Flows  []OrgFlow `json:"flows"`
+	Totals []OrgFlow `json:"totals"`
+}
+
+// Figure computes one figure/table payload by identifier. Every payload is
+// a deterministic pure function of the analyzed corpus: the underlying
+// builders emit sorted slices, and the only maps that appear in payloads
+// (Fig 9 counts, funnel stages) are serialized key-sorted by encoding/json.
+// The second return is false for unknown identifiers.
+func Figure(id string, res *pipeline.Result, reg *geo.Registry, policies map[string]PolicyInfo) (any, bool) {
+	switch id {
+	case "fig2":
+		return Fig2Payload{Composition: Fig2Composition(res), LoadSuccess: Fig2LoadSuccess(res)}, true
+	case "fig3":
+		prev := Fig3Prevalence(res)
+		corr, err := Fig3Correlation(prev)
+		if err != nil {
+			corr = 0
+		}
+		return Fig3Payload{Prevalence: prev, Correlation: corr}, true
+	case "fig4":
+		return Fig4Distribution(res), true
+	case "fig5":
+		flows := Fig5CountryFlows(res)
+		return Fig5Payload{
+			Flows:      flows,
+			Shares:     Fig5FlowShares(flows),
+			DestShares: Fig5DestShares(res),
+		}, true
+	case "fig6":
+		return Fig6ContinentFlows(res, reg), true
+	case "fig7":
+		return Fig7HostingCounts(res), true
+	case "fig8":
+		flows := Fig8OrgFlows(res)
+		return Fig8Payload{Flows: flows, Totals: OrgTotals(flows)}, true
+	case "fig9":
+		return Fig9DomainFrequency(res), true
+	case "table1":
+		return Table1(Fig3Prevalence(res), policies), true
+	default:
+		return nil, false
+	}
+}

@@ -196,9 +196,7 @@ func Artifacts(res *pipeline.Result, reg *geo.Registry, policies map[string]anal
 	// trackers.csv — the identified tracker domains with attribution.
 	rows = nil
 	for _, cc := range res.CountryCodes() {
-		verdicts := res.Countries[cc].Verdicts
-		for _, domain := range sortedKeys(verdicts) {
-			obs := verdicts[domain]
+		for _, obs := range res.Countries[cc].SortedDomains() {
 			if obs.Class != geoloc.NonLocal || !obs.IsTracker {
 				continue
 			}

@@ -119,6 +119,7 @@ func TestFixtures(t *testing.T) {
 		{"allowed/internal/rng", []string{"ambientrand"}}, // allowlist: zero wants
 		{"sharedmap", []string{"sharedmap"}},
 		{"sharedmapguarded", []string{"sharedmap"}}, // guarded: zero wants
+		{"httphandler", []string{"sharedmap", "walltime"}},
 		{"directive", []string{"walltime"}},
 	}
 	for _, tc := range cases {

@@ -7,12 +7,14 @@ import (
 )
 
 // checkSharedMap flags writes to package-level or struct-field maps from
-// inside work launched concurrently — `go` statements or closures
-// submitted to the sched pool as Unit.Run — when no sync.Mutex/RWMutex is
-// associated with the map (a lock field in the owning struct, a
-// package-level lock var, or an explicit Lock/RLock call in the closure).
-// This is the exact shape of the geoloc destCache race PR 2 fixed with a
-// sharded, per-shard-mutex cache.
+// inside work launched concurrently — `go` statements, closures submitted
+// to the sched pool as Unit.Run, or net/http handler literals (the server
+// runs each connection on its own goroutine, so a HandlerFunc closure is
+// concurrent work even though no `go` appears at the registration site) —
+// when no sync.Mutex/RWMutex is associated with the map (a lock field in
+// the owning struct, a package-level lock var, or an explicit Lock/RLock
+// call in the closure). This is the exact shape of the geoloc destCache
+// race PR 2 fixed with a sharded, per-shard-mutex cache.
 func checkSharedMap(pkg *Package, r *Reporter) {
 	for _, f := range pkg.Files {
 		for _, lit := range concurrentLiterals(pkg.Info, f) {
@@ -22,7 +24,8 @@ func checkSharedMap(pkg *Package, r *Reporter) {
 }
 
 // concurrentLiterals finds function literals that run concurrently with
-// their creator: goroutine bodies and sched.Unit Run closures.
+// their creator: goroutine bodies, sched.Unit Run closures, and HTTP
+// handler literals.
 func concurrentLiterals(info *types.Info, f *ast.File) []*ast.FuncLit {
 	var lits []*ast.FuncLit
 	seen := map[*ast.FuncLit]bool{}
@@ -34,6 +37,13 @@ func concurrentLiterals(info *types.Info, f *ast.File) []*ast.FuncLit {
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal with the http.HandlerFunc signature is served on a
+			// per-connection goroutine regardless of how it is registered
+			// (mux.HandleFunc, http.HandlerFunc conversion, middleware).
+			if isHTTPHandlerSig(info.TypeOf(n)) {
+				add(n)
+			}
 		case *ast.GoStmt:
 			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 				add(lit)
@@ -90,6 +100,31 @@ func isSchedUnit(t types.Type) bool {
 	}
 	path := obj.Pkg().Path()
 	return path == "sched" || strings.HasSuffix(path, "/sched")
+}
+
+// isHTTPHandlerSig reports whether t is the net/http handler shape:
+// func(http.ResponseWriter, *http.Request) with no results.
+func isHTTPHandlerSig(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 || sig.Variadic() {
+		return false
+	}
+	if !isNetHTTPType(sig.Params().At(0).Type(), "ResponseWriter") {
+		return false
+	}
+	ptr, ok := sig.Params().At(1).Type().(*types.Pointer)
+	return ok && isNetHTTPType(ptr.Elem(), "Request")
+}
+
+// isNetHTTPType reports whether t is the named net/http type with the
+// given name.
+func isNetHTTPType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // checkConcurrentLiteral reports unguarded shared-map writes in one

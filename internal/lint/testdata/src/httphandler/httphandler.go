@@ -1,0 +1,92 @@
+// Package httphandler fixtures the sharedmap and walltime checks over
+// net/http handler closures: the server runs every connection on its own
+// goroutine, so a HandlerFunc literal is concurrent work even though no
+// `go` statement appears anywhere near it.
+package httphandler
+
+import (
+	"net/http"
+	"time"
+)
+
+var requestCounts = map[string]int{}
+
+type clock interface {
+	Now() time.Time
+}
+
+// Registering through a mux: the literal is served concurrently, so the
+// unguarded package-level map write is a race.
+func muxRegistration(mux *http.ServeMux) {
+	mux.HandleFunc("/hit", func(w http.ResponseWriter, r *http.Request) {
+		requestCounts[r.URL.Path]++ // want `map requestCounts written from concurrently-launched work`
+	})
+}
+
+// Conversion to http.HandlerFunc — same concurrency, same race.
+func converted() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delete(requestCounts, r.URL.Path) // want `map requestCounts written from concurrently-launched work`
+	})
+}
+
+// Reading the wall clock inside a handler breaks replayability the same
+// way it does in the pipeline: timing must come through an injected clock.
+func stamped(w http.ResponseWriter, r *http.Request) {
+	_ = time.Now() // want `direct time.Now call`
+}
+
+// A handler-shaped literal assigned to a plain variable still serves
+// concurrently once registered — the signature, not the call site, is
+// what makes it concurrent work.
+var topLevelHandler = func(w http.ResponseWriter, r *http.Request) {
+	requestCounts["total"]++ // want `map requestCounts written from concurrently-launched work`
+}
+
+// Negative: a handler writing a map it created itself races with nobody.
+func localMapFine(mux *http.ServeMux) {
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		seen := map[string]bool{}
+		seen[r.URL.Path] = true
+	})
+}
+
+// Negative: clock-interface timing inside a handler is the sanctioned
+// pattern (sched.Clock in the real tree).
+func clockedHandler(c clock) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = c.Now()
+	}
+}
+
+// Negative: reads don't trip the check.
+func readOnlyFine() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = requestCounts[r.URL.Path]
+	}
+}
+
+// Negative: a handler that takes a lock is trusted to have a critical
+// section (same contract as goroutine bodies).
+type lockedCounter struct {
+	mu     chan struct{} // stand-in; any Lock call excuses the body
+	counts map[string]int
+}
+
+func (c *lockedCounter) Lock() {}
+
+func lockedHandler(c *lockedCounter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Lock()
+		c.counts[r.URL.Path]++
+	}
+}
+
+// Negative: a two-arg literal that is not handler-shaped is not
+// concurrent work.
+func notAHandler() {
+	visit := func(key string, n int) {
+		requestCounts[key] = n
+	}
+	visit("x", 1)
+}

@@ -134,6 +134,18 @@ type CountryResult struct {
 	Verdicts    map[string]DomainObs `json:"-"` // per unique domain
 }
 
+// SortedDomains returns the country's per-domain verdicts in ascending
+// domain order — the stable iteration order the serving and export layers
+// build their read indexes from (Verdicts itself is a map and must never
+// feed an output path directly).
+func (c *CountryResult) SortedDomains() []DomainObs {
+	out := make([]DomainObs, 0, len(c.Verdicts))
+	for _, domain := range sortedKeys(c.Verdicts) {
+		out = append(out, c.Verdicts[domain])
+	}
+	return out
+}
+
 // Funnel is the study-wide §5 accounting.
 type Funnel struct {
 	Targets            int `json:"targets"`

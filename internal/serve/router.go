@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+)
+
+// endpoint identifies one API route. The zero value is the structured-404
+// route; every request resolves to exactly one endpoint, which is also the
+// per-endpoint metrics key.
+type endpoint int8
+
+const (
+	epUnknown endpoint = iota
+	epHealth
+	epCountries
+	epCountry
+	epTrackers
+	epTracker
+	epFlows
+	epFigures
+	epFigure
+	epMetrics
+	epReload
+	epCount
+)
+
+// endpointNames label the metrics output; indexed by endpoint.
+var endpointNames = [epCount]string{
+	"unknown", "healthz", "countries", "country", "trackers", "tracker",
+	"flows", "figures", "figure", "metrics", "reload",
+}
+
+// route resolves a request path to its endpoint and decoded argument.
+// It is a total function: any input — traversal attempts, stray slashes,
+// malformed percent-escapes, arbitrary bytes — resolves to epUnknown
+// rather than panicking (FuzzRoutePath is the proof obligation), and the
+// canonical forms resolve without allocating.
+func route(path string) (endpoint, string) {
+	path = trimTrailingSlashes(path)
+	switch path {
+	case "/healthz":
+		return epHealth, ""
+	case "/debug/metrics":
+		return epMetrics, ""
+	case "/admin/reload":
+		return epReload, ""
+	case "/v1/countries":
+		return epCountries, ""
+	case "/v1/trackers":
+		return epTrackers, ""
+	case "/v1/flows":
+		return epFlows, ""
+	case "/v1/figures":
+		return epFigures, ""
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/countries/"); ok {
+		return argRoute(epCountry, rest)
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/trackers/"); ok {
+		return argRoute(epTracker, rest)
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/figures/"); ok {
+		return argRoute(epFigure, rest)
+	}
+	return epUnknown, ""
+}
+
+// argRoute validates and decodes the trailing path segment of a
+// parameterized route.
+func argRoute(ep endpoint, raw string) (endpoint, string) {
+	arg, ok := decodeArg(raw)
+	if !ok || arg == "" {
+		return epUnknown, ""
+	}
+	return ep, arg
+}
+
+// decodeArg rejects nested segments and percent-decodes only when an
+// escape is present, keeping the canonical-path fast path allocation-free.
+func decodeArg(raw string) (string, bool) {
+	if strings.IndexByte(raw, '/') >= 0 {
+		return "", false
+	}
+	if strings.IndexByte(raw, '%') < 0 {
+		return raw, true
+	}
+	dec, err := url.PathUnescape(raw)
+	if err != nil || strings.IndexByte(dec, '/') >= 0 {
+		return "", false
+	}
+	return dec, true
+}
+
+// trimTrailingSlashes drops redundant trailing slashes without copying.
+func trimTrailingSlashes(p string) string {
+	for len(p) > 1 && p[len(p)-1] == '/' {
+		p = p[:len(p)-1]
+	}
+	return p
+}
+
+// lowerASCII lowercases ASCII letters, returning s unchanged (and
+// unallocated) when it is already lowercase.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
+// upperASCII uppercases ASCII letters, returning s unchanged (and
+// unallocated) when it is already uppercase.
+func upperASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'a' && c <= 'z' {
+			return strings.ToUpper(s)
+		}
+	}
+	return s
+}

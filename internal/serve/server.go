@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/gamma-suite/gamma/internal/sched"
+)
+
+// Options tunes a Server. The zero value is production-ready.
+type Options struct {
+	// Clock paces the concurrency limiter and stamps latencies. Nil uses
+	// sched.Wall(); tests inject sched.NewFakeClock so overload and
+	// latency behaviour is driven without wall-clock sleeps.
+	Clock sched.Clock
+	// MaxConcurrent bounds in-flight requests; <= 0 uses 256. Excess
+	// requests wait up to AcquireTimeout for a slot, then shed with 503.
+	MaxConcurrent int
+	// AcquireTimeout is the per-request bound on waiting for a concurrency
+	// slot; <= 0 uses 1s. Together with the daemon's http.Server
+	// read/write deadlines this is the request-timeout story: in-memory
+	// payload writes cannot block, so waiting for admission is the only
+	// place a request can stall inside the handler.
+	AcquireTimeout time.Duration
+	// Reload, when set, backs POST /admin/reload: it builds a replacement
+	// snapshot (typically by re-analyzing a dataset directory or re-running
+	// a seeded study). Errors — from Reload itself or from pre-swap
+	// validation — leave the current snapshot serving and report 422.
+	Reload func(ctx context.Context, params url.Values) (*Snapshot, error)
+}
+
+// Preallocated header values: writing them is a map assignment of a
+// shared slice, not a per-request allocation. Handlers never mutate them.
+var (
+	contentTypeJSON = []string{"application/json"}
+	allowGetHead    = []string{"GET, HEAD"}
+	allowPost       = []string{"POST"}
+)
+
+var healthPayload = mustPayload(struct {
+	Status string `json:"status"`
+}{"ok"})
+
+func mustPayload(v any) payload {
+	pl, err := newPayload(v)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Server is the HTTP front end over a Store. Its hot path — route,
+// admit, look up a precomputed payload, write — performs zero heap
+// allocations per request (pinned by TestHotEndpointsZeroAllocs).
+type Server struct {
+	store          *Store
+	clock          sched.Clock
+	sem            chan struct{}
+	acquireTimeout time.Duration
+	reload         func(ctx context.Context, params url.Values) (*Snapshot, error)
+	reloadMu       sync.Mutex // single-flight: concurrent reloads would race to swap
+	m              metrics
+	start          time.Time
+}
+
+// New builds a Server over store.
+func New(store *Store, opts Options) *Server {
+	clock := opts.Clock
+	if clock == nil {
+		clock = sched.Wall()
+	}
+	maxc := opts.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 256
+	}
+	timeout := opts.AcquireTimeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &Server{
+		store:          store,
+		clock:          clock,
+		sem:            make(chan struct{}, maxc),
+		acquireTimeout: timeout,
+		reload:         opts.Reload,
+		start:          clock.Now(),
+	}
+}
+
+// errorBody is the structured shape of every non-200 response.
+type errorBody struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+	Path   string `json:"path,omitempty"`
+}
+
+// ServeHTTP implements http.Handler with panic recovery and per-endpoint
+// accounting around the routed handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := s.clock.Now()
+	ep, arg := route(r.URL.Path)
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Add(1)
+			s.writeError(w, http.StatusInternalServerError, "internal server error", "")
+			s.m.observe(ep, http.StatusInternalServerError, s.clock.Now().Sub(start))
+		}
+	}()
+	status := s.serve(w, r, ep, arg)
+	s.m.observe(ep, status, s.clock.Now().Sub(start))
+}
+
+// serve dispatches one routed request and returns the response status.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, ep endpoint, arg string) int {
+	if ep == epReload {
+		return s.handleReload(w, r)
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header()["Allow"] = allowGetHead
+		return s.writeError(w, http.StatusMethodNotAllowed, "method not allowed", "")
+	}
+	// Admission control. The uncontended path is a non-blocking channel
+	// send; only under saturation do we wait — on the injected clock, so
+	// load-shedding is testable on a fake clock — and shed with 503 when
+	// no slot frees up within the acquire timeout.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.clock.After(s.acquireTimeout):
+			s.m.overloads.Add(1)
+			return s.writeError(w, http.StatusServiceUnavailable, "overloaded: no capacity within the admission timeout", "")
+		case <-r.Context().Done():
+			return s.writeError(w, http.StatusServiceUnavailable, "client went away while awaiting admission", "")
+		}
+	}
+	defer s.release()
+
+	switch ep {
+	case epHealth:
+		s.writePayload(w, r, healthPayload, nil)
+		return http.StatusOK
+	case epMetrics:
+		return s.handleMetrics(w, r)
+	case epUnknown:
+		return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
+	default:
+		snap := s.store.Load()
+		pl, ok := snap.payloadFor(ep, arg)
+		if !ok {
+			return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
+		}
+		s.writePayload(w, r, pl, snap.idHeader)
+		return http.StatusOK
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// writePayload emits a precomputed 200 response. All header values are
+// preallocated slices, so this writes without allocating.
+func (s *Server) writePayload(w http.ResponseWriter, r *http.Request, pl payload, idHeader []string) {
+	h := w.Header()
+	h["Content-Type"] = contentTypeJSON
+	h["Content-Length"] = pl.clen
+	if idHeader != nil {
+		h["X-Gamma-Snapshot"] = idHeader
+	}
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(pl.body)
+	}
+}
+
+// writeError emits the structured error body. Error paths may allocate;
+// only 200s are on the zero-allocation contract.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg, path string) int {
+	body, err := json.Marshal(errorBody{Status: status, Error: msg, Path: path})
+	if err != nil {
+		status = http.StatusInternalServerError
+		body = []byte(`{"status":500,"error":"response encoding failure"}`)
+	}
+	h := w.Header()
+	h["Content-Type"] = contentTypeJSON
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+	return status
+}
+
+// handleMetrics serves /debug/metrics: snapshot identity plus the
+// per-endpoint counters and latency histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	snap := s.store.Load()
+	now := s.clock.Now()
+	body, err := json.Marshal(MetricsPayload{
+		Snapshot: SnapshotInfo{
+			ID:        snap.meta.ID,
+			BuiltAt:   snap.meta.BuiltAt,
+			Countries: len(snap.codes),
+			Trackers:  len(snap.domains),
+		},
+		UptimeMs:  now.Sub(s.start).Milliseconds(),
+		Swaps:     s.store.Swaps(),
+		Panics:    s.m.panics.Load(),
+		Overloads: s.m.overloads.Load(),
+		Endpoints: s.m.collect(),
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, "metrics encoding failure", "")
+	}
+	h := w.Header()
+	h["Content-Type"] = contentTypeJSON
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(body)
+	}
+	return http.StatusOK
+}
+
+// reloadResponse is the POST /admin/reload success body.
+type reloadResponse struct {
+	Swapped   bool   `json:"swapped"`
+	Snapshot  string `json:"snapshot"`
+	Countries int    `json:"countries"`
+	Trackers  int    `json:"trackers"`
+	Swaps     uint64 `json:"swaps"`
+}
+
+// handleReload rebuilds and hot-swaps the snapshot. The swap is
+// validation-gated: a reloader error or an invalid replacement leaves the
+// current snapshot serving (reported as 422), so a bad dataset can never
+// take the service down.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		w.Header()["Allow"] = allowPost
+		return s.writeError(w, http.StatusMethodNotAllowed, "reload requires POST", "")
+	}
+	if s.reload == nil {
+		return s.writeError(w, http.StatusNotImplemented, "no reloader configured", "")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap, err := s.reload(r.Context(), r.URL.Query())
+	if err != nil {
+		cur := s.store.Load()
+		return s.writeError(w, http.StatusUnprocessableEntity,
+			"reload failed, snapshot "+cur.meta.ID+" still serving: "+err.Error(), "")
+	}
+	if err := s.store.Install(snap); err != nil {
+		return s.writeError(w, http.StatusUnprocessableEntity, err.Error(), "")
+	}
+	body, err := json.Marshal(reloadResponse{
+		Swapped:   true,
+		Snapshot:  snap.meta.ID,
+		Countries: len(snap.codes),
+		Trackers:  len(snap.domains),
+		Swaps:     s.store.Swaps(),
+	})
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, "response encoding failure", "")
+	}
+	h := w.Header()
+	h["Content-Type"] = contentTypeJSON
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	return http.StatusOK
+}

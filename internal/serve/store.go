@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Store publishes the live Snapshot to concurrent readers. Readers Load
+// the pointer once per request and see a fully consistent view for the
+// whole request; Install swaps the pointer atomically, so a reload is
+// zero-downtime by construction — there is no moment when a request can
+// observe a partial or absent snapshot.
+type Store struct {
+	cur   atomic.Pointer[Snapshot]
+	swaps atomic.Uint64
+}
+
+// NewStore creates a store serving snap. The initial snapshot is held to
+// the same validation bar as later installs.
+func NewStore(snap *Snapshot) (*Store, error) {
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	st := &Store{}
+	st.cur.Store(snap)
+	return st, nil
+}
+
+// Load returns the live snapshot. It never returns nil: NewStore and
+// Install both refuse snapshots that fail validation.
+func (st *Store) Load() *Snapshot { return st.cur.Load() }
+
+// Install validates snap and atomically swaps it in. On validation
+// failure the previous snapshot keeps serving untouched — this is the
+// rollback half of the hot-reload contract.
+func (st *Store) Install(snap *Snapshot) error {
+	if err := snap.validate(); err != nil {
+		return fmt.Errorf("install rejected, previous snapshot still serving: %w", err)
+	}
+	st.cur.Store(snap)
+	st.swaps.Add(1)
+	return nil
+}
+
+// Swaps reports how many snapshots have been installed after the initial
+// one.
+func (st *Store) Swaps() uint64 { return st.swaps.Load() }

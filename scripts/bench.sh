@@ -2,10 +2,11 @@
 # bench.sh — the repo's benchmark trajectory, one smoke iteration each.
 #
 # Runs the filterlist matching-engine benchmarks (hit, miss, bare-hostname
-# probe, index build, parse) and the pipeline's parallel-analysis benchmark
-# with -benchtime=1x -count=1: fast enough for CI, and a compile+run check
-# that every benchmark still works. Real before/after numbers are collected
-# with longer benchtimes and recorded in BENCH_*.json.
+# probe, index build, parse), the pipeline's parallel-analysis benchmark,
+# and the serving layer's hot-path benchmarks with -benchtime=1x -count=1:
+# fast enough for CI, and a compile+run check that every benchmark still
+# works. Real before/after numbers are collected with longer benchtimes
+# and recorded in BENCH_*.json.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,3 +14,5 @@ go test -run '^$' -bench 'BenchmarkMatch|BenchmarkEngineBuild|BenchmarkParse' \
 	-benchtime=1x -count=1 ./internal/filterlist/
 go test -run '^$' -bench 'BenchmarkProcessParallel' \
 	-benchtime=1x -count=1 ./internal/pipeline/
+go test -run '^$' -bench 'BenchmarkServeQueries|BenchmarkSnapshotBuild|BenchmarkSwapUnderLoad' \
+	-benchtime=1x -count=1 ./internal/serve/
