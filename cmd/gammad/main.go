@@ -8,7 +8,9 @@
 //
 //	gammad -seed 42 -addr :8080              # serve a simulated study
 //	gammad -seed 42 -data ./uploads          # serve analyzed datasets
+//	gammad -seed 42 -shards 4                # partition across 4 swappable shards
 //	gammad -seed 42 -selfcheck               # boot, probe every endpoint, exit
+//	gammad -seed 42 -selfcheck -shards 4     # same, scatter-gather vs monolithic oracle
 //
 // Endpoints:
 //
@@ -49,39 +51,51 @@ import (
 	"github.com/gamma-suite/gamma/internal/serve"
 )
 
+// config gathers the daemon's flag-driven knobs.
+type config struct {
+	addr        string
+	seed        uint64
+	dataDir     string
+	workers     int
+	shards      int
+	maxInflight int
+	acquire     time.Duration
+	drain       time.Duration
+	selfcheck   bool
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		seed        = flag.Uint64("seed", 42, "world seed (and dataset analysis seed)")
-		dataDir     = flag.String("data", "", "directory of volunteer dataset JSON files; empty simulates the full study")
-		workers     = flag.Int("workers", 0, "worker pool size for study/analysis; 0 = GOMAXPROCS")
-		maxInflight = flag.Int("max-inflight", 256, "concurrent request limit before load-shedding")
-		acquire     = flag.Duration("acquire-timeout", time.Second, "how long a request may wait for admission before 503")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
-		selfcheck   = flag.Bool("selfcheck", false, "boot on an ephemeral port, probe every endpoint against the snapshot, reload, exit")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "world seed (and dataset analysis seed)")
+	flag.StringVar(&cfg.dataDir, "data", "", "directory of volunteer dataset JSON files; empty simulates the full study")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size for study/analysis; 0 = GOMAXPROCS")
+	flag.IntVar(&cfg.shards, "shards", 1, "partition the snapshot across N independently-swappable shards; 1 serves monolithic")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "concurrent request limit before load-shedding")
+	flag.DurationVar(&cfg.acquire, "acquire-timeout", time.Second, "how long a request may wait for admission before 503")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain window")
+	flag.BoolVar(&cfg.selfcheck, "selfcheck", false, "boot on an ephemeral port, probe every endpoint against the snapshot, reload, exit")
 	flag.Parse()
-	if err := run(*addr, *seed, *dataDir, *workers, *maxInflight, *acquire, *drain, *selfcheck); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gammad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed uint64, dataDir string, workers, maxInflight int, acquire, drain time.Duration, selfcheck bool) error {
-	fmt.Fprintf(os.Stderr, "gammad: building snapshot %s...\n", snapshotID(seed, dataDir))
-	snap, err := buildSnapshot(context.Background(), seed, dataDir, workers)
+func run(cfg config) error {
+	if cfg.shards < 1 || cfg.shards > serve.MaxShards {
+		return fmt.Errorf("-shards %d outside [1, %d]", cfg.shards, serve.MaxShards)
+	}
+	fmt.Fprintf(os.Stderr, "gammad: building snapshot %s...\n", snapshotID(cfg.seed, cfg.dataDir))
+	snap, err := buildSnapshot(context.Background(), cfg.seed, cfg.dataDir, cfg.workers)
 	if err != nil {
 		return err
 	}
-	store, err := serve.NewStore(snap)
-	if err != nil {
-		return err
-	}
-	srv := serve.New(store, serve.Options{
-		MaxConcurrent:  maxInflight,
-		AcquireTimeout: acquire,
+	opts := serve.Options{
+		MaxConcurrent:  cfg.maxInflight,
+		AcquireTimeout: cfg.acquire,
 		Reload: func(ctx context.Context, params url.Values) (*serve.Snapshot, error) {
-			s := seed
+			s := cfg.seed
 			if raw := params.Get("seed"); raw != "" {
 				v, err := strconv.ParseUint(raw, 10, 64)
 				if err != nil {
@@ -89,18 +103,34 @@ func run(addr string, seed uint64, dataDir string, workers, maxInflight int, acq
 				}
 				s = v
 			}
-			return buildSnapshot(ctx, s, dataDir, workers)
+			return buildSnapshot(ctx, s, cfg.dataDir, cfg.workers)
 		},
-	})
-	fmt.Fprintf(os.Stderr, "gammad: snapshot %s ready: %d countries, %d tracker domains, %d endpoints\n",
-		snap.Meta().ID, len(snap.CountryCodes()), len(snap.TrackerDomains()), len(snap.Endpoints()))
+	}
+	// The same reloader feeds both backends: a sharded install
+	// re-partitions the reloaded snapshot across the set shard by shard.
+	var srv *serve.Server
+	if cfg.shards > 1 {
+		set, err := serve.NewShardSet(snap, cfg.shards)
+		if err != nil {
+			return err
+		}
+		srv = serve.NewSharded(set, opts)
+	} else {
+		store, err := serve.NewStore(snap)
+		if err != nil {
+			return err
+		}
+		srv = serve.New(store, opts)
+	}
+	fmt.Fprintf(os.Stderr, "gammad: snapshot %s ready: %d countries, %d tracker domains, %d endpoints, %d shard(s)\n",
+		snap.Meta().ID, len(snap.CountryCodes()), len(snap.TrackerDomains()), len(snap.Endpoints()), cfg.shards)
 
-	if selfcheck {
-		return runSelfcheck(srv, store)
+	if cfg.selfcheck {
+		return runSelfcheck(srv, snap, cfg.shards)
 	}
 
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
@@ -112,7 +142,7 @@ func run(addr string, seed uint64, dataDir string, workers, maxInflight int, acq
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "gammad: listening on %s\n", addr)
+		fmt.Fprintf(os.Stderr, "gammad: listening on %s\n", cfg.addr)
 		errc <- hs.ListenAndServe()
 	}()
 	select {
@@ -121,7 +151,7 @@ func run(addr string, seed uint64, dataDir string, workers, maxInflight int, acq
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "gammad: draining...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)

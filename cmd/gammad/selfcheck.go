@@ -14,12 +14,16 @@ import (
 
 // runSelfcheck boots the server on an ephemeral loopback port and probes
 // it as a client would: every enumerated endpoint must serve a 200 whose
-// body is byte-identical to the snapshot's precomputed payload, the
-// health and metrics endpoints must answer, and a same-input hot reload
-// must swap without changing a single response byte. CI runs this as the
-// serving layer's end-to-end gate — no fixed port, no golden files on
-// disk, the snapshot itself is the oracle.
-func runSelfcheck(srv *serve.Server, store *serve.Store) error {
+// body is byte-identical to the snapshot's precomputed payload, a
+// revalidation with the returned ETag must come back 304 and bodiless,
+// the health and metrics endpoints must answer, and a same-input hot
+// reload must swap without changing a single response byte. When the
+// daemon is sharded, snap is still the *monolithic* snapshot the shards
+// were partitioned from, so the probe doubles as the shard-equivalence
+// gate: scatter-gather serving must be indistinguishable, byte for byte,
+// from the unsharded oracle. CI runs this at shard counts 1 and 4 — no
+// fixed port, no golden files on disk, the snapshot itself is the oracle.
+func runSelfcheck(srv *serve.Server, snap *serve.Snapshot, shards int) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -29,9 +33,8 @@ func runSelfcheck(srv *serve.Server, store *serve.Store) error {
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "gammad: selfcheck probing %s\n", base)
+	fmt.Fprintf(os.Stderr, "gammad: selfcheck probing %s (%d shard(s))\n", base, shards)
 
-	snap := store.Load()
 	probe := func() error {
 		for _, path := range append([]string{"/healthz"}, snap.Endpoints()...) {
 			resp, err := http.Get(base + path)
@@ -56,17 +59,28 @@ func runSelfcheck(srv *serve.Server, store *serve.Store) error {
 			if !bytes.Equal(body, want) {
 				return fmt.Errorf("GET %s body differs from the precomputed payload", path)
 			}
+			if resp.Header.Get("Etag") == "" {
+				return fmt.Errorf("GET %s served no ETag", path)
+			}
 		}
 		return nil
 	}
 	if err := probe(); err != nil {
 		return fmt.Errorf("selfcheck: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "gammad: selfcheck %d endpoints OK, reloading...\n", len(snap.Endpoints())+1)
+
+	// Conditional-request probe: revalidating with the served ETag must
+	// yield a bodiless 304; a stale validator must yield the full 200.
+	if err := probeConditional(base + "/v1/countries"); err != nil {
+		return fmt.Errorf("selfcheck conditional: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "gammad: selfcheck %d endpoints OK (ETag revalidation OK), reloading...\n",
+		len(snap.Endpoints())+1)
 
 	// Hot reload with the same inputs: must swap (Swapped=true) and keep
 	// every body byte-identical, proving /v1 responses are a pure
-	// function of the corpus.
+	// function of the corpus. Sharded daemons re-partition on install, so
+	// this also exercises the staggered per-shard swap path end to end.
 	resp, err := http.Post(base+"/admin/reload", "", nil)
 	if err != nil {
 		return fmt.Errorf("selfcheck reload: %w", err)
@@ -103,6 +117,72 @@ func runSelfcheck(srv *serve.Server, store *serve.Store) error {
 	if mp.Swaps != 1 || mp.Panics != 0 {
 		return fmt.Errorf("selfcheck metrics: swaps=%d panics=%d", mp.Swaps, mp.Panics)
 	}
+	if shards > 1 {
+		if len(mp.Shards) != shards {
+			return fmt.Errorf("selfcheck metrics: %d shard rows, want %d", len(mp.Shards), shards)
+		}
+		countries, trackers := 0, 0
+		for _, row := range mp.Shards {
+			if row.Swaps != 1 {
+				return fmt.Errorf("selfcheck metrics: shard %d swaps=%d, want 1", row.Shard, row.Swaps)
+			}
+			countries += row.Countries
+			trackers += row.Trackers
+		}
+		if countries != len(snap.CountryCodes()) || trackers != len(snap.TrackerDomains()) {
+			return fmt.Errorf("selfcheck metrics: shards cover %d countries / %d trackers, want %d / %d",
+				countries, trackers, len(snap.CountryCodes()), len(snap.TrackerDomains()))
+		}
+	} else if len(mp.Shards) != 0 {
+		return fmt.Errorf("selfcheck metrics: monolithic daemon reported %d shard rows", len(mp.Shards))
+	}
 	fmt.Fprintln(os.Stderr, "gammad: selfcheck OK (probed twice across a live reload, zero drift)")
 	return nil
+}
+
+// probeConditional checks the ETag/304 contract on one endpoint.
+func probeConditional(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	full, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	etag := resp.Header.Get("Etag")
+	if resp.StatusCode != http.StatusOK || etag == "" || len(full) == 0 {
+		return fmt.Errorf("GET %s = %d, etag %q", url, resp.StatusCode, etag)
+	}
+	check := func(validator string, wantStatus int, wantBody bool) error {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("If-None-Match", validator)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != wantStatus {
+			return fmt.Errorf("If-None-Match %s → %d, want %d", validator, resp.StatusCode, wantStatus)
+		}
+		if wantBody != (len(body) > 0) {
+			return fmt.Errorf("If-None-Match %s → %d bytes of body, want body=%v", validator, len(body), wantBody)
+		}
+		return nil
+	}
+	if err := check(etag, http.StatusNotModified, false); err != nil {
+		return err
+	}
+	if err := check("W/"+etag, http.StatusNotModified, false); err != nil {
+		return err
+	}
+	return check(`"stale-validator"`, http.StatusOK, true)
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -51,6 +52,41 @@ func BenchmarkServeQueries(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkServeQueriesSharded measures the same hot paths through a
+// ShardSet at representative shard counts. Single-key routes add one
+// FNV hash and an extra pointer load over the monolith; listings serve
+// the pre-merged view, so their cost must not scale with shard count.
+func BenchmarkServeQueriesSharded(b *testing.B) {
+	snap := buildTestSnapshot(b, 0, "bench")
+	for _, n := range []int{1, 4} {
+		set, err := NewShardSet(snap, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := NewSharded(set, Options{Clock: sched.NewFakeClock(time.Unix(1700000000, 0))})
+		for _, path := range []string{
+			"/v1/countries",
+			"/v1/countries/aa",
+			"/v1/trackers/ads.tracker-x.example",
+			"/v1/flows",
+			"/v1/figures/fig5",
+		} {
+			b.Run(fmt.Sprintf("shards=%d%s", n, path), func(b *testing.B) {
+				w := &nopResponseWriter{h: make(http.Header)}
+				r := httptest.NewRequest(http.MethodGet, path, nil)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					srv.ServeHTTP(w, r)
+				}
+				if w.status != http.StatusOK {
+					b.Fatalf("status %d", w.status)
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkSnapshotBuild measures the cold path a reload pays: indexing

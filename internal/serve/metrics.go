@@ -84,14 +84,31 @@ type SnapshotInfo struct {
 	Trackers  int       `json:"trackers"`
 }
 
+// ShardStats is one shard's row in the /debug/metrics payload: what the
+// shard's current generation holds, how many times it has been swapped,
+// and how many single-key lookups routed to it. Swaps and Requests are
+// plain atomics in the ShardSet — recording them costs the hot path
+// nothing beyond one counter increment.
+type ShardStats struct {
+	Shard     int    `json:"shard"`
+	Countries int    `json:"countries"`
+	Trackers  int    `json:"trackers"`
+	Figures   int    `json:"figures"`
+	Flows     bool   `json:"flows,omitempty"`
+	Swaps     uint64 `json:"swaps"`
+	Requests  uint64 `json:"requests"`
+}
+
 // MetricsPayload is the /debug/metrics response body. Endpoint rows are
-// emitted in fixed route order, so the body's shape is deterministic.
+// emitted in fixed route order, so the body's shape is deterministic;
+// Shards is present only when serving from a ShardSet, in shard order.
 type MetricsPayload struct {
 	Snapshot  SnapshotInfo    `json:"snapshot"`
 	UptimeMs  int64           `json:"uptime_ms"`
 	Swaps     uint64          `json:"swaps"`
 	Panics    uint64          `json:"panics"`
 	Overloads uint64          `json:"overloads"`
+	Shards    []ShardStats    `json:"shards,omitempty"`
 	Endpoints []EndpointStats `json:"endpoints"`
 }
 

@@ -1,0 +1,45 @@
+package serve
+
+// Partitioning for sharded snapshots. Every routable key — a country
+// code, a tracker domain, a figure id, or the flows singleton — is
+// assigned to exactly one shard by a pure hash of the key, so the
+// single-key hot path can jump straight to the owning shard without
+// consulting any routing table.
+
+const (
+	// MaxShards bounds the shard count a ShardSet accepts. The limit is a
+	// sanity rail, not a scaling ceiling: the corpus has hundreds of keys,
+	// so more shards than this only fragments the heap.
+	MaxShards = 64
+
+	// FNV-1a constants, the same hashing idiom internal/filterlist uses
+	// for its reverse token index.
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+
+	// flowsPartitionKey assigns the /v1/flows singleton payload to a shard
+	// like any other key, so it participates in per-shard swaps.
+	flowsPartitionKey = "/v1/flows"
+)
+
+// shardOf maps a key to its owning shard in [0, n). It is total (any
+// byte sequence is a valid key), stable (a pure function of its inputs),
+// and ASCII case-insensitive — "PK" and "pk" hash identically, which is
+// what lets the case-tolerant country lookup route without allocating a
+// folded copy. FuzzPartition is the proof obligation for all three.
+func shardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		h = (h ^ uint32(c)) * fnvPrime32
+	}
+	return int(h % uint32(n))
+}

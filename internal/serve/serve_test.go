@@ -537,28 +537,38 @@ func (w *nopResponseWriter) Write(b []byte) (int, error) {
 // TestHotEndpointsZeroAllocs pins the steady-state contract: serving a
 // precomputed payload allocates nothing. Every hot GET endpoint is
 // measured through the full ServeHTTP path (routing, admission, metrics,
-// header+body write) with a reused writer and request.
+// header+body write) with a reused writer and request — against both
+// backends, so the sharded single-key path (hash to owning shard, probe
+// its map) is held to the same zero-allocation bar as the monolith.
 func TestHotEndpointsZeroAllocs(t *testing.T) {
 	snap := buildTestSnapshot(t, 0, "alloc")
+	backends := map[string]*Server{}
 	srv, _ := newTestServer(t, snap, Options{})
-	for _, path := range []string{
-		"/v1/countries",
-		"/v1/countries/aa",
-		"/v1/trackers",
-		"/v1/trackers/ads.tracker-x.example",
-		"/v1/flows",
-		"/v1/figures/fig5",
-		"/healthz",
-	} {
-		w := &nopResponseWriter{h: make(http.Header)}
-		r := httptest.NewRequest(http.MethodGet, path, nil)
-		if allocs := testing.AllocsPerRun(200, func() {
-			srv.ServeHTTP(w, r)
-		}); allocs != 0 {
-			t.Errorf("GET %s allocates %.1f times per request, want 0", path, allocs)
-		}
-		if w.status != http.StatusOK || w.n == 0 {
-			t.Errorf("GET %s = %d (%d bytes)", path, w.status, w.n)
+	backends["monolith"] = srv
+	srv4, _ := newTestShardServer(t, snap, 4, Options{})
+	backends["sharded-4"] = srv4
+	for name, srv := range backends {
+		for _, path := range []string{
+			"/v1/countries",
+			"/v1/countries/aa",
+			"/v1/countries/AA", // canonical case: folded map hit, no fold alloc
+			"/v1/trackers",
+			"/v1/trackers/ads.tracker-x.example",
+			"/v1/flows",
+			"/v1/figures",
+			"/v1/figures/fig5",
+			"/healthz",
+		} {
+			w := &nopResponseWriter{h: make(http.Header)}
+			r := httptest.NewRequest(http.MethodGet, path, nil)
+			if allocs := testing.AllocsPerRun(200, func() {
+				srv.ServeHTTP(w, r)
+			}); allocs != 0 {
+				t.Errorf("%s: GET %s allocates %.1f times per request, want 0", name, path, allocs)
+			}
+			if w.status != http.StatusOK || w.n == 0 {
+				t.Errorf("%s: GET %s = %d (%d bytes)", name, path, w.status, w.n)
+			}
 		}
 	}
 }

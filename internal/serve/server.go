@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,11 +55,13 @@ func mustPayload(v any) payload {
 	return pl
 }
 
-// Server is the HTTP front end over a Store. Its hot path — route,
-// admit, look up a precomputed payload, write — performs zero heap
-// allocations per request (pinned by TestHotEndpointsZeroAllocs).
+// Server is the HTTP front end over a backend — a monolithic Store or a
+// sharded ShardSet. Its hot path — route, admit, look up a precomputed
+// payload, write (or answer an If-None-Match revalidation with a 304) —
+// performs zero heap allocations per request (pinned by
+// TestHotEndpointsZeroAllocs).
 type Server struct {
-	store          *Store
+	back           backend
 	clock          sched.Clock
 	sem            chan struct{}
 	acquireTimeout time.Duration
@@ -68,8 +71,20 @@ type Server struct {
 	start          time.Time
 }
 
-// New builds a Server over store.
+// New builds a Server over a monolithic Store.
 func New(store *Store, opts Options) *Server {
+	return newServer(store, opts)
+}
+
+// NewSharded builds a Server over a ShardSet: single-key endpoints route
+// straight to the owning shard, listings serve the pre-merged
+// scatter-gather view, and POST /admin/reload re-partitions the reloaded
+// snapshot across the set with staggered per-shard swaps.
+func NewSharded(set *ShardSet, opts Options) *Server {
+	return newServer(set, opts)
+}
+
+func newServer(back backend, opts Options) *Server {
 	clock := opts.Clock
 	if clock == nil {
 		clock = sched.Wall()
@@ -83,7 +98,7 @@ func New(store *Store, opts Options) *Server {
 		timeout = time.Second
 	}
 	return &Server{
-		store:          store,
+		back:           back,
 		clock:          clock,
 		sem:            make(chan struct{}, maxc),
 		acquireTimeout: timeout,
@@ -144,24 +159,74 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, ep endpoint, arg 
 
 	switch ep {
 	case epHealth:
-		s.writePayload(w, r, healthPayload, nil)
-		return http.StatusOK
+		return s.writeConditional(w, r, healthPayload, nil)
 	case epMetrics:
 		return s.handleMetrics(w, r)
 	case epUnknown:
 		return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
 	default:
-		snap := s.store.Load()
-		pl, ok := snap.payloadFor(ep, arg)
+		pl, idHeader, ok := s.back.get(ep, arg)
 		if !ok {
 			return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
 		}
-		s.writePayload(w, r, pl, snap.idHeader)
-		return http.StatusOK
+		return s.writeConditional(w, r, pl, idHeader)
 	}
 }
 
 func (s *Server) release() { <-s.sem }
+
+// writeConditional serves a precomputed payload, honoring conditional
+// requests: when the client's If-None-Match matches the payload's
+// precomputed entity tag, the body is elided and a 304 goes out instead.
+// Both branches write only preallocated header slices — revalidation is
+// on the same zero-allocation contract as a full response.
+func (s *Server) writeConditional(w http.ResponseWriter, r *http.Request, pl payload, idHeader []string) int {
+	if inm := r.Header["If-None-Match"]; len(inm) > 0 && etagMatches(inm, pl.etag[0]) {
+		h := w.Header()
+		h["Etag"] = pl.etag
+		if idHeader != nil {
+			h["X-Gamma-Snapshot"] = idHeader
+		}
+		w.WriteHeader(http.StatusNotModified)
+		return http.StatusNotModified
+	}
+	s.writePayload(w, r, pl, idHeader)
+	return http.StatusOK
+}
+
+// etagMatches reports whether any member of an If-None-Match header
+// matches the payload's entity tag. It implements the weak comparison
+// RFC 9110 prescribes for If-None-Match (a W/ prefix on the client's
+// validator is ignored) plus the * wildcard, scanning the comma-joined
+// list without allocating; malformed members simply never match.
+func etagMatches(values []string, tag string) bool {
+	for _, list := range values {
+		for len(list) > 0 {
+			switch list[0] {
+			case ' ', '\t', ',':
+				list = list[1:]
+				continue
+			case '*':
+				return true
+			}
+			if len(list) >= 2 && list[0] == 'W' && list[1] == '/' {
+				list = list[2:]
+			}
+			if len(list) == 0 || list[0] != '"' {
+				break // malformed member: no match possible in this value
+			}
+			end := strings.IndexByte(list[1:], '"')
+			if end < 0 {
+				break
+			}
+			if list[:end+2] == tag {
+				return true
+			}
+			list = list[end+2:]
+		}
+	}
+	return false
+}
 
 // writePayload emits a precomputed 200 response. All header values are
 // preallocated slices, so this writes without allocating.
@@ -169,6 +234,7 @@ func (s *Server) writePayload(w http.ResponseWriter, r *http.Request, pl payload
 	h := w.Header()
 	h["Content-Type"] = contentTypeJSON
 	h["Content-Length"] = pl.clen
+	h["Etag"] = pl.etag
 	if idHeader != nil {
 		h["X-Gamma-Snapshot"] = idHeader
 	}
@@ -195,21 +261,17 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg, path string)
 }
 
 // handleMetrics serves /debug/metrics: snapshot identity plus the
-// per-endpoint counters and latency histograms.
+// per-endpoint counters, latency histograms, and (when sharded) the
+// per-shard counter rows.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
-	snap := s.store.Load()
 	now := s.clock.Now()
 	body, err := json.Marshal(MetricsPayload{
-		Snapshot: SnapshotInfo{
-			ID:        snap.meta.ID,
-			BuiltAt:   snap.meta.BuiltAt,
-			Countries: len(snap.codes),
-			Trackers:  len(snap.domains),
-		},
+		Snapshot:  s.back.info(),
 		UptimeMs:  now.Sub(s.start).Milliseconds(),
-		Swaps:     s.store.Swaps(),
+		Swaps:     s.back.swapCount(),
 		Panics:    s.m.panics.Load(),
 		Overloads: s.m.overloads.Load(),
+		Shards:    s.back.shardStats(),
 		Endpoints: s.m.collect(),
 	})
 	if err != nil {
@@ -250,11 +312,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	defer s.reloadMu.Unlock()
 	snap, err := s.reload(r.Context(), r.URL.Query())
 	if err != nil {
-		cur := s.store.Load()
 		return s.writeError(w, http.StatusUnprocessableEntity,
-			"reload failed, snapshot "+cur.meta.ID+" still serving: "+err.Error(), "")
+			"reload failed, snapshot "+s.back.info().ID+" still serving: "+err.Error(), "")
 	}
-	if err := s.store.Install(snap); err != nil {
+	if err := s.back.install(snap); err != nil {
 		return s.writeError(w, http.StatusUnprocessableEntity, err.Error(), "")
 	}
 	body, err := json.Marshal(reloadResponse{
@@ -262,7 +323,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 		Snapshot:  snap.meta.ID,
 		Countries: len(snap.codes),
 		Trackers:  len(snap.domains),
-		Swaps:     s.store.Swaps(),
+		Swaps:     s.back.swapCount(),
 	})
 	if err != nil {
 		return s.writeError(w, http.StatusInternalServerError, "response encoding failure", "")

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gamma-suite/gamma/internal/analysis"
+)
+
+// Shard is one partition of a sharded snapshot: an immutable, fully
+// precomputed sub-snapshot holding the payloads for the keys it owns
+// plus the structured listing rows the scatter-gather merge needs.
+// Like a Snapshot, a Shard is safe for unsynchronized concurrent use
+// forever after construction; a ShardSet swaps whole Shards atomically.
+type Shard struct {
+	index int // this shard's position in [0, total)
+	total int // the shard count it was partitioned for
+
+	country  map[string]payload // owned country codes, both letter cases
+	tracker  map[string]payload // owned tracker domains, lowercase keys
+	figure   map[string]payload // owned figure ids
+	flows    payload            // the /v1/flows singleton, owning shard only
+	hasFlows bool
+
+	// Partial listing data, each slice in the same order the monolithic
+	// snapshot would emit it (codes and domains sorted, figures in
+	// presentation order). The merge concatenates these across shards and
+	// re-sorts, which reproduces the monolithic listing exactly.
+	codes     []string
+	domains   []string
+	figIDs    []string
+	summaries []CountrySummary
+}
+
+// buildShard encodes shard idx of n from a corpus view: every entry
+// whose key partitions to idx gets its payload encoded here, everything
+// else is skipped. Payload bytes are identical to the monolithic build's
+// because both encode the same view structs with the same encoder.
+func buildShard(v *corpusView, idx, n int) (*Shard, error) {
+	sh := &Shard{
+		index:   idx,
+		total:   n,
+		country: map[string]payload{},
+		tracker: map[string]payload{},
+		figure:  map[string]payload{},
+	}
+	for _, ce := range v.countries {
+		if shardOf(ce.code, n) != idx {
+			continue
+		}
+		pl, err := newPayload(ce.profile)
+		if err != nil {
+			return nil, err
+		}
+		addFolded(sh.country, ce.code, pl)
+		sh.codes = append(sh.codes, ce.code)
+		sh.summaries = append(sh.summaries, ce.summary)
+	}
+	for _, te := range v.trackers {
+		if shardOf(te.domain, n) != idx {
+			continue
+		}
+		pl, err := newPayload(te.profile)
+		if err != nil {
+			return nil, err
+		}
+		sh.tracker[lowerASCII(te.domain)] = pl
+		sh.domains = append(sh.domains, te.domain)
+	}
+	for _, fe := range v.figures {
+		if shardOf(fe.id, n) != idx {
+			continue
+		}
+		pl, err := newPayload(fe.body)
+		if err != nil {
+			return nil, err
+		}
+		sh.figure[fe.id] = pl
+		sh.figIDs = append(sh.figIDs, fe.id)
+	}
+	if shardOf(flowsPartitionKey, n) == idx {
+		pl, err := newPayload(v.flows)
+		if err != nil {
+			return nil, err
+		}
+		sh.flows, sh.hasFlows = pl, true
+	}
+	return sh, nil
+}
+
+// validate is the per-shard pre-swap sanity gate, the sharded analogue
+// of Snapshot.validate: every key the shard claims to own must have its
+// payload present. ShardSet.Install and InstallShard refuse (and keep
+// the previous shard serving) when this fails. An empty shard is valid —
+// a partition may simply own no keys.
+func (sh *Shard) validate() error {
+	if sh == nil {
+		return fmt.Errorf("serve: nil shard")
+	}
+	if sh.index < 0 || sh.index >= sh.total {
+		return fmt.Errorf("serve: shard index %d outside [0, %d)", sh.index, sh.total)
+	}
+	if len(sh.codes) != len(sh.summaries) {
+		return fmt.Errorf("serve: shard %d has %d codes but %d listing rows", sh.index, len(sh.codes), len(sh.summaries))
+	}
+	for _, cc := range sh.codes {
+		if _, ok := sh.country[upperASCII(cc)]; !ok {
+			return fmt.Errorf("serve: shard %d missing country payload %s", sh.index, cc)
+		}
+		if _, ok := sh.country[lowerASCII(cc)]; !ok {
+			return fmt.Errorf("serve: shard %d missing folded country payload %s", sh.index, cc)
+		}
+	}
+	for _, domain := range sh.domains {
+		if _, ok := sh.tracker[lowerASCII(domain)]; !ok {
+			return fmt.Errorf("serve: shard %d missing tracker payload %s", sh.index, domain)
+		}
+	}
+	for _, id := range sh.figIDs {
+		if _, ok := sh.figure[id]; !ok {
+			return fmt.Errorf("serve: shard %d missing figure payload %s", sh.index, id)
+		}
+	}
+	if sh.hasFlows && len(sh.flows.body) == 0 {
+		return fmt.Errorf("serve: shard %d owns flows but its payload is empty", sh.index)
+	}
+	return nil
+}
+
+// mergedView is the scatter-gather result: the listing payloads merged
+// across one specific generation of every shard, pre-encoded so the
+// listing hot path stays a payload lookup. A ShardSet swaps the whole
+// view atomically after any shard install, so every listing response is
+// consistent with exactly one generation of each shard — never a torn
+// merge.
+type mergedView struct {
+	meta     Meta
+	idHeader []string
+
+	countries payload // /v1/countries
+	trackers  payload // /v1/trackers
+	figIndex  payload // /v1/figures
+
+	nCountries int
+	nTrackers  int
+}
+
+// buildMergedView gathers the per-shard listing rows and merges them in
+// deterministic sorted order — by country code, by tracker domain, and
+// in canonical figure presentation order — then encodes the listing
+// payloads once. The output is byte-identical to the monolithic
+// snapshot's listings because the rows are the same structs in the same
+// order through the same encoder.
+func buildMergedView(shards []*Shard, meta Meta) (*mergedView, error) {
+	var summaries []CountrySummary
+	nDomains := 0
+	for _, sh := range shards {
+		nDomains += len(sh.domains)
+	}
+	domains := make([]string, 0, nDomains)
+	owned := map[string]bool{}
+	for _, sh := range shards {
+		summaries = append(summaries, sh.summaries...)
+		domains = append(domains, sh.domains...)
+		for _, id := range sh.figIDs {
+			owned[id] = true
+		}
+	}
+	sort.Slice(summaries, func(i, j int) bool { return summaries[i].Code < summaries[j].Code })
+	sort.Strings(domains)
+
+	// The figure index is emitted in canonical presentation order, and the
+	// merge doubles as the coverage check: every canonical figure id must
+	// be owned by some shard, or the generation is rejected before any
+	// pointer moves.
+	ids := analysis.FigureIDs()
+	for _, id := range ids {
+		if !owned[id] {
+			return nil, fmt.Errorf("serve: no shard owns figure %s", id)
+		}
+	}
+
+	m := &mergedView{
+		meta:       meta,
+		idHeader:   []string{meta.ID},
+		nCountries: len(summaries),
+		nTrackers:  len(domains),
+	}
+	var err error
+	if m.countries, err = newPayload(CountryListing{Count: len(summaries), Countries: summaries}); err != nil {
+		return nil, err
+	}
+	if m.trackers, err = newPayload(TrackerListing{Count: len(domains), Domains: domains}); err != nil {
+		return nil, err
+	}
+	if m.figIndex, err = newPayload(FigureListing{Figures: ids}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,517 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gamma-suite/gamma/internal/pipeline"
+	"github.com/gamma-suite/gamma/internal/sched"
+)
+
+func newTestShardSet(t testing.TB, snap *Snapshot, n int) *ShardSet {
+	t.Helper()
+	set, err := NewShardSet(snap, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func newTestShardServer(t testing.TB, snap *Snapshot, n int, opts Options) (*Server, *ShardSet) {
+	t.Helper()
+	set := newTestShardSet(t, snap, n)
+	if opts.Clock == nil {
+		opts.Clock = sched.NewFakeClock(time.Unix(1700000000, 0))
+	}
+	return NewSharded(set, opts), set
+}
+
+// --- partition function ---
+
+func TestShardOfProperties(t *testing.T) {
+	keys := []string{"", "AA", "aa", "Aa", "ads.tracker-x.example", "fig5", flowsPartitionKey, "ZZ", "\xff\x00é"}
+	for _, key := range keys {
+		if got := shardOf(key, 1); got != 0 {
+			t.Errorf("shardOf(%q, 1) = %d, want 0", key, got)
+		}
+		for _, n := range []int{2, 3, 4, 7, MaxShards} {
+			i := shardOf(key, n)
+			if i < 0 || i >= n {
+				t.Fatalf("shardOf(%q, %d) = %d, out of range", key, n, i)
+			}
+			if j := shardOf(key, n); j != i {
+				t.Fatalf("shardOf(%q, %d) unstable: %d then %d", key, n, i, j)
+			}
+			if j := shardOf(lowerASCII(key), n); j != i {
+				t.Fatalf("shardOf(%q, %d) = %d but lowercase spelling = %d", key, n, i, j)
+			}
+			if j := shardOf(upperASCII(key), n); j != i {
+				t.Fatalf("shardOf(%q, %d) = %d but uppercase spelling = %d", key, n, i, j)
+			}
+		}
+	}
+}
+
+// --- construction and validation ---
+
+func TestNewShardSetValidation(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "unit")
+	if _, err := NewShardSet(snap, 0); err == nil {
+		t.Error("NewShardSet accepted 0 shards")
+	}
+	if _, err := NewShardSet(snap, MaxShards+1); err == nil {
+		t.Errorf("NewShardSet accepted %d shards", MaxShards+1)
+	}
+	if _, err := NewShardSet(nil, 2); err == nil {
+		t.Error("NewShardSet accepted a nil snapshot")
+	}
+	if _, err := NewShardSet(&Snapshot{}, 2); err == nil {
+		t.Error("NewShardSet accepted a zero-value snapshot")
+	}
+	empty, err := Build(&pipeline.Result{Countries: map[string]*pipeline.CountryResult{}},
+		testRegistry(t), nil, Meta{ID: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardSet(empty, 2); err == nil {
+		t.Error("NewShardSet accepted an empty corpus")
+	}
+	set := newTestShardSet(t, snap, 4)
+	if set.Shards() != 4 {
+		t.Errorf("Shards() = %d, want 4", set.Shards())
+	}
+	if set.Meta().ID != "unit" {
+		t.Errorf("Meta().ID = %q", set.Meta().ID)
+	}
+}
+
+// TestShardSetBodiesMatchMonolith is the unit-scale equivalence check:
+// at every shard count, every endpoint the monolithic snapshot
+// enumerates resolves through the scatter-gather set to byte-identical
+// bodies. (TestShardedResponsesByteIdentical re-proves this on the full
+// study corpus over real HTTP.)
+func TestShardSetBodiesMatchMonolith(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "unit")
+	eps := snap.Endpoints()
+	for _, n := range []int{1, 2, 3, 4, 7, MaxShards} {
+		set := newTestShardSet(t, snap, n)
+		got := set.Endpoints()
+		if len(got) != len(eps) {
+			t.Fatalf("n=%d: %d endpoints, want %d", n, len(got), len(eps))
+		}
+		for i := range eps {
+			if got[i] != eps[i] {
+				t.Fatalf("n=%d: endpoint[%d] = %q, want %q", n, i, got[i], eps[i])
+			}
+		}
+		for _, p := range eps {
+			want, _ := snap.Body(p)
+			body, ok := set.Body(p)
+			if !ok {
+				t.Fatalf("n=%d: set cannot resolve %s", n, p)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("n=%d: %s differs from the monolithic payload", n, p)
+			}
+		}
+		if _, ok := set.Body("/v1/countries/zz"); ok {
+			t.Errorf("n=%d: resolved an unknown country", n)
+		}
+		if _, ok := set.Body("/nope"); ok {
+			t.Errorf("n=%d: resolved an unknown path", n)
+		}
+	}
+}
+
+// TestShardSetLookupIsCaseTolerant pins that the partition function and
+// the dual-case shard maps agree: both letter-case spellings of a
+// country code route to the same shard and resolve the same payload.
+func TestShardSetLookupIsCaseTolerant(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "unit")
+	set := newTestShardSet(t, snap, 4)
+	want, _ := snap.Body("/v1/countries/aa")
+	for _, p := range []string{"/v1/countries/AA", "/v1/countries/aa", "/v1/countries/Aa"} {
+		body, ok := set.Body(p)
+		if !ok || !bytes.Equal(body, want) {
+			t.Errorf("%s: ok=%v, byte-identical=%v", p, ok, bytes.Equal(body, want))
+		}
+	}
+}
+
+// --- install semantics ---
+
+func TestShardSetInstallValidatesAndRollsBack(t *testing.T) {
+	snapA := buildTestSnapshot(t, 0, "A")
+	snapB := buildTestSnapshot(t, 1, "B")
+	set := newTestShardSet(t, snapA, 3)
+
+	empty, err := Build(&pipeline.Result{Countries: map[string]*pipeline.CountryResult{}},
+		testRegistry(t), nil, Meta{ID: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Install(empty); err == nil {
+		t.Fatal("Install accepted an empty corpus")
+	}
+	if err := set.InstallShard(empty, 0); err == nil {
+		t.Fatal("InstallShard accepted an empty corpus")
+	}
+	if err := set.InstallShard(snapB, -1); err == nil {
+		t.Fatal("InstallShard accepted index -1")
+	}
+	if err := set.InstallShard(snapB, 3); err == nil {
+		t.Fatal("InstallShard accepted an out-of-range index")
+	}
+	if err := set.InstallShard(nil, 0); err == nil {
+		t.Fatal("InstallShard accepted a nil snapshot")
+	}
+	if set.Swaps() != 0 {
+		t.Fatalf("failed installs counted as swaps: %d", set.Swaps())
+	}
+	for _, p := range snapA.Endpoints() {
+		want, _ := snapA.Body(p)
+		if body, ok := set.Body(p); !ok || !bytes.Equal(body, want) {
+			t.Fatalf("failed install disturbed %s", p)
+		}
+	}
+
+	if err := set.Install(snapB); err != nil {
+		t.Fatal(err)
+	}
+	if set.Swaps() != 1 || set.Meta().ID != "B" {
+		t.Fatalf("swaps=%d meta=%q after install", set.Swaps(), set.Meta().ID)
+	}
+	for _, p := range snapB.Endpoints() {
+		want, _ := snapB.Body(p)
+		if body, ok := set.Body(p); !ok || !bytes.Equal(body, want) {
+			t.Fatalf("install did not converge on %s", p)
+		}
+	}
+	for _, row := range set.shardStats() {
+		if row.Swaps != 1 {
+			t.Fatalf("shard %d swaps = %d, want 1", row.Shard, row.Swaps)
+		}
+	}
+}
+
+// TestShardSetStaggeredInstall walks a new corpus across the set one
+// shard at a time and checks every intermediate state: keys owned by
+// already-swapped shards serve the new generation, the rest serve the
+// old, and the merged listings always equal a deterministic re-merge of
+// exactly the shard generations live at that step.
+func TestShardSetStaggeredInstall(t *testing.T) {
+	snapA := buildTestSnapshot(t, 0, "A")
+	snapB := buildTestSnapshot(t, 1, "B")
+	const n = 4
+	set := newTestShardSet(t, snapA, n)
+
+	installed := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if err := set.InstallShard(snapB, i); err != nil {
+			t.Fatal(err)
+		}
+		installed[i] = true
+
+		// Single-key endpoints: generation decided by the owning shard.
+		for _, cc := range snapA.CountryCodes() {
+			oracle := snapA
+			if installed[shardOf(cc, n)] {
+				oracle = snapB
+			}
+			want, _ := oracle.Body("/v1/countries/" + lowerASCII(cc))
+			got, ok := set.Body("/v1/countries/" + lowerASCII(cc))
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("step %d: country %s not consistent with its shard generation", i, cc)
+			}
+		}
+		for _, d := range snapA.TrackerDomains() {
+			oracle := snapA
+			if installed[shardOf(d, n)] {
+				oracle = snapB
+			}
+			want, _ := oracle.Body("/v1/trackers/" + d)
+			got, ok := set.Body("/v1/trackers/" + d)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("step %d: tracker %s not consistent with its shard generation", i, d)
+			}
+		}
+
+		// Listings: must equal the deterministic merge of the exact
+		// generation mix live right now.
+		cur := make([]*Shard, n)
+		for j := 0; j < n; j++ {
+			src := snapA
+			if installed[j] {
+				src = snapB
+			}
+			sh, err := buildShard(src.view, j, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur[j] = sh
+		}
+		m, err := buildMergedView(cur, snapB.meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, want := range map[string][]byte{
+			"/v1/countries": m.countries.body,
+			"/v1/trackers":  m.trackers.body,
+			"/v1/figures":   m.figIndex.body,
+		} {
+			got, ok := set.Body(p)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("step %d: %s is not the merge of the live shard generations", i, p)
+			}
+		}
+	}
+	// Fully staggered over: everything must equal the B oracle.
+	for _, p := range snapB.Endpoints() {
+		want, _ := snapB.Body(p)
+		if got, ok := set.Body(p); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("after full stagger, %s differs from the new oracle", p)
+		}
+	}
+}
+
+// TestScatterGatherRaceUnderStaggeredSwaps is the sharded analogue of
+// TestSwapUnderLoadZeroDowntime, run under -race in CI: 8 readers hammer
+// every endpoint through the full HTTP handler while shards are
+// staggered back and forth between two corpora. Every response must be a
+// 200, and every body must be byte-identical to a state one generation
+// of the owning shard (single-key) or one recorded merge of a live
+// generation mix (listings) can produce — never an error, never a torn
+// merge.
+func TestScatterGatherRaceUnderStaggeredSwaps(t *testing.T) {
+	snapA := buildTestSnapshot(t, 0, "A")
+	snapB := buildTestSnapshot(t, 1, "B")
+	const n = 4
+	const passes = 6
+	srv, set := newTestShardServer(t, snapA, n, Options{})
+
+	paths := snapA.Endpoints()
+
+	// Precompute the allowed body set per path by stepping a shadow set
+	// through the exact install sequence the writer below performs. The
+	// shadow pass enumerates every reachable state: all-A, B-over-A
+	// prefixes, all-B, and A-over-B prefixes.
+	allowed := map[string]map[string]bool{}
+	record := func(shadow *ShardSet) {
+		for _, p := range paths {
+			body, ok := shadow.Body(p)
+			if !ok {
+				t.Fatalf("shadow set cannot resolve %s", p)
+			}
+			if allowed[p] == nil {
+				allowed[p] = map[string]bool{}
+			}
+			allowed[p][string(body)] = true
+		}
+	}
+	shadow := newTestShardSet(t, snapA, n)
+	record(shadow)
+	for _, target := range []*Snapshot{snapB, snapA} {
+		for i := 0; i < n; i++ {
+			if err := shadow.InstallShard(target, i); err != nil {
+				t.Fatal(err)
+			}
+			record(shadow)
+		}
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg, firstSweep sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		firstSweep.Add(1)
+		go func() {
+			var once sync.Once
+			swept := func() { once.Do(firstSweep.Done) }
+			defer swept()
+			defer wg.Done()
+			for sweep := 0; ; sweep++ {
+				if sweep >= 1 {
+					swept()
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				for _, p := range paths {
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, p, nil))
+					if rec.Code != http.StatusOK {
+						select {
+						case errc <- fmt.Errorf("GET %s = %d during staggered swaps", p, rec.Code):
+						default:
+						}
+						return
+					}
+					if !allowed[p][rec.Body.String()] {
+						select {
+						case errc <- fmt.Errorf("GET %s served a body matching no single shard generation", p):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Let every reader finish one full sweep before the first install, so
+	// swaps demonstrably land while requests are in flight.
+	firstSweep.Wait()
+	for pass := 0; pass < passes; pass++ {
+		target := snapB
+		if pass%2 == 1 {
+			target = snapA
+		}
+		for i := 0; i < n; i++ {
+			if err := set.InstallShard(target, i); err != nil {
+				t.Fatalf("pass %d shard %d: %v", pass, i, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	var routed uint64
+	for _, row := range set.shardStats() {
+		if row.Swaps != passes {
+			t.Fatalf("shard %d swaps = %d, want %d", row.Shard, row.Swaps, passes)
+		}
+		routed += row.Requests
+	}
+	if routed == 0 {
+		t.Fatal("no single-key requests were routed to any shard")
+	}
+}
+
+// --- sharded serving through the HTTP front end ---
+
+func TestShardedServerEndToEnd(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "sharded")
+	srv, set := newTestShardServer(t, snap, 4, Options{})
+	for _, path := range snap.Endpoints() {
+		rec := get(t, srv, path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d", path, rec.Code)
+			continue
+		}
+		want, _ := snap.Body(path)
+		if !bytes.Equal(rec.Body.Bytes(), want) {
+			t.Errorf("GET %s body differs from the monolithic payload", path)
+		}
+		if got := rec.Header().Get("X-Gamma-Snapshot"); got != "sharded" {
+			t.Errorf("GET %s snapshot header = %q", path, got)
+		}
+	}
+	if rec := get(t, srv, "/v1/countries/zz"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown country = %d, want 404", rec.Code)
+	}
+	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz = %d", rec.Code)
+	}
+
+	// Metrics must carry one row per shard, jointly covering the corpus.
+	rec := get(t, srv, "/debug/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	var mp MetricsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &mp); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Snapshot.ID != "sharded" || mp.Snapshot.Countries != 2 || mp.Snapshot.Trackers != 1 {
+		t.Errorf("snapshot info = %+v", mp.Snapshot)
+	}
+	if len(mp.Shards) != 4 {
+		t.Fatalf("%d shard rows, want 4", len(mp.Shards))
+	}
+	countries, trackers, figures, requests := 0, 0, 0, uint64(0)
+	flowsOwners := 0
+	for i, row := range mp.Shards {
+		if row.Shard != i {
+			t.Errorf("shard row %d labeled %d", i, row.Shard)
+		}
+		countries += row.Countries
+		trackers += row.Trackers
+		figures += row.Figures
+		requests += row.Requests
+		if row.Flows {
+			flowsOwners++
+		}
+	}
+	if countries != 2 || trackers != 1 || figures != 9 || flowsOwners != 1 {
+		t.Errorf("shard coverage: countries=%d trackers=%d figures=%d flowsOwners=%d",
+			countries, trackers, figures, flowsOwners)
+	}
+	if requests == 0 {
+		t.Error("no routed requests recorded across shards")
+	}
+	if err := set.Install(snap); err != nil {
+		t.Fatal(err)
+	}
+	if set.Swaps() != 1 {
+		t.Errorf("swaps = %d", set.Swaps())
+	}
+}
+
+// TestShardedReloadThroughAdminEndpoint drives the sharded backend's
+// install path the way production does: POST /admin/reload builds a
+// monolithic snapshot and the ShardSet re-partitions it.
+func TestShardedReloadThroughAdminEndpoint(t *testing.T) {
+	snapA := buildTestSnapshot(t, 0, "A")
+	snapB := buildTestSnapshot(t, 1, "B")
+	reloadOK := true
+	set := newTestShardSet(t, snapA, 4)
+	srv := NewSharded(set, Options{
+		Clock: sched.NewFakeClock(time.Unix(1700000000, 0)),
+		Reload: func(context.Context, url.Values) (*Snapshot, error) {
+			if !reloadOK {
+				return nil, fmt.Errorf("synthetic corruption")
+			}
+			return snapB, nil
+		},
+	})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Swapped || rr.Snapshot != "B" || rr.Swaps != 1 {
+		t.Errorf("reload response = %+v", rr)
+	}
+	want, _ := snapB.Body("/v1/countries")
+	if got := get(t, srv, "/v1/countries"); !bytes.Equal(got.Body.Bytes(), want) {
+		t.Error("reload did not converge the sharded listing")
+	}
+
+	reloadOK = false
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("failed reload = %d", rec.Code)
+	}
+	if set.Swaps() != 1 || set.Meta().ID != "B" {
+		t.Fatal("failed reload disturbed the serving generation")
+	}
+}

@@ -45,11 +45,13 @@ type Meta struct {
 }
 
 // payload is one precomputed response: the encoded body plus the
-// ready-made Content-Length header value, so writing it performs no
+// ready-made Content-Length and ETag header values, so writing it — or
+// answering an If-None-Match revalidation with a 304 — performs no
 // per-request allocation.
 type payload struct {
 	body []byte
 	clen []string
+	etag []string // single element: the quoted body hash, strong-validator form
 }
 
 func newPayload(v any) (payload, error) {
@@ -57,7 +59,30 @@ func newPayload(v any) (payload, error) {
 	if err != nil {
 		return payload{}, fmt.Errorf("serve: encode payload: %w", err)
 	}
-	return payload{body: body, clen: []string{strconv.Itoa(len(body))}}, nil
+	return payload{
+		body: body,
+		clen: []string{strconv.Itoa(len(body))},
+		etag: []string{etagFor(body)},
+	}, nil
+}
+
+// etagFor computes a payload's strong entity tag: the quoted FNV-1a hash
+// of the body bytes. Bodies are pure functions of the corpus, so the tag
+// is stable across rebuilds, worker counts, and shard counts — a client
+// cache stays valid across a same-corpus hot reload.
+func etagFor(body []byte) string {
+	h := uint64(fnvOffset64)
+	for _, c := range body {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	const hexdigits = "0123456789abcdef"
+	var buf [18]byte
+	buf[0] = '"'
+	for i := 0; i < 16; i++ {
+		buf[1+i] = hexdigits[(h>>(60-4*i))&0xf]
+	}
+	buf[17] = '"'
+	return string(buf[:])
 }
 
 // Snapshot is an immutable, read-optimized view of one analyzed corpus.
@@ -77,6 +102,12 @@ type Snapshot struct {
 
 	codes   []string // sorted upper-case country codes
 	domains []string // sorted tracker domains
+
+	// view is the structured (pre-encoding) form of every served item.
+	// NewShardSet and ShardSet.Install re-partition it into shards without
+	// re-running analysis, which is what lets one Reload function feed both
+	// the monolithic and the sharded backend.
+	view *corpusView
 }
 
 // --- response shapes (field order is the wire order) ---
@@ -182,21 +213,39 @@ type figureBody struct {
 	Data any    `json:"data"`
 }
 
-// Build constructs a Snapshot from one analyzed corpus. It precomputes
-// every index and JSON-encodes every response body exactly once; the
-// bodies depend only on res/reg/policies, never on meta or wall time.
-func Build(res *pipeline.Result, reg *geo.Registry, policies map[string]analysis.PolicyInfo, meta Meta) (*Snapshot, error) {
-	if res == nil || reg == nil {
-		return nil, fmt.Errorf("serve: Build requires a non-nil result and registry")
-	}
-	s := &Snapshot{
-		meta:     meta,
-		idHeader: []string{meta.ID},
-		country:  map[string]payload{},
-		tracker:  map[string]payload{},
-		figure:   map[string]payload{},
-		codes:    res.CountryCodes(),
-	}
+// corpusView is the structured (pre-encoding) form of one analyzed
+// corpus: every item the API serves, keyed and ordered, before any JSON
+// is produced. Both the monolithic Snapshot and every Shard encode their
+// payloads from the same view, which is the byte-identity argument in
+// one sentence: identical structs through the same encoder yield
+// identical bytes, however the keys are partitioned.
+type corpusView struct {
+	countries []countryEntry // sorted by upper-case country code
+	trackers  []trackerEntry // sorted by domain
+	flows     FlowsPayload
+	figures   []figureEntry // analysis.FigureIDs() order
+}
+
+type countryEntry struct {
+	code    string
+	summary CountrySummary
+	profile CountryProfile
+}
+
+type trackerEntry struct {
+	domain  string
+	profile *TrackerProfile
+}
+
+type figureEntry struct {
+	id   string
+	body figureBody
+}
+
+// buildCorpusView assembles the structured view of one analyzed corpus.
+// It depends only on res/reg/policies — never on meta or wall time.
+func buildCorpusView(res *pipeline.Result, reg *geo.Registry, policies map[string]analysis.PolicyInfo) (*corpusView, error) {
+	v := &corpusView{}
 
 	prevBy := map[string]analysis.Prevalence{}
 	for _, p := range analysis.Fig3Prevalence(res) {
@@ -207,38 +256,32 @@ func Build(res *pipeline.Result, reg *geo.Registry, policies map[string]analysis
 		compBy[c.Country] = c
 	}
 
-	// Per-country profiles plus the listing, in sorted country order.
-	listing := CountryListing{}
-	for _, cc := range s.codes {
+	// Per-country profiles plus their listing rows, in sorted country order.
+	codes := res.CountryCodes()
+	for _, cc := range codes {
 		cr := res.Countries[cc]
 		profile := buildCountryProfile(cc, cr, reg, compBy[cc], prevBy[cc])
-		pl, err := newPayload(profile)
-		if err != nil {
-			return nil, err
-		}
-		addFolded(s.country, cc, pl)
-		listing.Countries = append(listing.Countries, CountrySummary{
-			Code:             cc,
-			City:             profile.City,
-			Continent:        profile.Continent,
-			Targets:          cr.Targets,
-			LoadedOK:         cr.LoadedOK,
-			UniqueDomains:    len(cr.Verdicts),
-			NonLocalTrackers: len(profile.NonLocalTrackers),
-			PrevalencePct:    profile.Prevalence.OverallPct,
+		v.countries = append(v.countries, countryEntry{
+			code:    cc,
+			profile: profile,
+			summary: CountrySummary{
+				Code:             cc,
+				City:             profile.City,
+				Continent:        profile.Continent,
+				Targets:          cr.Targets,
+				LoadedOK:         cr.LoadedOK,
+				UniqueDomains:    len(cr.Verdicts),
+				NonLocalTrackers: len(profile.NonLocalTrackers),
+				PrevalencePct:    profile.Prevalence.OverallPct,
+			},
 		})
-	}
-	listing.Count = len(listing.Countries)
-	var err error
-	if s.countries, err = newPayload(listing); err != nil {
-		return nil, err
 	}
 
 	// Tracker reverse index: domain → observing countries and their
 	// sightings. Assembled from the per-country sorted verdicts so the
 	// observation order is (domain, country)-sorted by construction.
 	byDomain := map[string]*TrackerProfile{}
-	for _, cc := range s.codes {
+	for _, cc := range codes {
 		for _, obs := range res.Countries[cc].SortedDomains() {
 			if obs.Class != geoloc.NonLocal || !obs.IsTracker {
 				continue
@@ -266,50 +309,100 @@ func Build(res *pipeline.Result, reg *geo.Registry, policies map[string]analysis
 			})
 		}
 	}
-	s.domains = make([]string, 0, len(byDomain))
+	domains := make([]string, 0, len(byDomain))
 	for domain := range byDomain {
-		s.domains = append(s.domains, domain)
+		domains = append(domains, domain)
 	}
-	sort.Strings(s.domains)
-	for _, domain := range s.domains {
+	sort.Strings(domains)
+	for _, domain := range domains {
 		tp := byDomain[domain]
 		tp.DestCountries = destCountriesOf(tp.ObservedFrom)
-		pl, err := newPayload(tp)
-		if err != nil {
-			return nil, err
-		}
-		s.tracker[lowerASCII(domain)] = pl
-	}
-	if s.trackers, err = newPayload(TrackerListing{Count: len(s.domains), Domains: s.domains}); err != nil {
-		return nil, err
+		v.trackers = append(v.trackers, trackerEntry{domain: domain, profile: tp})
 	}
 
 	// Flow matrices.
 	countryFlows := analysis.Fig5CountryFlows(res)
 	orgFlows := analysis.Fig8OrgFlows(res)
-	if s.flows, err = newPayload(FlowsPayload{
+	v.flows = FlowsPayload{
 		CountryFlows:   countryFlows,
 		FlowShares:     analysis.Fig5FlowShares(countryFlows),
 		DestShares:     analysis.Fig5DestShares(res),
 		ContinentFlows: analysis.Fig6ContinentFlows(res, reg),
 		OrgFlows:       orgFlows,
 		OrgTotals:      analysis.OrgTotals(orgFlows),
-	}); err != nil {
-		return nil, err
 	}
 
-	// Figure payloads.
-	ids := analysis.FigureIDs()
-	for _, id := range ids {
+	// Figure payloads, in presentation order.
+	for _, id := range analysis.FigureIDs() {
 		data, ok := analysis.Figure(id, res, reg, policies)
 		if !ok {
 			return nil, fmt.Errorf("serve: unknown figure id %q", id)
 		}
-		pl, err := newPayload(figureBody{ID: id, Data: data})
+		v.figures = append(v.figures, figureEntry{id: id, body: figureBody{ID: id, Data: data}})
+	}
+	return v, nil
+}
+
+// Build constructs a Snapshot from one analyzed corpus. It precomputes
+// every index and JSON-encodes every response body exactly once; the
+// bodies depend only on res/reg/policies, never on meta or wall time.
+func Build(res *pipeline.Result, reg *geo.Registry, policies map[string]analysis.PolicyInfo, meta Meta) (*Snapshot, error) {
+	if res == nil || reg == nil {
+		return nil, fmt.Errorf("serve: Build requires a non-nil result and registry")
+	}
+	view, err := buildCorpusView(res, reg, policies)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		meta:     meta,
+		idHeader: []string{meta.ID},
+		country:  map[string]payload{},
+		tracker:  map[string]payload{},
+		figure:   map[string]payload{},
+		codes:    res.CountryCodes(),
+		view:     view,
+	}
+
+	listing := CountryListing{}
+	for _, ce := range view.countries {
+		pl, err := newPayload(ce.profile)
 		if err != nil {
 			return nil, err
 		}
-		s.figure[id] = pl
+		addFolded(s.country, ce.code, pl)
+		listing.Countries = append(listing.Countries, ce.summary)
+	}
+	listing.Count = len(listing.Countries)
+	if s.countries, err = newPayload(listing); err != nil {
+		return nil, err
+	}
+
+	s.domains = make([]string, 0, len(view.trackers))
+	for _, te := range view.trackers {
+		s.domains = append(s.domains, te.domain)
+		pl, err := newPayload(te.profile)
+		if err != nil {
+			return nil, err
+		}
+		s.tracker[lowerASCII(te.domain)] = pl
+	}
+	if s.trackers, err = newPayload(TrackerListing{Count: len(s.domains), Domains: s.domains}); err != nil {
+		return nil, err
+	}
+
+	if s.flows, err = newPayload(view.flows); err != nil {
+		return nil, err
+	}
+
+	ids := make([]string, 0, len(view.figures))
+	for _, fe := range view.figures {
+		ids = append(ids, fe.id)
+		pl, err := newPayload(fe.body)
+		if err != nil {
+			return nil, err
+		}
+		s.figure[fe.id] = pl
 	}
 	if s.figIndex, err = newPayload(FigureListing{Figures: ids}); err != nil {
 		return nil, err

@@ -2,8 +2,22 @@ package serve
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
+
+// backend is what the Server serves from: a monolithic Store or a
+// sharded ShardSet. get is the hot path and must not allocate for
+// canonical-case arguments; install is the validation-gated swap the
+// reload handler drives; info/swapCount/shardStats feed /debug/metrics.
+type backend interface {
+	get(ep endpoint, arg string) (payload, []string, bool)
+	install(snap *Snapshot) error
+	info() SnapshotInfo
+	swapCount() uint64
+	shardStats() []ShardStats
+}
 
 // Store publishes the live Snapshot to concurrent readers. Readers Load
 // the pointer once per request and see a fully consistent view for the
@@ -45,3 +59,289 @@ func (st *Store) Install(snap *Snapshot) error {
 // Swaps reports how many snapshots have been installed after the initial
 // one.
 func (st *Store) Swaps() uint64 { return st.swaps.Load() }
+
+// --- backend plumbing ---
+
+func (st *Store) get(ep endpoint, arg string) (payload, []string, bool) {
+	snap := st.Load()
+	pl, ok := snap.payloadFor(ep, arg)
+	return pl, snap.idHeader, ok
+}
+
+func (st *Store) install(snap *Snapshot) error { return st.Install(snap) }
+func (st *Store) swapCount() uint64            { return st.Swaps() }
+func (st *Store) shardStats() []ShardStats     { return nil }
+
+func (st *Store) info() SnapshotInfo {
+	snap := st.Load()
+	return SnapshotInfo{
+		ID:        snap.meta.ID,
+		BuiltAt:   snap.meta.BuiltAt,
+		Countries: len(snap.codes),
+		Trackers:  len(snap.domains),
+	}
+}
+
+// ShardSet publishes a partitioned snapshot: N independently built,
+// independently swappable Shards plus an atomically swapped merged view
+// of the listing payloads. Single-key requests route straight to the
+// owning shard (hash, pointer load, map probe — zero allocations);
+// listing requests serve the pre-merged scatter-gather result, rebuilt
+// and re-swapped after every shard install.
+//
+// Installs are per-shard atomic, not set-atomic: during a staggered
+// Install, readers may observe some shards at the old generation and
+// some at the new. Every individual response is still fully consistent
+// with exactly one generation of the shard (or merge) that produced it —
+// the same per-request consistency the monolithic Store gives, at shard
+// granularity.
+type ShardSet struct {
+	n        int
+	flowsIdx int // owner of the /v1/flows singleton, fixed by the partition
+
+	shards []atomic.Pointer[Shard]
+	merged atomic.Pointer[mergedView]
+
+	mu         sync.Mutex // serializes installs and merge rebuilds
+	swaps      atomic.Uint64
+	shardSwaps []atomic.Uint64
+	shardHits  []atomic.Uint64
+}
+
+// NewShardSet partitions a built snapshot across n shards. The snapshot
+// must come from Build (it carries the structured corpus view the
+// partitioner consumes); n must be in [1, MaxShards].
+func NewShardSet(snap *Snapshot, n int) (*ShardSet, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("serve: shard count %d outside [1, %d]", n, MaxShards)
+	}
+	ss := &ShardSet{
+		n:          n,
+		flowsIdx:   shardOf(flowsPartitionKey, n),
+		shards:     make([]atomic.Pointer[Shard], n),
+		shardSwaps: make([]atomic.Uint64, n),
+		shardHits:  make([]atomic.Uint64, n),
+	}
+	shards, merged, err := ss.buildAll(snap)
+	if err != nil {
+		return nil, err
+	}
+	for i := range shards {
+		ss.shards[i].Store(shards[i])
+	}
+	ss.merged.Store(merged)
+	return ss, nil
+}
+
+// buildAll partitions snap into a full candidate generation — every
+// shard built and validated, the merged view encoded — without touching
+// any live pointer. An error here therefore rolls back for free: nothing
+// was installed.
+func (ss *ShardSet) buildAll(snap *Snapshot) ([]*Shard, *mergedView, error) {
+	if snap == nil || snap.view == nil {
+		return nil, nil, fmt.Errorf("serve: sharding requires a Build-produced snapshot")
+	}
+	if err := snap.validate(); err != nil {
+		return nil, nil, err
+	}
+	shards := make([]*Shard, ss.n)
+	for i := range shards {
+		sh, err := buildShard(snap.view, i, ss.n)
+		if err == nil {
+			err = sh.validate()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		shards[i] = sh
+	}
+	merged, err := buildMergedView(shards, snap.meta)
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, merged, nil
+}
+
+// Shards reports the shard count.
+func (ss *ShardSet) Shards() int { return ss.n }
+
+// Meta returns the provenance label of the newest installed generation.
+func (ss *ShardSet) Meta() Meta { return ss.merged.Load().meta }
+
+// Swaps reports how many full generations have been installed after the
+// initial one. Per-shard swap counts are exposed via /debug/metrics.
+func (ss *ShardSet) Swaps() uint64 { return ss.swaps.Load() }
+
+// Install partitions snap and installs it as the new generation, one
+// shard at a time. The whole candidate generation is built and validated
+// before any pointer moves, so a bad snapshot rolls back without a
+// trace; the per-shard swaps are staggered deliberately — readers keep
+// being served throughout, each response consistent with one generation
+// of its shard.
+func (ss *ShardSet) Install(snap *Snapshot) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	shards, merged, err := ss.buildAll(snap)
+	if err != nil {
+		return fmt.Errorf("install rejected, previous shards still serving: %w", err)
+	}
+	for i := range shards {
+		ss.shards[i].Store(shards[i])
+		ss.shardSwaps[i].Add(1)
+	}
+	ss.merged.Store(merged)
+	ss.swaps.Add(1)
+	return nil
+}
+
+// InstallShard rebuilds and swaps a single shard from snap, then
+// re-merges the listings against the other shards' current generations.
+// This is the staggered-rollout primitive: a caller can walk a new
+// corpus across the set shard by shard, serving a mixed-generation view
+// that is per-shard consistent at every step.
+func (ss *ShardSet) InstallShard(snap *Snapshot, i int) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if i < 0 || i >= ss.n {
+		return fmt.Errorf("serve: shard index %d outside [0, %d)", i, ss.n)
+	}
+	if snap == nil || snap.view == nil {
+		return fmt.Errorf("serve: sharding requires a Build-produced snapshot")
+	}
+	if err := snap.validate(); err != nil {
+		return fmt.Errorf("shard %d install rejected, previous shard still serving: %w", i, err)
+	}
+	sh, err := buildShard(snap.view, i, ss.n)
+	if err == nil {
+		err = sh.validate()
+	}
+	if err != nil {
+		return fmt.Errorf("shard %d install rejected, previous shard still serving: %w", i, err)
+	}
+	cur := make([]*Shard, ss.n)
+	for j := range cur {
+		cur[j] = ss.shards[j].Load()
+	}
+	cur[i] = sh
+	merged, err := buildMergedView(cur, snap.meta)
+	if err != nil {
+		return fmt.Errorf("shard %d install rejected, previous shard still serving: %w", i, err)
+	}
+	ss.shards[i].Store(sh)
+	ss.shardSwaps[i].Add(1)
+	ss.merged.Store(merged)
+	return nil
+}
+
+// Body resolves a request path to its precomputed response body through
+// the same router and scatter-gather lookup the HTTP server uses. The
+// returned slice is a shard's own buffer; callers must not mutate it.
+func (ss *ShardSet) Body(path string) ([]byte, bool) {
+	ep, arg := route(path)
+	pl, _, ok := ss.get(ep, arg)
+	if !ok {
+		return nil, false
+	}
+	return pl.body, true
+}
+
+// Endpoints enumerates every GET path the set serves, sorted — the same
+// list the equivalent monolithic snapshot enumerates.
+func (ss *ShardSet) Endpoints() []string {
+	out := []string{"/v1/countries", "/v1/trackers", "/v1/flows", "/v1/figures"}
+	for i := range ss.shards {
+		sh := ss.shards[i].Load()
+		for _, cc := range sh.codes {
+			out = append(out, "/v1/countries/"+lowerASCII(cc))
+		}
+		for _, domain := range sh.domains {
+			out = append(out, "/v1/trackers/"+domain)
+		}
+		for _, id := range sh.figIDs {
+			out = append(out, "/v1/figures/"+id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- backend plumbing ---
+
+// get routes one lookup. Listings come from the merged view; single-key
+// lookups hash the argument to its owning shard and probe there, using
+// the same dual-case strategy as the monolithic snapshot so canonical
+// arguments resolve without allocating.
+func (ss *ShardSet) get(ep endpoint, arg string) (payload, []string, bool) {
+	m := ss.merged.Load()
+	switch ep {
+	case epCountries:
+		return m.countries, m.idHeader, true
+	case epTrackers:
+		return m.trackers, m.idHeader, true
+	case epFigures:
+		return m.figIndex, m.idHeader, true
+	case epFlows:
+		ss.shardHits[ss.flowsIdx].Add(1)
+		sh := ss.shards[ss.flowsIdx].Load()
+		if !sh.hasFlows {
+			return payload{}, nil, false
+		}
+		return sh.flows, m.idHeader, true
+	case epCountry:
+		i := shardOf(arg, ss.n)
+		ss.shardHits[i].Add(1)
+		sh := ss.shards[i].Load()
+		if pl, ok := sh.country[arg]; ok {
+			return pl, m.idHeader, true
+		}
+		pl, ok := sh.country[upperASCII(arg)]
+		return pl, m.idHeader, ok
+	case epTracker:
+		i := shardOf(arg, ss.n)
+		ss.shardHits[i].Add(1)
+		sh := ss.shards[i].Load()
+		if pl, ok := sh.tracker[arg]; ok {
+			return pl, m.idHeader, true
+		}
+		pl, ok := sh.tracker[lowerASCII(arg)]
+		return pl, m.idHeader, ok
+	case epFigure:
+		i := shardOf(arg, ss.n)
+		ss.shardHits[i].Add(1)
+		pl, ok := ss.shards[i].Load().figure[arg]
+		return pl, m.idHeader, ok
+	default:
+		return payload{}, nil, false
+	}
+}
+
+func (ss *ShardSet) install(snap *Snapshot) error { return ss.Install(snap) }
+func (ss *ShardSet) swapCount() uint64            { return ss.Swaps() }
+
+func (ss *ShardSet) info() SnapshotInfo {
+	m := ss.merged.Load()
+	return SnapshotInfo{
+		ID:        m.meta.ID,
+		BuiltAt:   m.meta.BuiltAt,
+		Countries: m.nCountries,
+		Trackers:  m.nTrackers,
+	}
+}
+
+// shardStats materializes the per-shard counters for /debug/metrics.
+func (ss *ShardSet) shardStats() []ShardStats {
+	out := make([]ShardStats, ss.n)
+	for i := range out {
+		sh := ss.shards[i].Load()
+		out[i] = ShardStats{
+			Shard:     i,
+			Countries: len(sh.codes),
+			Trackers:  len(sh.domains),
+			Figures:   len(sh.figIDs),
+			Flows:     sh.hasFlows,
+			Swaps:     ss.shardSwaps[i].Load(),
+			Requests:  ss.shardHits[i].Load(),
+		}
+	}
+	return out
+}

@@ -3,7 +3,9 @@
 #
 # Runs the filterlist matching-engine benchmarks (hit, miss, bare-hostname
 # probe, index build, parse), the pipeline's parallel-analysis benchmark,
-# and the serving layer's hot-path benchmarks with -benchtime=1x -count=1:
+# and the serving layer's hot-path benchmarks — monolithic and sharded
+# (BenchmarkServeQueries matches BenchmarkServeQueriesSharded too) —
+# with -benchtime=1x -count=1:
 # fast enough for CI, and a compile+run check that every benchmark still
 # works. Real before/after numbers are collected with longer benchtimes
 # and recorded in BENCH_*.json.
