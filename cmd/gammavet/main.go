@@ -3,15 +3,27 @@
 // library's go/ast, go/parser and go/types and enforces the invariants
 // behind the golden-harness guarantee:
 //
-//	maporder    — no map iteration feeding slices/writers/channels unsorted
-//	walltime    — no wall-clock reads outside the injectable sched.Clock
-//	ambientrand — no randomness that isn't keyed off the study seed
-//	sharedmap   — no unguarded shared-map writes from pool-submitted work
+//	maporder         — no map iteration feeding slices/writers/channels unsorted
+//	walltime         — no wall-clock reads outside the injectable sched.Clock,
+//	                   direct or transitive from exported serving entry points
+//	ambientrand      — no randomness that isn't keyed off the study seed
+//	sharedmap        — no unguarded shared-map writes from pool-submitted work
+//	hotalloc         — no allocating constructs reachable from //gamma:hotpath
+//	                   roots (escape hatch: a reasoned //gamma:coldpath)
+//	atomicdiscipline — no by-value traffic in atomic/lock-bearing types
+//	directive        — no malformed //gammavet:ignore / //gamma: comments
+//
+// The interprocedural checks run over a module-wide static call graph
+// (direct calls, interface calls devirtualized through the module's
+// declared types, function values tracked one hop); -graph dumps it and
+// -chains expands each finding's root-to-leaf call chain.
 //
 // Usage:
 //
 //	go run ./cmd/gammavet ./...
 //	go run ./cmd/gammavet -json ./internal/pipeline/...
+//	go run ./cmd/gammavet -chains ./internal/serve
+//	go run ./cmd/gammavet -graph ./internal/serve
 //	go run ./cmd/gammavet -write-baseline ./...   # grandfather current findings
 //
 // Findings are suppressible with a reasoned directive on or above the
@@ -42,8 +54,20 @@ func main() {
 		writeBaseline = flag.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
 		checkNames    = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		listChecks    = flag.Bool("list", false, "list available checks and exit")
+		graphDump     = flag.Bool("graph", false, "dump the static call graph for the matched packages and exit")
+		chains        = flag.Bool("chains", false, "expand each interprocedural finding's call chain (text output)")
 	)
 	flag.Parse()
+
+	if *graphDump {
+		g, pkgs, err := lint.LoadGraph(*dir, flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gammavet:", err)
+			os.Exit(2)
+		}
+		g.Dump(os.Stdout, pkgs)
+		return
+	}
 
 	checks := lint.Checks()
 	if *listChecks {
@@ -115,6 +139,11 @@ func main() {
 	} else {
 		for _, d := range fresh {
 			fmt.Println(d)
+			if *chains {
+				for _, fr := range d.Chain {
+					fmt.Printf("\t%s (%s:%d)\n", fr.Func, fr.File, fr.Line)
+				}
+			}
 		}
 		if len(grandfathered) > 0 {
 			fmt.Fprintf(os.Stderr, "gammavet: %d baselined finding(s) suppressed\n", len(grandfathered))

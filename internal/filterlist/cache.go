@@ -96,6 +96,8 @@ func (c *CachedEngine) Match(req Request) (bool, *Rule) {
 // MatchName is the memoized counterpart of Engine.MatchName: the bare
 // third-party hostname probe, cached under an empty-URL key so it never
 // materializes a URL string on hit or miss.
+//
+//gamma:hotpath memoized per-row probe: shard hash plus one RLock'd map read
 func (c *CachedEngine) MatchName(domain, pageDomain string) (bool, *Rule) {
 	return c.Match(Request{
 		Domain:     domain,

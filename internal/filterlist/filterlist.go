@@ -394,6 +394,8 @@ func isLowerASCII(s string) bool {
 // MatchName evaluates the canonical tracker-identification probe — a bare
 // third-party script request to domain — without materializing a URL
 // string, and returns the deciding rule.
+//
+//gamma:hotpath pipeline probes every request-log row through here
 func (e *Engine) MatchName(domain, pageDomain string) (bool, *Rule) {
 	return e.Match(Request{
 		Domain:     domain,

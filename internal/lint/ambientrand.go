@@ -1,8 +1,6 @@
 package lint
 
 import (
-	"go/ast"
-	"go/types"
 	"strconv"
 	"strings"
 )
@@ -19,65 +17,76 @@ var randSourceConstructors = map[string]bool{
 // package import path).
 var randConstructorPkgs = []string{"internal/rng", "internal/worldgen"}
 
+// isRandConstructorPkg reports whether importPath may construct raw
+// math/rand/v2 sources.
+func isRandConstructorPkg(importPath string) bool {
+	for _, suffix := range randConstructorPkgs {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
 // randWrapperFuncs are order-preserving wrappers that take an explicit
 // source or *Rand and are fine anywhere.
 var randWrapperFuncs = map[string]bool{
 	"New": true, "NewZipf": true,
 }
 
-// checkAmbientRand flags ambient randomness: any import of the legacy
-// math/rand package (its global source cannot be keyed per-study), calls
-// to math/rand/v2 top-level convenience functions (they draw from the
-// shared ChaCha8 source seeded at process start), and raw source
-// construction outside the seeded-constructor packages.
-func checkAmbientRand(pkg *Package, r *Reporter) {
-	inConstructorPkg := false
-	for _, suffix := range randConstructorPkgs {
-		if strings.HasSuffix(pkg.ImportPath, suffix) {
-			inConstructorPkg = true
-		}
+// randFactMessage renders a leaf ambient-randomness fact.
+func randFactMessage(f randFact) string {
+	use := "rand." + f.name
+	if f.valueRef {
+		use += " captured as a value"
 	}
-	inRNG := strings.HasSuffix(pkg.ImportPath, "internal/rng")
+	switch f.kind {
+	case randRawSource:
+		return "raw " + use + " source outside the seeded constructors; derive streams with rng.New(seed, keys...)"
+	default:
+		return "ambient " + use + " draws from the process-global source; use a stream from rng.New keyed off the study seed"
+	}
+}
+
+// checkAmbientRand flags ambient randomness: any import of the legacy
+// math/rand package (its global source cannot be keyed per-study), uses of
+// math/rand/v2 top-level convenience functions (they draw from the shared
+// ChaCha8 source seeded at process start), and raw source construction
+// outside the seeded-constructor packages — directly at the use site, and
+// transitively from exported entry points of the serving packages with the
+// call chain attached.
+func checkAmbientRand(pkg *Package, g *CallGraph, r *Reporter) {
 	for _, f := range pkg.Files {
 		for _, imp := range f.Imports {
 			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "math/rand" {
 				r.Reportf(imp.Pos(), "import of legacy math/rand; use seeded streams from internal/rng (math/rand/v2 PCG under the hood)")
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			path, name, ok := pkgFuncCall(pkg.Info, call)
-			if !ok || path != "math/rand/v2" {
-				return true
-			}
-			switch {
-			case randSourceConstructors[name]:
-				if !inConstructorPkg {
-					r.Reportf(call.Pos(), "raw rand.%s source outside the seeded constructors; derive streams with rng.New(seed, keys...)", name)
-				}
-			case randWrapperFuncs[name]:
-				// explicit-source wrappers are fine; the source itself is
-				// what must be seeded.
-			case isPkgLevelFunc(pkg.Info, call):
-				if !inRNG {
-					r.Reportf(call.Pos(), "ambient rand.%s draws from the process-global source; use a stream from rng.New keyed off the study seed", name)
-				}
-			}
-			return true
-		})
 	}
-}
-
-// isPkgLevelFunc reports whether the call's selector resolves to a
-// package-level function (as opposed to a type conversion or type name).
-func isPkgLevelFunc(info *types.Info, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
+	for _, n := range g.PkgNodes(pkg) {
+		for _, f := range n.randFacts {
+			r.Reportf(f.pos, "%s", randFactMessage(f))
+		}
 	}
-	_, ok = info.Uses[sel.Sel].(*types.Func)
-	return ok
+	if !isTaintEntryPkg(pkg.ImportPath) {
+		return
+	}
+	for _, root := range g.PkgNodes(pkg) {
+		if !isEntryPoint(root) {
+			continue
+		}
+		order, parents := g.Reach(root, nil)
+		for _, m := range order {
+			if m == root {
+				continue // the root's own leaves are already reported above
+			}
+			for _, f := range m.randFacts {
+				chain := g.ChainTo(parents, root, m)
+				p := m.Pkg.Fset.Position(f.pos)
+				r.ReportChainf(root.declPos(), chain,
+					"exported %s transitively draws ambient randomness via rand.%s (%s:%d) through %s; key every stream off the study seed",
+					root.Name, f.name, m.Pkg.Rel(p.Filename), p.Line, chainString(chain))
+			}
+		}
+	}
 }

@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+// BenchmarkSelfRun times the full acceptance-bar run: load every module
+// package, type-check, build the interprocedural call graph, and run all
+// seven checks. scripts/bench.sh runs this once to watch the analyzer's
+// own latency budget (the bar is well under ten seconds).
+func BenchmarkSelfRun(b *testing.B) {
+	root := moduleRoot(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		diags, err := Run(root, []string{"./..."}, Checks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("self-run findings: %v", diags)
+		}
+	}
+}

@@ -1,0 +1,560 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EdgeKind classifies how a call-graph edge was discovered.
+type EdgeKind uint8
+
+const (
+	// EdgeDirect is a plain call of a declared function.
+	EdgeDirect EdgeKind = iota
+	// EdgeMethod is a method call on a concrete receiver.
+	EdgeMethod
+	// EdgeDevirt is a method call on an interface value, resolved to every
+	// module named type whose method set satisfies the interface.
+	EdgeDevirt
+	// EdgeFuncValue is a one-hop function-value edge: the function is
+	// referenced as a value (assigned, passed, stored) and conservatively
+	// assumed callable from the referencing function.
+	EdgeFuncValue
+)
+
+// String renders the kind for -graph dumps.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDirect:
+		return "direct"
+	case EdgeMethod:
+		return "method"
+	case EdgeDevirt:
+		return "devirt"
+	case EdgeFuncValue:
+		return "funcvalue"
+	}
+	return "?"
+}
+
+// CallEdge is one outgoing edge with its call-site position.
+type CallEdge struct {
+	Callee *FuncNode
+	Kind   EdgeKind
+	Pos    token.Pos
+}
+
+// timeFact records a wall-clock use (call or value reference) that is not
+// excused by the sanctioned-file allowlist. Facts are collected once at
+// graph-build time; the walltime check reports them directly (leaf form)
+// and through taint traversal (chain form).
+type timeFact struct {
+	name     string
+	pos      token.Pos
+	valueRef bool
+}
+
+// randKind distinguishes the two ambient-randomness offences.
+type randKind uint8
+
+const (
+	// randRawSource is rand.NewPCG/NewChaCha8 outside the seeded
+	// constructor packages.
+	randRawSource randKind = iota
+	// randAmbient is a top-level math/rand/v2 convenience function, which
+	// draws from the process-global source.
+	randAmbient
+)
+
+// randFact records an ambient-randomness use, pre-filtered by the
+// package-level allowances (internal/rng, internal/worldgen).
+type randFact struct {
+	name     string
+	kind     randKind
+	pos      token.Pos
+	valueRef bool
+}
+
+// FuncNode is one call-graph node: a declared function or method, with
+// closures attributed to their enclosing declaration, or the per-package
+// pseudo-node that owns package-level variable initializer expressions.
+type FuncNode struct {
+	Obj  *types.Func   // nil for the initializer pseudo-node
+	Decl *ast.FuncDecl // nil for the initializer pseudo-node
+	Pkg  *Package
+	Name string // display name, e.g. "serve.(*Server).ServeHTTP"
+	Hot  bool   // annotated //gamma:hotpath: a zero-allocation root
+	Cold bool   // annotated //gamma:coldpath: pruned from hot-path traversal
+
+	Edges []CallEdge
+
+	timeFacts []timeFact
+	randFacts []randFact
+
+	allocs       []allocFact
+	allocScanned bool
+}
+
+// declPos is the position diagnostics anchored at this node use.
+func (n *FuncNode) declPos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Name.Pos()
+	}
+	return token.NoPos
+}
+
+// CallGraph is the module-wide static call graph the interprocedural
+// checks traverse. Nodes cover every declared function of the packages it
+// was built over; edges stay inside that set, with external leaf uses of
+// the wall clock and ambient randomness recorded as facts on the caller.
+type CallGraph struct {
+	byObj map[*types.Func]*FuncNode
+	byPkg map[string][]*FuncNode // import path -> nodes in source order
+	pkgs  []*Package             // graph scope, sorted by import path
+	named []*types.Named         // module named types, deterministic order
+	impls map[*types.Interface][]*types.Named
+}
+
+// BuildCallGraph builds the graph over pkgs. Node and edge order is
+// deterministic: packages sort by import path, nodes follow source order,
+// edges follow call-site order.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	g := &CallGraph{
+		byObj: map[*types.Func]*FuncNode{},
+		byPkg: map[string][]*FuncNode{},
+		pkgs:  sorted,
+		impls: map[*types.Interface][]*types.Named{},
+	}
+	for _, pkg := range sorted {
+		g.collectNamed(pkg)
+		g.addNodes(pkg)
+	}
+	for _, pkg := range sorted {
+		for _, n := range g.byPkg[pkg.ImportPath] {
+			g.scan(n)
+		}
+	}
+	return g
+}
+
+// PkgNodes returns the nodes owned by pkg in source order (the pseudo
+// initializer node last).
+func (g *CallGraph) PkgNodes(pkg *Package) []*FuncNode { return g.byPkg[pkg.ImportPath] }
+
+// collectNamed gathers pkg's package-level named types for interface
+// devirtualization. Generic types are skipped: without an instantiation
+// they have no method set to satisfy an interface with.
+func (g *CallGraph) collectNamed(pkg *Package) {
+	if pkg.Types == nil {
+		return
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams().Len() > 0 {
+			continue
+		}
+		g.named = append(g.named, named)
+	}
+}
+
+// addNodes creates one node per function declaration plus the package's
+// initializer pseudo-node, applying //gamma: annotations from doc comments.
+func (g *CallGraph) addNodes(pkg *Package) {
+	di := pkg.directiveInfo()
+	pkgName := pkg.ImportPath
+	if pkg.Types != nil {
+		pkgName = pkg.Types.Name()
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg, Name: funcDisplayName(obj)}
+			g.applyAnnotations(di, pkg, fd, n)
+			g.byObj[obj] = n
+			g.byPkg[pkg.ImportPath] = append(g.byPkg[pkg.ImportPath], n)
+		}
+	}
+	g.byPkg[pkg.ImportPath] = append(g.byPkg[pkg.ImportPath],
+		&FuncNode{Pkg: pkg, Name: pkgName + ".<package-init>"})
+}
+
+// applyAnnotations attaches //gamma: annotations found in fd's doc comment
+// to its node, marking them consumed; annotations left unconsumed after a
+// build surface as directive diagnostics.
+func (g *CallGraph) applyAnnotations(di *dirInfo, pkg *Package, fd *ast.FuncDecl, n *FuncNode) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		ann := di.anns[c.Pos()]
+		if ann == nil {
+			continue
+		}
+		ann.used = true
+		switch ann.verb {
+		case annHotpath:
+			n.Hot = true
+		case annColdpath:
+			n.Cold = true
+		}
+	}
+	if n.Hot && n.Cold {
+		pos := pkg.Fset.Position(fd.Name.Pos())
+		di.diags = append(di.diags, Diagnostic{
+			Check: directiveCheck, Severity: Error,
+			Pos: pos, File: pkg.Rel(pos.Filename), Line: pos.Line, Col: pos.Column,
+			Message: fmt.Sprintf("%s is annotated both //gamma:hotpath and //gamma:coldpath; pick one", fd.Name.Name),
+		})
+	}
+}
+
+// scan walks one node's body (or, for the pseudo-node, every package-level
+// variable initializer) recording edges and external leaf facts.
+func (g *CallGraph) scan(n *FuncNode) {
+	if n.Decl != nil {
+		if n.Decl.Body != nil {
+			g.scanBody(n, n.Decl.Body)
+		}
+		return
+	}
+	for _, f := range n.Pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					g.scanBody(n, v)
+				}
+			}
+		}
+	}
+}
+
+// scanBody records calls (direct, method, devirtualized) and one-hop
+// function-value references. Idents/selectors in call position are marked
+// so they are not double-counted as value references.
+func (g *CallGraph) scanBody(n *FuncNode, body ast.Node) {
+	info := n.Pkg.Info
+	skip := map[ast.Node]bool{}
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			skip[fun] = true
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				skip[sel.Sel] = true
+			}
+			g.addCall(n, x, fun)
+		case *ast.SelectorExpr:
+			if skip[x] {
+				return true
+			}
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					skip[x.Sel] = true
+					if types.IsInterface(sel.Recv()) {
+						g.addDevirt(n, sel.Recv(), fn, x.Pos(), EdgeFuncValue)
+					} else {
+						g.edgeTo(n, fn, EdgeFuncValue, x.Pos(), true)
+					}
+				}
+				return true
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				skip[x.Sel] = true
+				g.edgeTo(n, fn, EdgeFuncValue, x.Pos(), true)
+			}
+		case *ast.Ident:
+			if skip[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				g.edgeTo(n, fn, EdgeFuncValue, x.Pos(), true)
+			}
+		}
+		return true
+	})
+}
+
+// addCall resolves one call expression to edges.
+func (g *CallGraph) addCall(n *FuncNode, call *ast.CallExpr, fun ast.Expr) {
+	info := n.Pkg.Info
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			g.edgeTo(n, fn, EdgeDirect, call.Pos(), false)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				g.addDevirt(n, sel.Recv(), fn, call.Pos(), EdgeDevirt)
+				return
+			}
+			g.edgeTo(n, fn, EdgeMethod, call.Pos(), false)
+			return
+		}
+		// Package-qualified call: pkg.F(...).
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			g.edgeTo(n, fn, EdgeDirect, call.Pos(), false)
+		}
+	}
+	// Calls through func-typed variables/fields and called literals resolve
+	// to nothing here: literals are scanned as part of the enclosing node,
+	// func-typed storage is covered (one hop) at the point the function
+	// value is taken. See DESIGN.md §13 for the soundness caveats.
+}
+
+// addDevirt resolves an interface method use to every module named type
+// implementing the interface. Constraint interfaces (type sets) have no
+// method-set semantics and are skipped.
+func (g *CallGraph) addDevirt(n *FuncNode, recv types.Type, m *types.Func, pos token.Pos, kind EdgeKind) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok || !iface.IsMethodSet() {
+		return
+	}
+	for _, impl := range g.implementers(iface) {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(impl), false, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			g.edgeTo(n, fn, kind, pos, kind == EdgeFuncValue)
+		}
+	}
+}
+
+// implementers returns the module named types satisfying iface, cached.
+func (g *CallGraph) implementers(iface *types.Interface) []*types.Named {
+	if impls, ok := g.impls[iface]; ok {
+		return impls
+	}
+	impls := []*types.Named{}
+	for _, named := range g.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			impls = append(impls, named)
+		}
+	}
+	g.impls[iface] = impls
+	return impls
+}
+
+// edgeTo adds an edge when the callee is a module function with a node;
+// otherwise the use is recorded as an external leaf fact.
+func (g *CallGraph) edgeTo(n *FuncNode, fn *types.Func, kind EdgeKind, pos token.Pos, valueRef bool) {
+	fn = fn.Origin()
+	if callee, ok := g.byObj[fn]; ok {
+		n.Edges = append(n.Edges, CallEdge{Callee: callee, Kind: kind, Pos: pos})
+		return
+	}
+	g.externFact(n, fn, pos, valueRef)
+}
+
+// externFact records wall-clock and ambient-randomness uses of external
+// packages, pre-filtered by the file and package allowlists so checks can
+// report every stored fact.
+func (g *CallGraph) externFact(n *FuncNode, fn *types.Func, pos token.Pos, valueRef bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return
+	}
+	switch pkg.Path() {
+	case "time":
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // time.Time/Timer methods (After, Sub, Stop) are pure or explicit
+		}
+		if !wallTimeFuncs[fn.Name()] {
+			return
+		}
+		rel := n.Pkg.Rel(n.Pkg.Fset.Position(pos).Filename)
+		if wallTimeAllowedFiles[rel] || strings.HasSuffix(rel, "_test.go") {
+			return
+		}
+		n.timeFacts = append(n.timeFacts, timeFact{name: fn.Name(), pos: pos, valueRef: valueRef})
+	case "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return // explicit-source methods (rand.Rand, rand.Zipf) are fine
+		}
+		name := fn.Name()
+		switch {
+		case randSourceConstructors[name]:
+			if !isRandConstructorPkg(n.Pkg.ImportPath) {
+				n.randFacts = append(n.randFacts, randFact{name: name, kind: randRawSource, pos: pos, valueRef: valueRef})
+			}
+		case randWrapperFuncs[name]:
+			// explicit-source wrappers are fine anywhere.
+		default:
+			if !strings.HasSuffix(n.Pkg.ImportPath, "internal/rng") {
+				n.randFacts = append(n.randFacts, randFact{name: name, kind: randAmbient, pos: pos, valueRef: valueRef})
+			}
+		}
+	}
+}
+
+// --- traversal and chain reporting ---
+
+// callSite is the BFS parent link: which node reached a callee, and where.
+type callSite struct {
+	from *FuncNode
+	pos  token.Pos
+}
+
+// Reach returns every node reachable from root (root first, BFS order)
+// plus parent links for chain reconstruction. skip prunes traversal into
+// matching nodes — the //gamma:coldpath escape hatch.
+func (g *CallGraph) Reach(root *FuncNode, skip func(*FuncNode) bool) ([]*FuncNode, map[*FuncNode]callSite) {
+	order := []*FuncNode{root}
+	parents := map[*FuncNode]callSite{}
+	seen := map[*FuncNode]bool{root: true}
+	for i := 0; i < len(order); i++ {
+		for _, e := range order[i].Edges {
+			if seen[e.Callee] || (skip != nil && skip(e.Callee)) {
+				continue
+			}
+			seen[e.Callee] = true
+			parents[e.Callee] = callSite{from: order[i], pos: e.Pos}
+			order = append(order, e.Callee)
+		}
+	}
+	return order, parents
+}
+
+// Frame is one hop of a reported call chain: the function entered and the
+// call site (or declaration, for the first frame) that entered it.
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// ChainTo reconstructs the shortest discovered chain root -> target from
+// BFS parent links.
+func (g *CallGraph) ChainTo(parents map[*FuncNode]callSite, root, target *FuncNode) []Frame {
+	var rev []Frame
+	for cur := target; cur != root; {
+		site, ok := parents[cur]
+		if !ok {
+			break
+		}
+		p := cur.Pkg.Fset.Position(site.pos)
+		rev = append(rev, Frame{Func: cur.Name, File: site.from.Pkg.Rel(p.Filename), Line: p.Line})
+		cur = site.from
+	}
+	rp := root.Pkg.Fset.Position(root.declPos())
+	frames := make([]Frame, 0, len(rev)+1)
+	frames = append(frames, Frame{Func: root.Name, File: root.Pkg.Rel(rp.Filename), Line: rp.Line})
+	for i := len(rev) - 1; i >= 0; i-- {
+		frames = append(frames, rev[i])
+	}
+	return frames
+}
+
+// chainString renders a chain compactly for diagnostic messages.
+func chainString(frames []Frame) string {
+	parts := make([]string, len(frames))
+	for i, f := range frames {
+		parts[i] = f.Func
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// --- graph dump (-graph) ---
+
+// LoadGraph builds the module call graph for the packages matched by
+// patterns (the graph itself spans every module package they pull in).
+func LoadGraph(root string, patterns []string) (*CallGraph, []*Package, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := loader.Match(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	return BuildCallGraph(loader.Loaded()), pkgs, nil
+}
+
+// Dump writes a deterministic text rendering of the graph restricted to
+// pkgs: packages by import path, nodes by display name, edges in call-site
+// order with their resolution kind.
+func (g *CallGraph) Dump(w io.Writer, pkgs []*Package) {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, pkg := range sorted {
+		fmt.Fprintf(w, "package %s\n", pkg.ImportPath)
+		nodes := append([]*FuncNode(nil), g.byPkg[pkg.ImportPath]...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+		for _, n := range nodes {
+			mark := ""
+			if n.Hot {
+				mark = " [hotpath]"
+			}
+			if n.Cold {
+				mark = " [coldpath]"
+			}
+			fmt.Fprintf(w, "  %s%s\n", n.Name, mark)
+			for _, e := range n.Edges {
+				p := n.Pkg.Fset.Position(e.Pos)
+				fmt.Fprintf(w, "    -> %s (%s) %s:%d\n", e.Callee.Name, e.Kind, n.Pkg.Rel(p.Filename), p.Line)
+			}
+		}
+	}
+}
+
+// funcDisplayName renders a *types.Func as pkg.Func or pkg.(*Recv).Method.
+func funcDisplayName(obj *types.Func) string {
+	prefix := ""
+	if p := obj.Pkg(); p != nil {
+		prefix = p.Name() + "."
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		star := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			star = "*"
+		}
+		name := "?"
+		switch t := t.(type) {
+		case *types.Named:
+			name = t.Obj().Name()
+		case *types.TypeParam:
+			name = t.Obj().Name()
+		}
+		if star != "" {
+			return prefix + "(*" + name + ")." + obj.Name()
+		}
+		return prefix + name + "." + obj.Name()
+	}
+	return prefix + obj.Name()
+}

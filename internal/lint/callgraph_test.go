@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixtureGraph loads one testdata package and builds its single-package
+// call graph, the same shape RunPackage uses.
+func loadFixtureGraph(t *testing.T, fixture string) (*Package, *CallGraph) {
+	t.Helper()
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", filepath.FromSlash(fixture))
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return pkg, BuildCallGraph([]*Package{pkg})
+}
+
+func nodeByName(t *testing.T, g *CallGraph, pkg *Package, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.PkgNodes(pkg) {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %q", name)
+	return nil
+}
+
+// edgeNames collects callee names of one node, optionally filtered by kind.
+func edgeNames(n *FuncNode, kind EdgeKind, filter bool) []string {
+	var out []string
+	for _, e := range n.Edges {
+		if filter && e.Kind != kind {
+			continue
+		}
+		out = append(out, e.Callee.Name)
+	}
+	return out
+}
+
+// TestCallGraphEdges pins the core construction rules: direct calls edge to
+// their callee, interface calls devirtualize to every module implementer
+// (value and pointer method sets both), referencing a function as a value
+// adds a one-hop funcvalue edge, and package-level initializer expressions
+// hang off the <package-init> pseudo-node.
+func TestCallGraphEdges(t *testing.T) {
+	pkg, g := loadFixtureGraph(t, "callgraph")
+
+	direct := nodeByName(t, g, pkg, "callgraph.direct")
+	if got := edgeNames(direct, EdgeDirect, true); len(got) != 1 || got[0] != "callgraph.helper" {
+		t.Errorf("direct edges = %v, want [callgraph.helper]", got)
+	}
+
+	via := nodeByName(t, g, pkg, "callgraph.viaInterface")
+	got := edgeNames(via, EdgeDevirt, true)
+	want := map[string]bool{"callgraph.bell.ring": true, "callgraph.(*horn).ring": true}
+	if len(got) != len(want) {
+		t.Fatalf("devirt edges = %v, want both implementers", got)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Errorf("unexpected devirt target %q", name)
+		}
+	}
+
+	val := nodeByName(t, g, pkg, "callgraph.viaValue")
+	if got := edgeNames(val, EdgeFuncValue, true); len(got) != 1 || got[0] != "callgraph.helper" {
+		t.Errorf("funcvalue edges = %v, want [callgraph.helper]", got)
+	}
+
+	initNode := nodeByName(t, g, pkg, "callgraph.<package-init>")
+	if got := edgeNames(initNode, EdgeDirect, true); len(got) != 1 || got[0] != "callgraph.helper" {
+		t.Errorf("package-init edges = %v, want [callgraph.helper]", got)
+	}
+}
+
+// TestReachAndChain pins BFS reachability and chain reconstruction on the
+// hotalloc fixture's Probe -> lookup -> grow spine, plus coldpath pruning
+// on Guarded -> slowPath.
+func TestReachAndChain(t *testing.T) {
+	pkg, g := loadFixtureGraph(t, "hotalloc")
+
+	probe := nodeByName(t, g, pkg, "hotalloc.Probe")
+	grow := nodeByName(t, g, pkg, "hotalloc.grow")
+	order, parents := g.Reach(probe, nil)
+	found := false
+	for _, n := range order {
+		if n == grow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Reach(Probe) does not include grow")
+	}
+	chain := g.ChainTo(parents, probe, grow)
+	var names []string
+	for _, fr := range chain {
+		names = append(names, fr.Func)
+	}
+	if got := strings.Join(names, " -> "); got != "hotalloc.Probe -> hotalloc.lookup -> hotalloc.grow" {
+		t.Errorf("chain = %q", got)
+	}
+	for _, fr := range chain[1:] {
+		if fr.File == "" || fr.Line == 0 {
+			t.Errorf("frame %+v missing call-site position", fr)
+		}
+	}
+
+	guarded := nodeByName(t, g, pkg, "hotalloc.Guarded")
+	slow := nodeByName(t, g, pkg, "hotalloc.slowPath")
+	if !slow.Cold {
+		t.Fatal("slowPath not marked cold")
+	}
+	order, _ = g.Reach(guarded, func(n *FuncNode) bool { return n.Cold })
+	for _, n := range order {
+		if n == slow {
+			t.Error("coldpath node reached through pruned traversal")
+		}
+	}
+}
+
+// TestDumpDeterministic pins that -graph output is byte-identical across
+// builds of the same package and carries the annotation markers.
+func TestDumpDeterministic(t *testing.T) {
+	var outs [2]string
+	for i := range outs {
+		pkg, g := loadFixtureGraph(t, "hotalloc")
+		var sb strings.Builder
+		g.Dump(&sb, []*Package{pkg})
+		outs[i] = sb.String()
+	}
+	if outs[0] != outs[1] {
+		t.Error("Dump output differs across identical builds")
+	}
+	if !strings.Contains(outs[0], "[hotpath]") || !strings.Contains(outs[0], "[coldpath]") {
+		t.Errorf("Dump output missing annotation markers:\n%s", outs[0])
+	}
+}

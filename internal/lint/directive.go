@@ -2,12 +2,16 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
+	"sort"
 	"strings"
 )
 
 // directiveCheck is the pseudo-check ID under which malformed suppression
-// directives are reported. A directive can suppress real findings, so a
-// broken one is itself a build-failing diagnostic, never silently inert.
+// directives and //gamma: annotations are reported. A directive can
+// suppress real findings and an annotation can redirect interprocedural
+// traversal, so a broken one is itself a build-failing diagnostic, never
+// silently inert.
 const directiveCheck = "directive"
 
 // directivePrefix introduces a suppression comment:
@@ -17,6 +21,24 @@ const directiveCheck = "directive"
 // The directive suppresses diagnostics of <check-id> on its own line
 // (trailing-comment form) or on the line directly below (standalone form).
 const directivePrefix = "//gammavet:ignore"
+
+// annPrefix introduces a hot-path annotation on a function declaration's
+// doc comment:
+//
+//	//gamma:hotpath [reason...]
+//	//gamma:coldpath <reason...>
+//
+// hotpath marks the function as a zero-allocation root for the hotalloc
+// check; coldpath exempts a deliberately-allocating slow path (and
+// everything only reachable through it) from hot-path traversal, and must
+// say why.
+const annPrefix = "//gamma:"
+
+// Annotation verbs.
+const (
+	annHotpath  = "hotpath"
+	annColdpath = "coldpath"
+)
 
 // directives indexes suppression lines by file and check ID.
 type directives struct {
@@ -39,59 +61,163 @@ func (ds directives) suppresses(d Diagnostic) bool {
 	return lines[d.Line] || lines[d.Line-1]
 }
 
+// annotation is one parsed //gamma: comment. The graph build marks it used
+// when it attaches to a function declaration's doc comment; an annotation
+// that stays unused (inline comment, detached line) is reported — an
+// annotation that silently fails to attach would be a hole in the
+// hot-path proof.
+type annotation struct {
+	verb   string
+	reason string
+	key    annKey
+	used   bool
+}
+
+// annKey sorts annotations deterministically for the unused-annotation
+// sweep.
+type annKey struct {
+	file string
+	line int
+	col  int
+}
+
+// dirInfo is the per-package memo of everything comment-directive related:
+// the suppression index, parsed annotations keyed by comment position, and
+// the diagnostics produced while parsing (plus any appended during graph
+// build, e.g. hotpath/coldpath conflicts).
+type dirInfo struct {
+	dirs  directives
+	anns  map[token.Pos]*annotation
+	diags []Diagnostic
+}
+
+// directiveInfo parses (once) and returns the package's directive state.
+func (pkg *Package) directiveInfo() *dirInfo {
+	if pkg.dinfo == nil {
+		pkg.dinfo = parseDirectives(pkg)
+	}
+	return pkg.dinfo
+}
+
 // parseDirectives scans every comment of the package for gammavet
-// directives. Well-formed ones populate the suppression index; malformed
-// ones (missing check ID, unknown check ID, or missing reason) become
-// diagnostics.
-func parseDirectives(pkg *Package) (directives, []Diagnostic) {
-	ds := directives{lines: map[string]map[string]map[int]bool{}}
-	var diags []Diagnostic
+// suppression directives and //gamma: annotations. Well-formed directives
+// populate the suppression index and well-formed annotations the
+// annotation map; malformed ones (missing check ID, unknown check ID,
+// missing reason, unknown verb) become diagnostics.
+func parseDirectives(pkg *Package) *dirInfo {
+	di := &dirInfo{
+		dirs: directives{lines: map[string]map[string]map[int]bool{}},
+		anns: map[token.Pos]*annotation{},
+	}
 	valid := checkIDs()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, directivePrefix)
-				if !ok {
-					continue
-				}
 				pos := pkg.Fset.Position(c.Pos())
 				file := pkg.Rel(pos.Filename)
 				bad := func(format string, args ...any) {
-					diags = append(diags, Diagnostic{
+					di.diags = append(di.diags, Diagnostic{
 						Check: directiveCheck, Severity: Error,
 						Pos: pos, File: file, Line: pos.Line, Col: pos.Column,
 						Message: fmt.Sprintf(format, args...),
 					})
 				}
-				if text != "" && text[0] != ' ' && text[0] != '\t' {
-					bad("malformed directive %q: want %q", c.Text, directivePrefix+" <check> <reason>")
+				if text, ok := strings.CutPrefix(c.Text, directivePrefix); ok {
+					parseIgnore(di, valid, file, pos.Line, c.Text, text, bad)
 					continue
 				}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					bad("directive missing check ID: want %q", directivePrefix+" <check> <reason>")
-					continue
+				if text, ok := strings.CutPrefix(c.Text, annPrefix); ok {
+					parseAnnotation(di, c.Pos(), annKey{file, pos.Line, pos.Column}, text, bad)
 				}
-				check := fields[0]
-				if !valid[check] {
-					bad("directive names unknown check %q", check)
-					continue
-				}
-				if len(fields) < 2 {
-					bad("directive for %q missing reason: every suppression must say why", check)
-					continue
-				}
-				byCheck := ds.lines[file]
-				if byCheck == nil {
-					byCheck = map[string]map[int]bool{}
-					ds.lines[file] = byCheck
-				}
-				if byCheck[check] == nil {
-					byCheck[check] = map[int]bool{}
-				}
-				byCheck[check][pos.Line] = true
 			}
 		}
 	}
-	return ds, diags
+	return di
+}
+
+// parseIgnore validates one //gammavet:ignore directive.
+func parseIgnore(di *dirInfo, valid map[string]bool, file string, line int, full, text string, bad func(string, ...any)) {
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		bad("malformed directive %q: want %q", full, directivePrefix+" <check> <reason>")
+		return
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		bad("directive missing check ID: want %q", directivePrefix+" <check> <reason>")
+		return
+	}
+	check := fields[0]
+	if !valid[check] {
+		bad("directive names unknown check %q", check)
+		return
+	}
+	if len(fields) < 2 {
+		bad("directive for %q missing reason: every suppression must say why", check)
+		return
+	}
+	byCheck := di.dirs.lines[file]
+	if byCheck == nil {
+		byCheck = map[string]map[int]bool{}
+		di.dirs.lines[file] = byCheck
+	}
+	if byCheck[check] == nil {
+		byCheck[check] = map[int]bool{}
+	}
+	byCheck[check][line] = true
+}
+
+// parseAnnotation validates one //gamma:<verb> annotation.
+func parseAnnotation(di *dirInfo, pos token.Pos, key annKey, text string, bad func(string, ...any)) {
+	if text == "" || text[0] == ' ' || text[0] == '\t' {
+		bad("malformed annotation %q: want //gamma:hotpath or //gamma:coldpath <reason>", annPrefix+text)
+		return
+	}
+	verb, reason, _ := strings.Cut(text, " ")
+	reason = strings.TrimSpace(reason)
+	switch verb {
+	case annHotpath:
+		// reason optional: the annotation is self-describing.
+	case annColdpath:
+		if reason == "" {
+			bad("//gamma:coldpath missing reason: every hot-path exemption must say why it may allocate")
+			return
+		}
+	default:
+		bad("unknown annotation //gamma:%s (want hotpath or coldpath)", verb)
+		return
+	}
+	di.anns[pos] = &annotation{verb: verb, reason: reason, key: key}
+}
+
+// annotationDiags returns the package's directive diagnostics: parse
+// errors plus any annotation the call-graph build did not consume — i.e.
+// a //gamma: comment that is not part of a function declaration's doc
+// comment. Must run after BuildCallGraph over the package.
+func annotationDiags(pkg *Package) []Diagnostic {
+	di := pkg.directiveInfo()
+	diags := append([]Diagnostic(nil), di.diags...)
+	unused := make([]*annotation, 0, len(di.anns))
+	for _, ann := range di.anns {
+		if !ann.used {
+			unused = append(unused, ann)
+		}
+	}
+	sort.Slice(unused, func(i, j int) bool {
+		a, b := unused[i].key, unused[j].key
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, ann := range unused {
+		diags = append(diags, Diagnostic{
+			Check: directiveCheck, Severity: Error,
+			File: ann.key.file, Line: ann.key.line, Col: ann.key.col,
+			Message: fmt.Sprintf("//gamma:%s is not attached to a function declaration's doc comment; it has no effect", ann.verb),
+		})
+	}
+	return diags
 }

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzDirective drives arbitrary comment text through the //gammavet:ignore
+// and //gamma: parsers. Invariants: no panic on any input; a comment
+// carrying either prefix is exactly one of (a) well-formed and recorded or
+// (b) rejected with exactly one diagnostic — never silently accepted,
+// never both.
+func FuzzDirective(f *testing.F) {
+	seeds := []string{
+		"//gammavet:ignore walltime the reason",
+		"//gammavet:ignore",
+		"//gammavet:ignore walltime",
+		"//gammavet:ignore flibbertigibbet no such check",
+		"//gammavet:ignorewalltime mangled",
+		"//gammavet:ignore\twalltime\ttabbed reason",
+		"//gamma:hotpath",
+		"//gamma:hotpath with a reason",
+		"//gamma:coldpath slow by design",
+		"//gamma:coldpath",
+		"//gamma: hotpath",
+		"//gamma:\thotpath",
+		"//gamma:fastpath nope",
+		"//gamma:",
+		"//gamma:hotpath\x00nul",
+		"// an unrelated comment",
+		"//gammavet:ignore maporder \xff\xfe non-utf8 reason",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	valid := checkIDs()
+	f.Fuzz(func(t *testing.T, comment string) {
+		di := &dirInfo{
+			dirs: directives{lines: map[string]map[string]map[int]bool{}},
+			anns: map[token.Pos]*annotation{},
+		}
+		var diags []string
+		bad := func(format string, args ...any) {
+			diags = append(diags, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(comment, directivePrefix):
+			text := comment[len(directivePrefix):]
+			parseIgnore(di, valid, "fuzz.go", 1, comment, text, bad)
+			recorded := len(di.dirs.lines) > 0
+			if recorded == (len(diags) > 0) {
+				t.Fatalf("ignore directive %q: recorded=%v diags=%v — want exactly one", comment, recorded, diags)
+			}
+			if len(diags) > 1 {
+				t.Fatalf("ignore directive %q: %d diagnostics, want at most one", comment, len(diags))
+			}
+			if recorded {
+				// A recorded suppression must name a real check and carry a reason.
+				fields := strings.Fields(text)
+				if len(fields) < 2 || !valid[fields[0]] {
+					t.Fatalf("ignore directive %q recorded without check+reason", comment)
+				}
+			}
+		case strings.HasPrefix(comment, annPrefix):
+			text := comment[len(annPrefix):]
+			parseAnnotation(di, token.Pos(1), annKey{file: "fuzz.go", line: 1, col: 1}, text, bad)
+			recorded := len(di.anns) > 0
+			if recorded == (len(diags) > 0) {
+				t.Fatalf("annotation %q: recorded=%v diags=%v — want exactly one", comment, recorded, diags)
+			}
+			if recorded {
+				ann := di.anns[token.Pos(1)]
+				if ann.verb != annHotpath && ann.verb != annColdpath {
+					t.Fatalf("annotation %q recorded with unknown verb %q", comment, ann.verb)
+				}
+				if ann.verb == annColdpath && ann.reason == "" {
+					t.Fatalf("coldpath annotation %q recorded without a reason", comment)
+				}
+			}
+		default:
+			// Not a directive; nothing may be recorded or reported.
+			if len(diags) != 0 || len(di.anns) != 0 || len(di.dirs.lines) != 0 {
+				t.Fatalf("non-directive comment %q produced state", comment)
+			}
+		}
+	})
+}

@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// allocFact is one allocating construct found in a function body.
+type allocFact struct {
+	pos  token.Pos
+	what string
+}
+
+// checkHotAlloc proves the zero-allocation contract statically: every
+// function annotated //gamma:hotpath, and everything it transitively
+// calls, must be free of allocating constructs. Traversal stops at
+// //gamma:coldpath functions — the reasoned escape hatch for error paths
+// and admin endpoints that may allocate. Diagnostics anchor at the
+// annotated root and carry the full call chain down to the allocation, so
+// a violation three calls deep is as actionable as a local one.
+//
+// Flagged constructs: escaping composite literals (&T{...}, new, make,
+// slice/map literals), append to non-local slices, non-constant string
+// concatenation and string<->[]byte/[]rune conversions, fmt calls,
+// closures that capture and escape, go statements, and interface
+// conversions that box a concrete value. Struct value literals, appends to
+// function-local slices, and immediately-invoked closures stay legal —
+// they compile to stack traffic. External calls other than fmt are
+// trusted (strings.ToUpper on a miss path, for example); the runtime
+// allocs-per-op pins remain the backstop for those. See DESIGN.md §13.
+func checkHotAlloc(pkg *Package, g *CallGraph, r *Reporter) {
+	for _, root := range g.PkgNodes(pkg) {
+		if !root.Hot {
+			continue
+		}
+		order, parents := g.Reach(root, func(n *FuncNode) bool { return n.Cold })
+		for _, m := range order {
+			for _, f := range allocFactsOf(m) {
+				chain := g.ChainTo(parents, root, m)
+				p := m.Pkg.Fset.Position(f.pos)
+				r.ReportChainf(root.declPos(), chain,
+					"hot path %s reaches %s at %s:%d via %s; hot paths must not allocate (move deliberate slow work behind //gamma:coldpath)",
+					root.Name, f.what, m.Pkg.Rel(p.Filename), p.Line, chainString(chain))
+			}
+		}
+	}
+}
+
+// allocFactsOf lazily scans and memoizes a node's allocating constructs.
+// The pseudo initializer node is exempt: package-level vars allocate once
+// at startup, never per request.
+func allocFactsOf(n *FuncNode) []allocFact {
+	if n.Decl == nil || n.Decl.Body == nil {
+		return nil
+	}
+	if !n.allocScanned {
+		n.allocs = allocScan(n.Pkg, n.Decl)
+		n.allocScanned = true
+	}
+	return n.allocs
+}
+
+// allocScan walks one declaration (closures included — they execute as
+// part of the enclosing function) collecting allocating constructs.
+func allocScan(pkg *Package, decl *ast.FuncDecl) []allocFact {
+	info := pkg.Info
+	var facts []allocFact
+	add := func(pos token.Pos, what string) {
+		facts = append(facts, allocFact{pos: pos, what: what})
+	}
+
+	// stack tracks ancestry so constructs can be classified by context
+	// (&lit vs bare lit, closure parent, enclosing function for returns).
+	var stack []ast.Node
+	parent := func() ast.Node {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1]
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					add(x.Pos(), "a heap-escaping composite literal (&"+typeLabel(info, x.X)+"{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			// &lit is reported at the UnaryExpr; a bare slice/map literal
+			// allocates backing storage either way. Struct and array VALUE
+			// literals (payload{}, struct{}{}) are plain stack values.
+			if ue, ok := parent().(*ast.UnaryExpr); !ok || ue.Op != token.AND {
+				switch info.TypeOf(x).Underlying().(type) {
+				case *types.Slice:
+					add(x.Pos(), "a slice literal ("+typeLabel(info, x)+"{...})")
+				case *types.Map:
+					add(x.Pos(), "a map literal ("+typeLabel(info, x)+"{...})")
+				}
+			}
+		case *ast.CallExpr:
+			scanCall(info, decl, x, add)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(info, x) && !isConstExpr(info, x) {
+				add(x.Pos(), "string concatenation")
+			}
+		case *ast.GoStmt:
+			add(x.Pos(), "a go statement (goroutine launch)")
+		case *ast.FuncLit:
+			if lit := classifyFuncLit(info, decl, x, parent()); lit != "" {
+				add(x.Pos(), lit)
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					if boxes(info, info.TypeOf(x.Lhs[i]), rhs) {
+						add(rhs.Pos(), "an interface conversion of "+typeLabel(info, rhs))
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				for _, v := range x.Values {
+					if boxes(info, info.TypeOf(x.Type), v) {
+						add(v.Pos(), "an interface conversion of "+typeLabel(info, v))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := enclosingSignature(info, stack, decl)
+			if sig != nil && sig.Results().Len() == len(x.Results) {
+				for i, res := range x.Results {
+					if boxes(info, sig.Results().At(i).Type(), res) {
+						add(res.Pos(), "an interface conversion of "+typeLabel(info, res)+" at return")
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return facts
+}
+
+// scanCall classifies one call expression: allocating builtins, allocating
+// conversions, fmt, and interface-boxing arguments.
+func scanCall(info *types.Info, decl *ast.FuncDecl, call *ast.CallExpr, add func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "a make call")
+			case "new":
+				add(call.Pos(), "a new call")
+			case "append":
+				if len(call.Args) > 0 && !appendTargetIsLocal(info, decl, call.Args[0]) {
+					add(call.Pos(), "an append to the non-local slice "+types.ExprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if what := convAllocLabel(info, tv.Type, call); what != "" {
+			add(call.Pos(), what)
+		}
+		return
+	}
+	if path, name, ok := pkgFuncCall(info, call); ok && path == "fmt" {
+		add(call.Pos(), "a fmt."+name+" call")
+		return
+	}
+	// Interface-boxing arguments: a concrete non-pointer value passed for
+	// an interface parameter escapes to the heap.
+	sigType := info.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			add(arg.Pos(), "an interface conversion of "+typeLabel(info, arg)+" at a call argument")
+		}
+	}
+}
+
+// appendTargetIsLocal reports whether the append target is (a slice of) a
+// plain identifier declared within decl (parameters and receivers count):
+// appending to a local — including the append(buf[:0], ...) stack-buffer
+// idiom — is pre-sized stack traffic; appending to a field, global, or
+// element grows shared storage.
+func appendTargetIsLocal(info *types.Info, decl *ast.FuncDecl, target ast.Expr) bool {
+	expr := ast.Unparen(target)
+	for {
+		sl, ok := expr.(*ast.SliceExpr)
+		if !ok {
+			break
+		}
+		expr = ast.Unparen(sl.X)
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && declaredWithin(obj, decl)
+}
+
+// convAllocLabel labels a type conversion that allocates: string <->
+// []byte/[]rune and integer-to-string. Constant-folded conversions are
+// free.
+func convAllocLabel(info *types.Info, target types.Type, call *ast.CallExpr) string {
+	if len(call.Args) != 1 || isConstExpr(info, call) {
+		return ""
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return ""
+	}
+	if tb, ok := target.Underlying().(*types.Basic); ok && tb.Info()&types.IsString != 0 {
+		switch su := src.Underlying().(type) {
+		case *types.Slice:
+			return "a string(" + types.ExprString(call.Args[0]) + ") conversion"
+		case *types.Basic:
+			if su.Info()&types.IsInteger != 0 {
+				return "an integer-to-string conversion"
+			}
+		}
+	}
+	if _, ok := target.Underlying().(*types.Slice); ok {
+		if sb, ok := src.Underlying().(*types.Basic); ok && sb.Info()&types.IsString != 0 {
+			return "a " + types.TypeString(target, types.RelativeTo(nil)) + "(string) conversion"
+		}
+	}
+	return ""
+}
+
+// classifyFuncLit decides whether a function literal allocates: only
+// closures that capture enclosing variables AND escape do. Immediately
+// invoked literals (incl. defer/go call position) and literals assigned to
+// function-local variables are exempt; non-capturing literals are static
+// function values.
+func classifyFuncLit(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit, parent ast.Node) string {
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == lit {
+			return "" // immediately invoked: func(){...}(), defer func(){...}()
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs != lit || i >= len(p.Lhs) {
+				continue
+			}
+			if id, ok := p.Lhs[i].(*ast.Ident); ok {
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && declaredWithin(obj, decl) {
+					return "" // bound to a local: the consider := func(...) idiom
+				}
+			}
+		}
+	}
+	if !capturesOuter(info, decl, lit) {
+		return ""
+	}
+	return "a capturing closure that escapes"
+}
+
+// capturesOuter reports whether lit references variables declared in decl
+// but outside lit itself.
+func capturesOuter(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if declaredWithin(v, decl) && !declaredWithin(v, lit) {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// boxes reports whether assigning src to a destination of type dst
+// performs an allocating interface conversion: dst is a plain interface,
+// src is a concrete, non-nil, non-pointer-shaped, non-zero-size value.
+func boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return false
+	}
+	if !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	st := tv.Type
+	if _, ok := st.(*types.TypeParam); ok {
+		return false
+	}
+	if types.IsInterface(st) {
+		return false
+	}
+	switch st.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false // pointer-shaped: stored directly in the interface word
+	}
+	if wordSizes.Sizeof(st) == 0 {
+		return false // zero-size values box to a shared sentinel
+	}
+	return true
+}
+
+// wordSizes sizes types for the zero-size boxing exemption; 64-bit words
+// match every platform the suite targets.
+var wordSizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+// enclosingSignature finds the signature of the innermost function
+// enclosing the current node (a literal on the stack, else decl itself).
+func enclosingSignature(info *types.Info, stack []ast.Node, decl *ast.FuncDecl) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			sig, _ := info.TypeOf(lit).(*types.Signature)
+			return sig
+		}
+	}
+	if obj, ok := info.Defs[decl.Name].(*types.Func); ok {
+		sig, _ := obj.Type().(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// isStringExpr reports whether expr has (underlying) string type.
+func isStringExpr(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression constant-folds (no runtime
+// work at all).
+func isConstExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// typeLabel renders an expression's type compactly for messages.
+func typeLabel(info *types.Info, expr ast.Expr) string {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return types.ExprString(expr)
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

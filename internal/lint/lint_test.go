@@ -9,7 +9,7 @@ import (
 )
 
 // moduleRoot walks up from the test's working directory to go.mod.
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {
@@ -121,6 +121,10 @@ func TestFixtures(t *testing.T) {
 		{"sharedmapguarded", []string{"sharedmap"}}, // guarded: zero wants
 		{"httphandler", []string{"sharedmap", "walltime"}},
 		{"directive", []string{"walltime"}},
+		{"hotalloc", []string{"hotalloc"}},
+		{"atomicdiscipline", []string{"atomicdiscipline"}},
+		{"taint/internal/serve", []string{"walltime", "ambientrand"}},
+		{"annotation", []string{"hotalloc"}}, // annotation errors surface via the directive pseudo-check
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -157,10 +161,12 @@ func TestFixtures(t *testing.T) {
 }
 
 // TestSelfRun enforces the analyzer's acceptance bar on the real tree:
-// all four checks over every package in the module, zero findings with
+// all seven checks over every package in the module, zero findings with
 // an empty baseline. It also covers the allowlists in the negative —
 // internal/sched/clock.go touches time.Now/time.After and internal/rng
-// builds raw PCG sources, and neither may be flagged.
+// builds raw PCG sources, and neither may be flagged — and the hot-path
+// annotations seeded on the serving and filter-matching paths, which must
+// hold allocation-free under the interprocedural hotalloc sweep.
 func TestSelfRun(t *testing.T) {
 	root := moduleRoot(t)
 	diags, err := Run(root, []string{"./..."}, Checks())

@@ -28,6 +28,11 @@ type Package struct {
 	TypeErrors []error
 	// Rel maps an absolute filename to its module-relative slash path.
 	Rel func(string) string
+
+	// dinfo memoizes the parsed directives and annotations; packages are
+	// shared between the suppression pass and the call-graph build, so the
+	// comment scan runs once.
+	dinfo *dirInfo
 }
 
 // Loader discovers, parses and type-checks the packages of one module
@@ -245,6 +250,23 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 	pkg.Types = tpkg
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// Loaded returns every package loaded so far — matched packages plus the
+// module-internal dependencies type-checking pulled in — sorted by import
+// path. The call graph is built over this set so traversals cross package
+// boundaries.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, l.pkgs[path])
+	}
+	return out
 }
 
 // relFunc returns the absolute-path → module-relative mapping for

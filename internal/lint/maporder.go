@@ -16,7 +16,7 @@ import (
 // This is the bug class behind all three nondeterminism fixes to date
 // (websim.AddSite, worldgen ccTLD registration, pipeline TrackerDomains),
 // each of which survived review and was caught only by manual audit.
-func checkMapOrder(pkg *Package, r *Reporter) {
+func checkMapOrder(pkg *Package, _ *CallGraph, r *Reporter) {
 	for _, f := range pkg.Files {
 		for _, fb := range functionBodies(f) {
 			checkMapOrderFunc(pkg, r, fb)

@@ -15,7 +15,7 @@ import (
 // the owning struct, a package-level lock var, or an explicit Lock/RLock
 // call in the closure). This is the exact shape of the geoloc destCache
 // race PR 2 fixed with a sharded, per-shard-mutex cache.
-func checkSharedMap(pkg *Package, r *Reporter) {
+func checkSharedMap(pkg *Package, _ *CallGraph, r *Reporter) {
 	for _, f := range pkg.Files {
 		for _, lit := range concurrentLiterals(pkg.Info, f) {
 			checkConcurrentLiteral(pkg, r, lit)

@@ -1,0 +1,35 @@
+package annotation
+
+// malformedShapes hosts every parse-time rejection; a broken annotation is
+// itself a diagnostic, never a silent no-op.
+func malformedShapes() {
+	//gamma: hotpath
+	// want-1 `malformed annotation "//gamma: hotpath": want //gamma:hotpath or //gamma:coldpath <reason>`
+	//gamma:fastpath whoops
+	// want-1 `unknown annotation //gamma:fastpath \(want hotpath or coldpath\)`
+	//gamma:coldpath
+	// want-1 `//gamma:coldpath missing reason: every hot-path exemption must say why it may allocate`
+	_ = 0
+}
+
+//gamma:hotpath this comment hangs in space and attaches to nothing
+// want-1 `//gamma:hotpath is not attached to a function declaration's doc comment; it has no effect`
+
+var sentinel = 0
+
+func inlineHasNoEffect() int {
+	//gamma:hotpath inline annotations cannot mark a hot root
+	// want-1 `//gamma:hotpath is not attached to a function declaration's doc comment; it has no effect`
+	return sentinel
+}
+
+//gamma:hotpath fixture: conflicting pair
+//gamma:coldpath fixture: the conflicting pair must say why
+func conflicted() { // want `conflicted is annotated both //gamma:hotpath and //gamma:coldpath; pick one`
+}
+
+//gamma:hotpath a reason is optional on hotpath
+func hotFine() {}
+
+//gamma:coldpath slow by design; the reason is mandatory here
+func coldFine() {}

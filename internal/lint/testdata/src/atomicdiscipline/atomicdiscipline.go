@@ -1,0 +1,87 @@
+package atomicdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters carries an atomic at depth and must travel by pointer.
+type counters struct {
+	hits atomic.Int64
+	name string
+}
+
+// guarded embeds a mutex and must also travel by pointer.
+type guarded struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+func (c counters) snapshotByValue() int64 { // want `receiver of atomic/lock-bearing type atomicdiscipline\.counters travels by value`
+	return c.hits.Load()
+}
+
+func (c *counters) bump() { c.hits.Add(1) }
+
+func mergeByValue(a counters) int64 { // want `parameter of atomic/lock-bearing type atomicdiscipline\.counters travels by value`
+	return a.hits.Load()
+}
+
+func lockedByValue(g guarded) int { // want `parameter of atomic/lock-bearing type atomicdiscipline\.guarded travels by value`
+	return len(g.rows)
+}
+
+func produce() counters { // want `result of atomic/lock-bearing type atomicdiscipline\.counters travels by value`
+	var c counters
+	return c
+}
+
+func copies(c *counters, list []counters) {
+	dup := *c // want `assignment copies the atomic/lock-bearing value \*c`
+	_ = dup.name
+	for _, v := range list { // want `range copies atomic/lock-bearing atomicdiscipline\.counters values`
+		_ = v.name
+	}
+	mergeByValue(list[0]) // want `call passes the atomic/lock-bearing value list\[0\]`
+}
+
+func record(p *atomic.Int64) { p.Add(1) }
+
+func leakByReturn(c *counters) *atomic.Int64 {
+	return &c.hits // want `address of atomic value c\.hits escapes`
+}
+
+func leakByArg(c *counters) {
+	record(&c.hits) // want `address of atomic value c\.hits escapes`
+}
+
+type holder struct{ p *atomic.Int64 }
+
+func stash(c *counters) holder {
+	return holder{p: &c.hits} // want `address of atomic value c\.hits escapes`
+}
+
+// localAliasFine pins the em := &m.endpoints[ep] idiom: a plain assignment
+// keeps the alias local and is the sanctioned access pattern.
+func localAliasFine(c *counters) {
+	h := &c.hits
+	h.Add(1)
+}
+
+// constructionFine pins that composite literals and call results are fresh
+// values, not copies of live state.
+func constructionFine() {
+	c := counters{name: "fresh"}
+	c.hits.Add(1)
+}
+
+// lenCapFine pins the len/cap exemption: measuring is not copying.
+func lenCapFine() int {
+	var arr [4]counters
+	return len(arr) + cap(arr[:])
+}
+
+func suppressed(c *counters) {
+	dup := *c //gammavet:ignore atomicdiscipline fixture exercises trailing-directive suppression
+	_ = dup.name
+}

@@ -1,0 +1,30 @@
+// Package callgraph is a pure structural fixture for the call-graph unit
+// tests: no check is expected to fire here. It exercises direct calls,
+// interface devirtualization over value and pointer method sets, one-hop
+// function values, and the package-initializer pseudo-node.
+package callgraph
+
+type ringer interface{ ring() string }
+
+type bell struct{}
+
+func (b bell) ring() string { return "ding" }
+
+type horn struct{}
+
+func (h *horn) ring() string { return "honk" }
+
+func helper() string { return "h" }
+
+func direct() string { return helper() }
+
+func viaInterface(r ringer) string { return r.ring() }
+
+func viaValue() string {
+	f := helper
+	return f()
+}
+
+var initialized = helper()
+
+func use() string { return direct() + viaInterface(bell{}) + viaValue() + initialized }

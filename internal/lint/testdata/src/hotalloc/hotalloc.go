@@ -1,0 +1,87 @@
+package hotalloc
+
+import "fmt"
+
+type entry struct {
+	key string
+	val int
+}
+
+type sink struct{ rows []entry }
+
+var shared []entry
+
+// grow allocates deliberately; it sits two hops below the hot root so the
+// diagnostic must carry the full chain.
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+
+func lookup(n int) int {
+	return len(grow(n))
+}
+
+//gamma:hotpath fixture: transitive reach through lookup into grow
+func Probe(n int) int { // want `hot path hotalloc\.Probe reaches a make call at .*hotalloc\.go:17 via hotalloc\.Probe -> hotalloc\.lookup -> hotalloc\.grow`
+	return lookup(n)
+}
+
+//gamma:hotpath fixture: allocations in the root itself
+func Render(e entry) string { // want `hot path hotalloc\.Render reaches a heap-escaping composite literal \(&hotalloc\.sink\{\.\.\.\}\)` `hot path hotalloc\.Render reaches a fmt\.Sprintf call`
+	p := &sink{}
+	p.rows = nil
+	return fmt.Sprintf("%s=%d", e.key, e.val)
+}
+
+//gamma:hotpath fixture: concat, boxing, and shared append in one body
+func Mutate(k string, v int) { // want `string concatenation` `an interface conversion of int` `an append to the non-local slice shared`
+	id := k + "!"
+	var x interface{} = v
+	_ = x
+	shared = append(shared, entry{key: id, val: v})
+}
+
+type matcher interface{ match(string) bool }
+
+type fancy struct{}
+
+func (fancy) match(s string) bool {
+	return len(fmt.Sprint(s)) > 0
+}
+
+//gamma:hotpath fixture: a devirtualized interface call reaches the impl
+func Dispatch(m matcher, s string) bool { // want `hot path hotalloc\.Dispatch reaches a fmt\.Sprint call .* via hotalloc\.Dispatch -> hotalloc\.fancy\.match`
+	return m.match(s)
+}
+
+//gamma:hotpath fixture: stack buffers, value literals, and called closures stay legal
+func Canonical(host string) int {
+	var buf [64]byte
+	b := append(buf[:0], "https://"...)
+	b = append(b, host...)
+	e := entry{key: host, val: len(b)}
+	f := func() int { return e.val }
+	return f() + func() int { return len(b) }()
+}
+
+// slowPath allocates deliberately; the coldpath annotation keeps it out of
+// hot-reach traversal.
+//
+//gamma:coldpath fixture: deliberate slow work behind the boundary
+func slowPath(msg string) error {
+	return fmt.Errorf("slow: %s", msg)
+}
+
+//gamma:hotpath fixture: the coldpath boundary prunes traversal
+func Guarded(ok bool) error {
+	if ok {
+		return nil
+	}
+	return slowPath("fallback")
+}
+
+//gamma:hotpath fixture: suppressed finding
+//gammavet:ignore hotalloc fixture exercises chain-diagnostic suppression at the root
+func Suppressed() []byte {
+	return make([]byte, 8)
+}

@@ -1,0 +1,53 @@
+// Package serve sits under a testdata path whose import path ends in
+// internal/serve, so the taint checks treat its exported functions and
+// methods as entry points exactly as they treat the real serving package.
+package serve
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// stamp is the unexported leaf the exported entries reach.
+func stamp() time.Time {
+	return time.Now() // want `direct time\.Now call`
+}
+
+func viaHelper() time.Time { return stamp() }
+
+// Handle is an exported entry point two hops above the clock.
+func Handle() time.Time { // want `exported serve\.Handle transitively reaches time\.Now \(.*serve\.go:\d+\) via serve\.Handle -> serve\.viaHelper -> serve\.stamp`
+	return viaHelper()
+}
+
+// Server's exported method is an entry point too.
+type Server struct{}
+
+func (s *Server) Serve() time.Time { // want `exported serve\.\(\*Server\)\.Serve transitively reaches time\.Now \(.*serve\.go:\d+\) via serve\.\(\*Server\)\.Serve -> serve\.viaHelper -> serve\.stamp`
+	return viaHelper()
+}
+
+// Direct's own leaf is reported at the call line only; the taint pass does
+// not duplicate a root's own facts as a one-frame chain.
+func Direct() time.Time {
+	return time.Now() // want `direct time\.Now call`
+}
+
+// internalOnly is unexported: no entry point, no chain — the leaf inside
+// stamp is already reported once above.
+func internalOnly() time.Time { return viaHelper() }
+
+// worker is unexported, so its exported method is not an entry point.
+type worker struct{}
+
+func (w worker) Poke() time.Time { return viaHelper() }
+
+// roll is the ambient-randomness leaf.
+func roll() int {
+	return rand.IntN(6) // want `ambient rand\.IntN draws from the process-global source`
+}
+
+// Dice is an exported entry point above the ambient draw.
+func Dice() int { // want `exported serve\.Dice transitively draws ambient randomness via rand\.IntN \(.*serve\.go:\d+\) through serve\.Dice -> serve\.roll`
+	return roll()
+}

@@ -1,7 +1,7 @@
 package lint
 
 import (
-	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -22,26 +22,81 @@ var wallTimeAllowedFiles = map[string]bool{
 	"internal/sched/clock.go": true,
 }
 
-// checkWallTime flags direct wall-clock reads and sleeps. All timing in
-// the suite must flow through sched.Clock so campaigns are replayable
-// under a fake clock and identical seeds yield byte-identical outputs.
-func checkWallTime(pkg *Package, r *Reporter) {
-	for _, f := range pkg.Files {
-		pos := pkg.Fset.Position(f.Pos())
-		rel := pkg.Rel(pos.Filename)
-		if wallTimeAllowedFiles[rel] || strings.HasSuffix(rel, "_test.go") {
+// taintEntryPkgs are the packages (matched by import-path suffix) whose
+// exported functions and methods are serving entry points: anything they
+// transitively reach is on a request or pipeline path, so a wall-clock or
+// ambient-rand leaf anywhere below them is reported at the entry point
+// with the full call chain.
+var taintEntryPkgs = []string{"internal/serve", "internal/pipeline", "internal/filterlist"}
+
+// isTaintEntryPkg reports whether importPath hosts taint entry points.
+func isTaintEntryPkg(importPath string) bool {
+	for _, suffix := range taintEntryPkgs {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isEntryPoint reports whether n is an exported function, or an exported
+// method on an exported named type — the API surface other packages (and
+// net/http) call into.
+func isEntryPoint(n *FuncNode) bool {
+	if n.Obj == nil || !n.Obj.Exported() {
+		return false
+	}
+	sig, ok := n.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+// checkWallTime flags wall-clock reads and sleeps: directly at the use
+// site (call or value reference), and — for exported entry points of the
+// serving packages — transitively, with the call chain from the entry
+// point to the leaf. All timing in the suite must flow through sched.Clock
+// so campaigns are replayable under a fake clock and identical seeds yield
+// byte-identical outputs.
+func checkWallTime(pkg *Package, g *CallGraph, r *Reporter) {
+	for _, n := range g.PkgNodes(pkg) {
+		for _, f := range n.timeFacts {
+			if f.valueRef {
+				r.Reportf(f.pos, "time.%s captured as a value; route timing through the injectable sched.Clock (sched.Wall() at the edge)", f.name)
+			} else {
+				r.Reportf(f.pos, "direct time.%s call; route timing through the injectable sched.Clock (sched.Wall() at the edge)", f.name)
+			}
+		}
+	}
+	if !isTaintEntryPkg(pkg.ImportPath) {
+		return
+	}
+	for _, root := range g.PkgNodes(pkg) {
+		if !isEntryPoint(root) {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		order, parents := g.Reach(root, nil)
+		for _, m := range order {
+			if m == root {
+				continue // the root's own leaves are already reported above
 			}
-			path, name, ok := pkgFuncCall(pkg.Info, call)
-			if ok && path == "time" && wallTimeFuncs[name] {
-				r.Reportf(call.Pos(), "direct time.%s call; route timing through the injectable sched.Clock (sched.Wall() at the edge)", name)
+			for _, f := range m.timeFacts {
+				chain := g.ChainTo(parents, root, m)
+				p := m.Pkg.Fset.Position(f.pos)
+				r.ReportChainf(root.declPos(), chain,
+					"exported %s transitively reaches time.%s (%s:%d) via %s; route timing through the injectable sched.Clock",
+					root.Name, f.name, m.Pkg.Rel(p.Filename), p.Line, chainString(chain))
 			}
-			return true
-		})
+		}
 	}
 }

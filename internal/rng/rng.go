@@ -5,18 +5,33 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math/rand/v2"
 )
 
-// Hash returns a stable 64-bit hash of the key path.
+// FNV-1a parameters, matching hash/fnv's 64-bit variant.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns a stable 64-bit hash of the key path. The FNV-1a loop is
+// inlined (rather than going through hash/fnv's hash.Hash64 interface) so
+// hashing is allocation-free: the filterlist cache shards every probe
+// through here, and the interface form cost three heap allocations per
+// call. Values are bit-identical to hash/fnv with a 0 separator byte after
+// each key, so existing seeds and golden outputs are unchanged.
 func Hash(keys ...string) uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, k := range keys {
-		h.Write([]byte(k))
-		h.Write([]byte{0})
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= fnvPrime64
+		}
+		// Separator byte 0: XOR with zero is the identity, so only the
+		// multiply remains.
+		h *= fnvPrime64
 	}
-	return h.Sum64()
+	return h
 }
 
 // New returns a PCG stream for the given seed and key path. Streams with

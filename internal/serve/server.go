@@ -116,6 +116,8 @@ type errorBody struct {
 
 // ServeHTTP implements http.Handler with panic recovery and per-endpoint
 // accounting around the routed handler.
+//
+//gamma:hotpath every request enters here; 200s are zero-allocation
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := s.clock.Now()
 	ep, arg := route(r.URL.Path)
@@ -140,19 +142,12 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, ep endpoint, arg 
 		return s.writeError(w, http.StatusMethodNotAllowed, "method not allowed", "")
 	}
 	// Admission control. The uncontended path is a non-blocking channel
-	// send; only under saturation do we wait — on the injected clock, so
-	// load-shedding is testable on a fake clock — and shed with 503 when
-	// no slot frees up within the acquire timeout.
+	// send; only under saturation do we fall into the blocking wait.
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		select {
-		case s.sem <- struct{}{}:
-		case <-s.clock.After(s.acquireTimeout):
-			s.m.overloads.Add(1)
-			return s.writeError(w, http.StatusServiceUnavailable, "overloaded: no capacity within the admission timeout", "")
-		case <-r.Context().Done():
-			return s.writeError(w, http.StatusServiceUnavailable, "client went away while awaiting admission", "")
+		if status := s.admitWait(w, r); status != 0 {
+			return status
 		}
 	}
 	defer s.release()
@@ -173,6 +168,26 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, ep endpoint, arg 
 	}
 }
 
+// admitWait blocks for an admission slot under saturation and returns 0
+// once one is acquired, or the 503 status it wrote when the acquire
+// timeout fires or the client goes away first. Waiting happens on the
+// injected clock so load-shedding is testable on a fake clock; blocking —
+// and the timer channel it arms — is definitionally the slow path, which
+// is why this lives outside the zero-allocation admission fast path.
+//
+//gamma:coldpath contended admission arms a timer and may write a 503; the uncontended send in serve stays hot
+func (s *Server) admitWait(w http.ResponseWriter, r *http.Request) int {
+	select {
+	case s.sem <- struct{}{}:
+		return 0
+	case <-s.clock.After(s.acquireTimeout):
+		s.m.overloads.Add(1)
+		return s.writeError(w, http.StatusServiceUnavailable, "overloaded: no capacity within the admission timeout", "")
+	case <-r.Context().Done():
+		return s.writeError(w, http.StatusServiceUnavailable, "client went away while awaiting admission", "")
+	}
+}
+
 func (s *Server) release() { <-s.sem }
 
 // writeConditional serves a precomputed payload, honoring conditional
@@ -180,6 +195,8 @@ func (s *Server) release() { <-s.sem }
 // precomputed entity tag, the body is elided and a 304 goes out instead.
 // Both branches write only preallocated header slices — revalidation is
 // on the same zero-allocation contract as a full response.
+//
+//gamma:hotpath 200/304 emission must write preallocated state only
 func (s *Server) writeConditional(w http.ResponseWriter, r *http.Request, pl payload, idHeader []string) int {
 	if inm := r.Header["If-None-Match"]; len(inm) > 0 && etagMatches(inm, pl.etag[0]) {
 		h := w.Header()
@@ -246,6 +263,8 @@ func (s *Server) writePayload(w http.ResponseWriter, r *http.Request, pl payload
 
 // writeError emits the structured error body. Error paths may allocate;
 // only 200s are on the zero-allocation contract.
+//
+//gamma:coldpath error responses marshal JSON; only 200s are zero-alloc
 func (s *Server) writeError(w http.ResponseWriter, status int, msg, path string) int {
 	body, err := json.Marshal(errorBody{Status: status, Error: msg, Path: path})
 	if err != nil {
@@ -263,6 +282,8 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg, path string)
 // handleMetrics serves /debug/metrics: snapshot identity plus the
 // per-endpoint counters, latency histograms, and (when sharded) the
 // per-shard counter rows.
+//
+//gamma:coldpath observability endpoint materializes counters and marshals JSON
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	now := s.clock.Now()
 	body, err := json.Marshal(MetricsPayload{
@@ -300,6 +321,8 @@ type reloadResponse struct {
 // validation-gated: a reloader error or an invalid replacement leaves the
 // current snapshot serving (reported as 422), so a bad dataset can never
 // take the service down.
+//
+//gamma:coldpath admin reload rebuilds and revalidates a whole snapshot
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
 		w.Header()["Allow"] = allowPost

@@ -62,6 +62,7 @@ func (st *Store) Swaps() uint64 { return st.swaps.Load() }
 
 // --- backend plumbing ---
 
+//gamma:hotpath per-request lookup: one pointer load and a map probe
 func (st *Store) get(ep endpoint, arg string) (payload, []string, bool) {
 	snap := st.Load()
 	pl, ok := snap.payloadFor(ep, arg)
@@ -271,6 +272,8 @@ func (ss *ShardSet) Endpoints() []string {
 // lookups hash the argument to its owning shard and probe there, using
 // the same dual-case strategy as the monolithic snapshot so canonical
 // arguments resolve without allocating.
+//
+//gamma:hotpath per-request scatter-gather lookup: hash, pointer load, probe
 func (ss *ShardSet) get(ep endpoint, arg string) (payload, []string, bool) {
 	m := ss.merged.Load()
 	switch ep {

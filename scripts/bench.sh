@@ -18,3 +18,8 @@ go test -run '^$' -bench 'BenchmarkProcessParallel' \
 	-benchtime=1x -count=1 ./internal/pipeline/
 go test -run '^$' -bench 'BenchmarkServeQueries|BenchmarkSnapshotBuild|BenchmarkSwapUnderLoad' \
 	-benchtime=1x -count=1 ./internal/serve/
+# The analyzer's own latency budget: one full self-run (load, type-check,
+# call-graph build, all seven checks over the module) must stay well
+# inside 10s.
+go test -run '^$' -bench 'BenchmarkSelfRun' \
+	-benchtime=1x -count=1 ./internal/lint/
