@@ -269,6 +269,23 @@ func BenchmarkRunStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkRunStudyEndToEnd is the fixed-seed profiling benchmark: one
+// full study — world build, 23 volunteer campaigns at default workers,
+// Box-2 analysis — per iteration, always on the same seed so successive
+// runs (and the before/after numbers in BENCH_9.json) are comparable.
+func BenchmarkRunStudyEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		study, err := gamma.RunStudy(context.Background(), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if study.Result == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
 // BenchmarkWorldBuild times synthetic-world generation alone.
 func BenchmarkWorldBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {

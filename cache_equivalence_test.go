@@ -1,0 +1,115 @@
+package gamma_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	gamma "github.com/gamma-suite/gamma"
+	"github.com/gamma-suite/gamma/internal/export"
+)
+
+// TestStudyCacheEquivalence runs the full study twice — once with every
+// measurement-plane memo active (the default) and once with
+// StudyOptions.DisableCaches forcing direct derivation everywhere — and
+// requires the exported JSON and every CSV artifact to be byte-identical.
+// This is the proof that the path-parameter cache, the page/parse memos,
+// and the DNS resolution memo are pure memoization, invisible in the
+// outputs. The cached run must also show real traffic on each memo, so a
+// wiring regression (a cache silently bypassed) fails here too.
+func TestStudyCacheEquivalence(t *testing.T) {
+	const seed = 20250808
+	type snapshot struct {
+		study *gamma.Study
+		blob  []byte
+		files map[string][]byte
+	}
+	run := func(disable bool) snapshot {
+		t.Helper()
+		study, err := gamma.RunStudyWithOptions(context.Background(), seed, gamma.StudyOptions{
+			DisableCaches: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(struct {
+			Datasets map[string]*gamma.Dataset
+			Result   *gamma.Result
+		}{study.Datasets, study.Result})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		names, err := export.Artifacts(study.Result, study.World.Registry, gamma.PolicyRegistry(study.World), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := map[string][]byte{}
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[name] = data
+		}
+		return snapshot{study: study, blob: blob, files: files}
+	}
+
+	cached := run(false)
+	reference := run(true)
+
+	if !bytes.Equal(cached.blob, reference.blob) {
+		t.Errorf("study JSON differs between cached and reference runs (%d vs %d bytes)",
+			len(cached.blob), len(reference.blob))
+	}
+	if len(cached.files) == 0 {
+		t.Fatal("export produced no artifacts")
+	}
+	names := make([]string, 0, len(cached.files))
+	for name := range cached.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		other, ok := reference.files[name]
+		if !ok {
+			t.Errorf("artifact %s missing from reference run", name)
+			continue
+		}
+		if !bytes.Equal(cached.files[name], other) {
+			t.Errorf("artifact %s differs between cached and reference runs", name)
+		}
+	}
+	if len(reference.files) != len(cached.files) {
+		t.Errorf("artifact count differs: %d vs %d", len(cached.files), len(reference.files))
+	}
+
+	// Every memo must have seen real traffic in the cached run...
+	w := cached.study.World
+	if st := w.Net.PathCacheStats(); st.Hits == 0 || st.Derivations == 0 {
+		t.Errorf("path cache unused: %+v", st)
+	}
+	if st := w.Web.PageCacheStats(); st.Derivations == 0 {
+		t.Errorf("page cache unused: %+v", st)
+	}
+	if w.Pages == nil {
+		t.Error("cached world has no parse cache")
+	} else if st := w.Pages.Stats(); st.Hits == 0 || st.Derivations == 0 {
+		t.Errorf("parse cache unused: %+v", st)
+	}
+	if st := w.DNS.ResolveMemoStats(); st.Hits == 0 || st.Derivations == 0 {
+		t.Errorf("resolve memo unused: %+v", st)
+	}
+	// ...and none in the reference run.
+	r := reference.study.World
+	if st := r.Net.PathCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Derivations != 0 {
+		t.Errorf("reference run touched the path cache: %+v", st)
+	}
+	if r.Pages != nil {
+		t.Error("reference world carries a parse cache")
+	}
+}

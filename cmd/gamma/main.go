@@ -42,6 +42,10 @@ func main() {
 		showConsent = flag.Bool("show-consent", false, "print the consent document and exit")
 		consentPath = flag.String("consent", "", "path to the consent acceptance record (create with -accept)")
 		accept      = flag.Bool("accept", false, "record acceptance of the consent document at -consent and exit")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace of the run to this file")
 	)
 	flag.Parse()
 	if *showConsent {
@@ -77,10 +81,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*country, *seed, *out, *resume, *anon, *harDir, *chunk, *analyze, *aworkers); err != nil {
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gamma:", err)
 		os.Exit(1)
 	}
+	if err := run(*country, *seed, *out, *resume, *anon, *harDir, *chunk, *analyze, *aworkers); err != nil {
+		stopProfiling()
+		fmt.Fprintln(os.Stderr, "gamma:", err)
+		os.Exit(1)
+	}
+	stopProfiling()
 }
 
 func run(country string, seed uint64, out string, resume, anon bool, harDir string, chunk int, analyze bool, analysisWorkers int) error {

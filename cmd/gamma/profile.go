@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// startProfiling arms the requested profilers around the measurement run.
+// Any path may be empty; the returned stop function is idempotent and
+// writes/flushes whatever was armed. These flags exist so a slow volunteer
+// run in the field can be diagnosed with the standard Go toolchain:
+//
+//	gamma -country PK -out pk.json -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof cpu.prof
+func startProfiling(cpuPath, memPath, tracePath string) (stop func(), err error) {
+	var stops []func()
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		stops = nil
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cpuPath)
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stopAll()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "execution trace written to %s\n", tracePath)
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gamma: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gamma: memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", memPath)
+		})
+	}
+	return stopAll, nil
+}

@@ -142,19 +142,29 @@ func (s simResolver) Reverse(_ context.Context, addr netip.Addr) (string, bool) 
 
 // simProber launches simulated traceroutes and round-trips them through
 // the OS-specific output format the volunteer's machine would produce,
-// exercising the tracert portability layer on the hot path.
+// exercising the tracert portability layer on the hot path. It owns a
+// reusable trace buffer; the mutex keeps the prober safe for concurrent
+// probes even though each volunteer runs single-threaded by default.
 type simProber struct {
 	net       *netsim.Network
 	vantageID string
 	format    tracert.Format
+
+	mu  sync.Mutex
+	buf netsim.TraceBuf
 }
 
-func (s simProber) Traceroute(_ context.Context, dst netip.Addr) (tracert.Normalized, error) {
-	res, err := s.net.Traceroute(s.vantageID, dst)
+func (s *simProber) Traceroute(_ context.Context, dst netip.Addr) (tracert.Normalized, error) {
+	// The trace result aliases the reusable buffer, so the lock is held
+	// until Render has serialized it.
+	s.mu.Lock()
+	res, err := s.net.TracerouteInto(s.vantageID, dst, &s.buf)
 	if err != nil {
+		s.mu.Unlock()
 		return tracert.Normalized{}, err
 	}
 	text, err := tracert.Render(res, s.format)
+	s.mu.Unlock()
 	if err != nil {
 		return tracert.Normalized{}, err
 	}
@@ -195,6 +205,7 @@ func VolunteerEnvFor(w *World, vol *worldgen.Volunteer) (core.Env, core.Config, 
 	bcfg := browser.DefaultConfig(w.Seed, vol.VantageID)
 	bcfg.Country = cc
 	bcfg.LoadFailureProb = vol.LoadFailureProb
+	bcfg.Pages = w.Pages
 	env := core.Env{
 		Browser: simBrowser{b: browser.New(w.Web, bcfg)},
 		Resolver: simResolver{dns: w.DNS, client: dnssim.Client{
@@ -203,7 +214,7 @@ func VolunteerEnvFor(w *World, vol *worldgen.Volunteer) (core.Env, core.Config, 
 		Clock: core.StudyClock(),
 	}
 	if !vol.TracerouteOptOut {
-		env.Prober = simProber{
+		env.Prober = &simProber{
 			net:       w.Net,
 			vantageID: vol.VantageID,
 			format:    volunteerOS(w.Seed, cc),
@@ -374,6 +385,10 @@ type StudyOptions struct {
 	// is built (after FaultRate decoration). Tests use it to make
 	// specific volunteers fail permanently.
 	EnvHook func(cc string, env core.Env) core.Env
+	// DisableCaches builds the world with every measurement-plane memo
+	// off (worldgen.Options.DisableCaches): the reference mode the
+	// cached-vs-uncached equivalence test compares against byte for byte.
+	DisableCaches bool
 }
 
 // RunStudyWithOptions runs the full study as a fault-tolerant campaign:
@@ -392,7 +407,7 @@ type StudyOptions struct {
 // measurement, fault, backoff) is keyed by stable strings, and the
 // simulated drivers are stateless per call.
 func RunStudyWithOptions(ctx context.Context, seed uint64, opts StudyOptions) (*Study, error) {
-	w, err := NewWorld(seed)
+	w, err := worldgen.BuildWithOptions(seed, worldgen.Options{DisableCaches: opts.DisableCaches})
 	if err != nil {
 		return nil, err
 	}

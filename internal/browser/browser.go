@@ -65,6 +65,10 @@ type Config struct {
 	// Country is the client's country (ISO code); sites may serve
 	// country-adapted content (regional tracker variants).
 	Country string
+	// Pages, when set, is a study-wide memo of parsed homepage documents
+	// shared across sessions; page markup is pure per (site, country
+	// variant), so sharing it is invisible in the outputs.
+	Pages *ParseCache
 	// WebdriverNoise lists background requests the automation stack itself
 	// issues during every page load.
 	WebdriverNoise []string
@@ -169,7 +173,7 @@ func (b *Browser) Load(siteDomain string) PageLoad {
 	}
 
 	// Parse the homepage markup exactly as delivered to this country.
-	refs := ParseHTML(site.HTMLFor(b.cfg.Country))
+	refs := b.pageRefs(site)
 	// Ad slots fill dynamically: each session draws RotateK resources from
 	// the site's rotation pool (why single-visit studies undercount).
 	if site.RotateK > 0 && len(site.Rotating) > 0 {
@@ -249,6 +253,20 @@ func (b *Browser) Load(siteDomain string) PageLoad {
 		out.DurationMs = wait
 	}
 	return out
+}
+
+// pageRefs resolves the homepage's parsed resource list: through the
+// study-wide parse memo when one is wired in, else via the web's page
+// memo (markup cached, parse per load).
+func (b *Browser) pageRefs(site websim.Site) []ResourceRef {
+	if b.cfg.Pages != nil {
+		return b.cfg.Pages.refs(b.web, site, b.cfg.Country)
+	}
+	html, ok := b.web.PageHTML(site.Domain, b.cfg.Country)
+	if !ok {
+		html = site.HTMLFor(b.cfg.Country)
+	}
+	return ParseHTML(html)
 }
 
 func sameSite(a, b string) bool {

@@ -1,0 +1,91 @@
+package browser
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/gamma-suite/gamma/internal/websim"
+)
+
+// refKey identifies a parsed homepage: countries the site serves no
+// variant to collapse onto the base document (""), matching the websim
+// page memo's keying.
+type refKey struct{ domain, country string }
+
+// ParseCacheStats counts parse-memo traffic. Hits+Misses is the number of
+// lookups; Derivations is how many documents were actually parsed.
+type ParseCacheStats struct {
+	Hits, Misses, Derivations uint64
+}
+
+// ParseCache memoizes ParseHTML output per distinct homepage document.
+// The reference list a page yields is a pure function of the site's
+// registered state, so a study that loads the same site from many
+// sessions — every volunteer in the same country, every repeat visit —
+// was re-rendering and re-parsing identical markup each time. One cache
+// is shared across all of a study's browsers (each volunteer gets its own
+// Browser; wire the world's cache in through Config.Pages), so it is safe
+// for concurrent use. Cached slices are capacity-clipped before they are
+// stored: callers append session-specific rotating resources to the
+// returned slice, and the clip forces that append to copy.
+type ParseCache struct {
+	mu      sync.RWMutex
+	m       map[refKey][]ResourceRef
+	fillMu  sync.Mutex
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	derived atomic.Uint64
+}
+
+// NewParseCache creates an empty parse memo.
+func NewParseCache() *ParseCache {
+	return &ParseCache{m: make(map[refKey][]ResourceRef)}
+}
+
+// Stats returns a snapshot of the memo counters.
+func (c *ParseCache) Stats() ParseCacheStats {
+	return ParseCacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Derivations: c.derived.Load(),
+	}
+}
+
+// refs returns the parsed resource references of the document web serves
+// for (site, country), deriving each distinct document at most once.
+func (c *ParseCache) refs(web *websim.Web, site websim.Site, country string) []ResourceRef {
+	key := refKey{domain: site.Domain}
+	if _, variant := site.Variants[country]; variant {
+		key.country = country
+	}
+	c.mu.RLock()
+	refs, cached := c.m[key]
+	c.mu.RUnlock()
+	if cached {
+		c.hits.Add(1)
+		return refs
+	}
+	return c.fill(web, site, key)
+}
+
+// fill parses and stores a document on a cache miss, serialized so
+// concurrent sessions landing on the same page parse it once.
+func (c *ParseCache) fill(web *websim.Web, site websim.Site, key refKey) []ResourceRef {
+	c.misses.Add(1)
+	c.fillMu.Lock()
+	defer c.fillMu.Unlock()
+	c.mu.RLock()
+	refs, cached := c.m[key]
+	c.mu.RUnlock()
+	if cached {
+		return refs
+	}
+	c.derived.Add(1)
+	html, _ := web.PageHTML(site.Domain, key.country)
+	refs = ParseHTML(html)
+	refs = refs[:len(refs):len(refs)]
+	c.mu.Lock()
+	c.m[key] = refs
+	c.mu.Unlock()
+	return refs
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gamma-suite/gamma/internal/geo"
 	"github.com/gamma-suite/gamma/internal/netsim"
@@ -55,6 +56,66 @@ type Server struct {
 	mu    sync.RWMutex
 	zones map[string]*Service
 	ptr   map[netip.Addr]string
+
+	memo resolveMemo
+}
+
+// memoKey identifies one resolution outcome: the normalized queried name
+// and the client attributes that can steer the answer (country override,
+// EDNS-subnet nearest-PoP selection).
+type memoKey struct {
+	name, country, city string
+}
+
+// resolveEntry is a memoized ResolveChain outcome. NXDOMAIN and
+// chain-too-long are as deterministic as success, so errors memoize too.
+type resolveEntry struct {
+	addr  netip.Addr
+	chain []string
+	err   error
+}
+
+// ResolveMemoStats counts resolution-memo traffic. Hits+Misses is the
+// number of memoized lookups; Derivations is how many resolutions ran.
+type ResolveMemoStats struct {
+	Hits, Misses, Derivations uint64
+}
+
+// resolveMemo caches ResolveChain per (name, client country, client
+// city). Resolution is a pure function of those once registration is done
+// — GeoDNS steering consults nothing else — and a study resolves the same
+// tracker names from the same vantages constantly. Registering any new
+// service purges the memo: a new zone can turn NXDOMAIN into an answer or
+// re-target a wildcard, so entries derived before it are stale.
+type resolveMemo struct {
+	mu       sync.RWMutex
+	m        map[memoKey]resolveEntry
+	fillMu   sync.Mutex
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	derived  atomic.Uint64
+	disabled atomic.Bool
+}
+
+// SetResolveMemoDisabled turns the resolution memo off (every query walks
+// the zones). The reference mode for memoized-vs-direct equivalence tests.
+func (s *Server) SetResolveMemoDisabled(off bool) { s.memo.disabled.Store(off) }
+
+// ResolveMemoStats returns a snapshot of the memo counters.
+func (s *Server) ResolveMemoStats() ResolveMemoStats {
+	return ResolveMemoStats{
+		Hits:        s.memo.hits.Load(),
+		Misses:      s.memo.misses.Load(),
+		Derivations: s.memo.derived.Load(),
+	}
+}
+
+// purgeMemo drops every memoized resolution; called whenever the zone set
+// changes.
+func (s *Server) purgeMemo() {
+	s.memo.mu.Lock()
+	s.memo.m = nil
+	s.memo.mu.Unlock()
 }
 
 // NewServer creates a resolver over the given data plane.
@@ -87,6 +148,7 @@ func (s *Server) Register(svc Service) error {
 		cp.Domain = key
 		cp.CNAME = strings.ToLower(svc.CNAME)
 		s.zones[key] = &cp
+		s.purgeMemo()
 		return nil
 	}
 	if len(svc.PoPs) == 0 {
@@ -111,6 +173,7 @@ func (s *Server) Register(svc Service) error {
 	cp := svc
 	cp.Domain = key
 	s.zones[key] = &cp
+	s.purgeMemo()
 	return nil
 }
 
@@ -144,8 +207,53 @@ func (s *Server) Resolve(name string, client Client) (netip.Addr, error) {
 
 // ResolveChain resolves a name and returns the CNAME chain traversed (the
 // queried name first, the name that finally answered last). Gamma records
-// the chain; the pipeline mines it for cloaked trackers.
+// the chain; the pipeline mines it for cloaked trackers. Outcomes are
+// memoized per (name, client); the returned chain is always a fresh copy,
+// so callers may keep or mutate it.
 func (s *Server) ResolveChain(name string, client Client) (netip.Addr, []string, error) {
+	key := memoKey{
+		name:    strings.ToLower(strings.TrimSuffix(name, ".")),
+		country: client.Country,
+		city:    client.City.ID(),
+	}
+	if s.memo.disabled.Load() {
+		return s.resolveChain(key.name, client)
+	}
+	s.memo.mu.RLock()
+	e, ok := s.memo.m[key]
+	s.memo.mu.RUnlock()
+	if ok {
+		s.memo.hits.Add(1)
+		return e.addr, append([]string(nil), e.chain...), e.err
+	}
+	return s.memoFill(key, client)
+}
+
+// memoFill resolves and stores an outcome on a memo miss, serialized so
+// concurrent queries for the same key derive it once.
+func (s *Server) memoFill(key memoKey, client Client) (netip.Addr, []string, error) {
+	s.memo.misses.Add(1)
+	s.memo.fillMu.Lock()
+	defer s.memo.fillMu.Unlock()
+	s.memo.mu.RLock()
+	e, ok := s.memo.m[key]
+	s.memo.mu.RUnlock()
+	if ok {
+		return e.addr, append([]string(nil), e.chain...), e.err
+	}
+	s.memo.derived.Add(1)
+	addr, chain, err := s.resolveChain(key.name, client)
+	s.memo.mu.Lock()
+	if s.memo.m == nil {
+		s.memo.m = make(map[memoKey]resolveEntry)
+	}
+	s.memo.m[key] = resolveEntry{addr: addr, chain: append([]string(nil), chain...), err: err}
+	s.memo.mu.Unlock()
+	return addr, chain, err
+}
+
+// resolveChain is the direct (unmemoized) resolution walk.
+func (s *Server) resolveChain(name string, client Client) (netip.Addr, []string, error) {
 	chain := []string{strings.ToLower(strings.TrimSuffix(name, "."))}
 	for depth := 0; depth < 8; depth++ {
 		svc, ok := s.lookup(chain[len(chain)-1])

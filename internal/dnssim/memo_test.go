@@ -1,0 +1,191 @@
+package dnssim
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// memoFixture registers a representative zone mix: a fixed-origin name, a
+// GeoDNS name with country overrides and nearest-PoP steering, a wildcard,
+// and a CNAME chain onto the GeoDNS name.
+func memoFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t)
+	services := []Service{
+		{Domain: "origin.example", PoPs: []netip.Addr{f.paris.Addr}},
+		{Domain: "cdn.example", Wildcard: true, Nearest: true,
+			PoPs:      []netip.Addr{f.paris.Addr, f.mumbai.Addr, f.sydney.Addr},
+			ByCountry: map[string]netip.Addr{"EG": f.paris.Addr}},
+		{Domain: "metrics.site.example", CNAME: "cdn.example"},
+	}
+	for _, svc := range services {
+		if err := f.dns.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// memoQueries is the query mix the memo tests replay: every zone shape,
+// both steering-relevant clients, and a stable NXDOMAIN.
+func memoQueries(t *testing.T) []struct {
+	name   string
+	client Client
+} {
+	t.Helper()
+	clients := []Client{
+		client(t, "Paris, FR", "FR"),
+		client(t, "Mumbai, IN", "IN"),
+		client(t, "Cairo, EG", "EG"),
+	}
+	names := []string{
+		"origin.example", "cdn.example", "edge7.cdn.example",
+		"metrics.site.example", "absent.example",
+	}
+	var out []struct {
+		name   string
+		client Client
+	}
+	for _, n := range names {
+		for _, c := range clients {
+			out = append(out, struct {
+				name   string
+				client Client
+			}{n, c})
+		}
+	}
+	return out
+}
+
+// TestResolveMemoMatchesDirect is the satellite equivalence test: every
+// query must produce the same address, chain, and error through the memo
+// as through direct resolution, on first ask and on the memoized re-ask.
+func TestResolveMemoMatchesDirect(t *testing.T) {
+	memod := memoFixture(t)
+	direct := memoFixture(t)
+	direct.dns.SetResolveMemoDisabled(true)
+	for round := 0; round < 2; round++ {
+		for _, q := range memoQueries(t) {
+			ga, gc, ge := memod.dns.ResolveChain(q.name, q.client)
+			wa, wc, we := direct.dns.ResolveChain(q.name, q.client)
+			if ga != wa || !reflect.DeepEqual(gc, wc) || (ge == nil) != (we == nil) {
+				t.Fatalf("round %d %s from %s: memo (%v %v %v) != direct (%v %v %v)",
+					round, q.name, q.client.Country, ga, gc, ge, wa, wc, we)
+			}
+			if ge != nil && ge.Error() != we.Error() {
+				t.Fatalf("%s: memoized error %q != direct %q", q.name, ge, we)
+			}
+		}
+	}
+	if st := memod.dns.ResolveMemoStats(); st.Hits == 0 || st.Misses == 0 ||
+		st.Derivations != uint64(len(memoQueries(t))) {
+		t.Errorf("memo stats = %+v, want one derivation per distinct query (%d) and hits on round two",
+			st, len(memoQueries(t)))
+	}
+	if st := direct.dns.ResolveMemoStats(); st.Hits != 0 || st.Misses != 0 || st.Derivations != 0 {
+		t.Errorf("disabled memo saw traffic: %+v", st)
+	}
+}
+
+// TestResolveMemoChainIsolated pins the clone-out contract: mutating a
+// returned chain must not corrupt later answers.
+func TestResolveMemoChainIsolated(t *testing.T) {
+	f := memoFixture(t)
+	c := client(t, "Paris, FR", "FR")
+	_, chain, err := f.dns.ResolveChain("metrics.site.example", c)
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("chain = %v, %v", chain, err)
+	}
+	chain[0] = "clobbered"
+	_, again, err := f.dns.ResolveChain("metrics.site.example", c)
+	if err != nil || again[0] != "metrics.site.example" {
+		t.Fatalf("memoized chain corrupted by caller mutation: %v, %v", again, err)
+	}
+}
+
+// TestResolveMemoPurgedOnRegister pins that registering a zone invalidates
+// memoized outcomes — including a cached NXDOMAIN for the new name.
+func TestResolveMemoPurgedOnRegister(t *testing.T) {
+	f := memoFixture(t)
+	c := client(t, "Paris, FR", "FR")
+	if _, err := f.dns.Resolve("late.example", c); err == nil {
+		t.Fatal("expected NXDOMAIN before registration")
+	}
+	if err := f.dns.Register(Service{Domain: "late.example", PoPs: []netip.Addr{f.sydney.Addr}}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := f.dns.Resolve("late.example", c)
+	if err != nil || addr != f.sydney.Addr {
+		t.Fatalf("post-registration resolve = %v, %v; memo not purged?", addr, err)
+	}
+}
+
+// TestResolveMemoConcurrentRace hammers the memo from 8 goroutines over
+// the full query mix. Run under -race this is the regression test for the
+// memo's locking; the stats prove single-flight derivation.
+func TestResolveMemoConcurrentRace(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+	)
+	f := memoFixture(t)
+	ref := memoFixture(t)
+	ref.dns.SetResolveMemoDisabled(true)
+	queries := memoQueries(t)
+	type outcome struct {
+		addr  netip.Addr
+		chain []string
+		fail  bool
+	}
+	want := make([]outcome, len(queries))
+	for i, q := range queries {
+		a, c, err := ref.dns.ResolveChain(q.name, q.client)
+		want[i] = outcome{a, c, err != nil}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Phase-shifted walk so fills overlap in every interleaving.
+				for i := range queries {
+					q := queries[(i+g)%len(queries)]
+					w := want[(i+g)%len(queries)]
+					a, c, err := f.dns.ResolveChain(q.name, q.client)
+					if a != w.addr || !reflect.DeepEqual(c, w.chain) || (err != nil) != w.fail {
+						select {
+						case errs <- fmt.Sprintf("%s from %s: got (%v %v %v) want (%v %v fail=%v)",
+							q.name, q.client.Country, a, c, err, w.addr, w.chain, w.fail):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := f.dns.ResolveMemoStats()
+	if st.Derivations != uint64(len(queries)) {
+		t.Errorf("derivations = %d, want exactly one per distinct query (%d)", st.Derivations, len(queries))
+	}
+	total := uint64(goroutines * rounds * len(queries))
+	if st.Hits+st.Misses != total {
+		t.Errorf("hits(%d)+misses(%d) != calls(%d)", st.Hits, st.Misses, total)
+	}
+	if st.Misses < st.Derivations {
+		t.Errorf("misses(%d) < derivations(%d)", st.Misses, st.Derivations)
+	}
+}

@@ -26,8 +26,25 @@ func benchNet(b *testing.B) (*Network, Vantage, Host) {
 	return n, v, h
 }
 
+// BenchmarkTraceroute measures the responsive-host probe path as the study
+// drives it: a reused TraceBuf, so the engine's zero-allocation discipline
+// shows up as allocs/op = 0.
 func BenchmarkTraceroute(b *testing.B) {
 	n, v, h := benchNet(b)
+	var buf TraceBuf
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.TracerouteInto(v.ID, h.Addr, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracerouteFresh measures the allocating convenience wrapper.
+func BenchmarkTracerouteFresh(b *testing.B) {
+	n, v, h := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.Traceroute(v.ID, h.Addr); err != nil {
@@ -38,8 +55,21 @@ func BenchmarkTraceroute(b *testing.B) {
 
 func BenchmarkBaseRTT(b *testing.B) {
 	n, v, h := benchNet(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.BaseRTTMs(v.City, h.City)
+	}
+}
+
+// BenchmarkPing measures the best-of-three RTT probe.
+func BenchmarkPing(b *testing.B) {
+	n, v, h := benchNet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := n.Ping(v.ID, h.Addr); err != nil || !ok {
+			b.Fatal("ping failed")
+		}
 	}
 }

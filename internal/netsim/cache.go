@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+	"github.com/gamma-suite/gamma/internal/rng"
+)
+
+// The path model — inflation factor, hop count, base RTT — is a pure
+// function of (seed, unordered city pair): its draws come from dedicated
+// "path-inflation"/"hop-count" streams keyed only by the pair, never from
+// the per-probe "trace"/"ping" jitter streams. That makes it memoizable
+// without touching a single output byte; before this cache every
+// Traceroute re-ran haversine plus two keyed-RNG derivations (and computed
+// geo.DistanceKm twice — once in hopCount, once in BaseRTTMs). A study
+// probes the same (vantage city, host city) pair thousands of times, so
+// the cache turns the per-probe path model into one sharded map read.
+//
+// The layout follows geoloc's destCache (PR 2): fixed shards picked by
+// key hash, read-mostly RWMutex access, atomic hit/miss counters, and
+// single-flight derivation — a global fill lock plus a re-check means each
+// unordered pair is derived exactly once per Network, which the race test
+// asserts. Both orientations of a pair are stored so the hot lookup never
+// has to canonicalize (comparing full city IDs would mean rebuilding the
+// "Name, CC" strings; the derivation still canonicalizes by ID to hit the
+// seeded streams).
+
+// pathParams bundles every derived quantity of the seeded path model for
+// one unordered city pair.
+type pathParams struct {
+	distKm    float64
+	inflation float64
+	hops      int
+	baseRTT   float64
+}
+
+const pairShards = 16
+
+// pairKey identifies a city pair in the orientation the caller supplied.
+type pairKey struct {
+	aName, aCountry string
+	bName, bCountry string
+}
+
+type pairShard struct {
+	mu      sync.RWMutex
+	entries map[pairKey]pathParams
+}
+
+// pairCache is the sharded, read-mostly memo for the path model.
+type pairCache struct {
+	shards [pairShards]pairShard
+
+	// fillMu serializes derivations: a miss re-probes under it before
+	// deriving, so concurrent first probes of the same pair produce one
+	// derivation (single-flight). Derivation is microseconds of arithmetic,
+	// so a single fill lock never becomes a steady-state bottleneck — after
+	// warmup every access is a shard RLock.
+	fillMu sync.Mutex
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	derivations atomic.Uint64
+}
+
+// PathCacheStats is a point-in-time snapshot of the path-model memo.
+type PathCacheStats struct {
+	// Hits counts probes served from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts probes that had to enter the fill path (several early
+	// probes of one pair can miss concurrently; all but one then find the
+	// entry under the fill lock).
+	Misses uint64 `json:"misses"`
+	// Derivations counts actual path-model computations — exactly one per
+	// unique unordered pair probed.
+	Derivations uint64 `json:"derivations"`
+}
+
+// PathCacheStats returns the current cache counters.
+func (n *Network) PathCacheStats() PathCacheStats {
+	return PathCacheStats{
+		Hits:        n.pairs.hits.Load(),
+		Misses:      n.pairs.misses.Load(),
+		Derivations: n.pairs.derivations.Load(),
+	}
+}
+
+// pairShardOf picks the shard for a key without building the key strings.
+func (c *pairCache) pairShardOf(a, b geo.City) *pairShard {
+	h := rng.NewHasher().Key(a.Name).Key(a.Country).Key(b.Name).Key(b.Country).Sum()
+	return &c.shards[h%pairShards]
+}
+
+// pairParams returns the memoized path model for (a, b), deriving it on
+// first use. It sits on the probe hot path: a hit is one hash, one shard
+// RLock, and one map read, with no allocation.
+func (n *Network) pairParams(a, b geo.City) pathParams {
+	if n.cfg.DisablePathCache {
+		return n.derivePathParams(a, b)
+	}
+	sh := n.pairs.pairShardOf(a, b)
+	k := pairKey{a.Name, a.Country, b.Name, b.Country}
+	sh.mu.RLock()
+	p, ok := sh.entries[k]
+	sh.mu.RUnlock()
+	if ok {
+		n.pairs.hits.Add(1)
+		return p
+	}
+	return n.pairFill(a, b)
+}
+
+// pairFill derives and stores the path model for a pair under the
+// single-flight fill lock.
+//
+//gamma:coldpath cache miss: each unordered pair is derived once per Network
+func (n *Network) pairFill(a, b geo.City) pathParams {
+	c := &n.pairs
+	c.misses.Add(1)
+	c.fillMu.Lock()
+	defer c.fillMu.Unlock()
+
+	k := pairKey{a.Name, a.Country, b.Name, b.Country}
+	sh := c.pairShardOf(a, b)
+	sh.mu.RLock()
+	p, ok := sh.entries[k]
+	sh.mu.RUnlock()
+	if ok {
+		// Another goroutine derived the pair while we waited on fillMu.
+		return p
+	}
+
+	p = n.derivePathParams(a, b)
+	c.derivations.Add(1)
+	c.storePair(k, p)
+	if rk := (pairKey{b.Name, b.Country, a.Name, a.Country}); rk != k {
+		c.storePair(rk, p)
+	}
+	return p
+}
+
+func (c *pairCache) storePair(k pairKey, p pathParams) {
+	sh := &c.shards[rng.NewHasher().Key(k.aName).Key(k.aCountry).Key(k.bName).Key(k.bCountry).Sum()%pairShards]
+	sh.mu.Lock()
+	if sh.entries == nil {
+		sh.entries = make(map[pairKey]pathParams)
+	}
+	sh.entries[k] = p
+	sh.mu.Unlock()
+}
+
+// derivePathParams computes the full path model for a pair from the seeded
+// streams. It is the reference implementation the cache memoizes and the
+// only path taken when Config.DisablePathCache is set; equivalence tests
+// compare study outputs across the two modes byte for byte. The haversine
+// distance is computed exactly once and shared by the hop-count and
+// base-RTT formulas (the pre-memoization code called geo.DistanceKm from
+// both hopCount and BaseRTTMs).
+//
+//gamma:coldpath reference derivation: allocates keyed RNG streams; runs once per pair (or per call in DisablePathCache mode)
+func (n *Network) derivePathParams(a, b geo.City) pathParams {
+	d := geo.DistanceKm(a.Coord, b.Coord)
+	ka, kb := a.ID(), b.ID()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	ri := rng.New(n.cfg.Seed, "path-inflation", ka, kb)
+	infl := rng.Float64InRange(ri, n.cfg.PathInflationMin, n.cfg.PathInflationMax)
+	rh := rng.New(n.cfg.Seed, "hop-count", ka, kb)
+	h := 3 + int(d/900) + rh.IntN(4)
+	if h > 22 {
+		h = 22
+	}
+	prop := 2 * d * infl / n.cfg.FiberKmPerMs
+	perHop := 0.08 * float64(h)
+	metro := 0.4 // intra-facility switching floor
+	return pathParams{distKm: d, inflation: infl, hops: h, baseRTT: prop + perHop + metro}
+}

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/gamma-suite/gamma/internal/geo"
+)
+
+// raceCities returns a working set of cities for cache hammering.
+func raceCities(t *testing.T, n int) []geo.City {
+	t.Helper()
+	reg := geo.Default()
+	var all []geo.City
+	for _, c := range reg.Countries() {
+		all = append(all, c.Cities...)
+	}
+	if len(all) < n {
+		t.Fatalf("registry has %d cities, need %d", len(all), n)
+	}
+	return all[:n]
+}
+
+// TestPairCacheConcurrentRace hammers the path-model memo from 8 goroutines
+// over overlapping city pairs. Run under -race this is the regression test
+// for the pair cache; the stats assertions prove the single-flight
+// invariant: exactly one derivation per unique unordered pair, no matter
+// how many goroutines ask or in which orientation.
+func TestPairCacheConcurrentRace(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+		nCities    = 6
+	)
+	cities := raceCities(t, nCities)
+	net := New(DefaultConfig(7))
+
+	// Serial reference on an identical network with the cache disabled: the
+	// derivation is deterministic, so both modes must agree exactly.
+	refCfg := DefaultConfig(7)
+	refCfg.DisablePathCache = true
+	ref := New(refCfg)
+	type pair struct{ a, b geo.City }
+	var pairs []pair
+	want := map[[2]string]float64{}
+	for _, a := range cities {
+		for _, b := range cities {
+			pairs = append(pairs, pair{a, b})
+			want[[2]string{a.ID(), b.ID()}] = ref.BaseRTTMs(a, b)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each goroutine walks the pairs at a different phase so
+				// fills overlap in every interleaving.
+				for i := range pairs {
+					p := pairs[(i+g)%len(pairs)]
+					got := net.BaseRTTMs(p.a, p.b)
+					if w := want[[2]string{p.a.ID(), p.b.ID()}]; got != w {
+						select {
+						case errs <- fmt.Sprintf("%s->%s: got %v want %v", p.a.ID(), p.b.ID(), got, w):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := net.PathCacheStats()
+	// nCities choose 2 unordered pairs plus the same-city diagonals.
+	unordered := uint64(nCities*(nCities-1)/2 + nCities)
+	if st.Derivations != unordered {
+		t.Errorf("derivations = %d, want exactly one per unordered pair (%d)", st.Derivations, unordered)
+	}
+	total := uint64(goroutines * rounds * len(pairs))
+	if st.Hits+st.Misses != total {
+		t.Errorf("hits(%d)+misses(%d) != calls(%d)", st.Hits, st.Misses, total)
+	}
+	if st.Misses < st.Derivations {
+		t.Errorf("misses(%d) < derivations(%d): every derivation starts as a miss", st.Misses, st.Derivations)
+	}
+}
+
+// TestPairCacheMatchesReference pins the memoized path model against the
+// DisablePathCache reference across every registry pair, in both
+// orientations, covering pathInflation, hopCount, and BaseRTTMs.
+func TestPairCacheMatchesReference(t *testing.T) {
+	cities := raceCities(t, 10)
+	cached := New(DefaultConfig(11))
+	refCfg := DefaultConfig(11)
+	refCfg.DisablePathCache = true
+	ref := New(refCfg)
+	for _, a := range cities {
+		for _, b := range cities {
+			if g, w := cached.BaseRTTMs(a, b), ref.BaseRTTMs(a, b); g != w {
+				t.Fatalf("BaseRTTMs(%s, %s) = %v, reference %v", a.ID(), b.ID(), g, w)
+			}
+			if g, w := cached.hopCount(a, b), ref.hopCount(a, b); g != w {
+				t.Fatalf("hopCount(%s, %s) = %v, reference %v", a.ID(), b.ID(), g, w)
+			}
+			if g, w := cached.pathInflation(a, b), ref.pathInflation(a, b); g != w {
+				t.Fatalf("pathInflation(%s, %s) = %v, reference %v", a.ID(), b.ID(), g, w)
+			}
+		}
+	}
+	if st := ref.PathCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Derivations != 0 {
+		t.Errorf("reference network touched the cache: %+v", st)
+	}
+}
+
+// TestPairCacheSymmetric pins that both orientations of a pair read the
+// same entry: after warming one orientation, the reverse is a hit.
+func TestPairCacheSymmetric(t *testing.T) {
+	cities := raceCities(t, 2)
+	net := New(DefaultConfig(3))
+	a, b := cities[0], cities[1]
+	fwd := net.BaseRTTMs(a, b)
+	if st := net.PathCacheStats(); st.Derivations != 1 {
+		t.Fatalf("derivations after first probe = %d, want 1", st.Derivations)
+	}
+	rev := net.BaseRTTMs(b, a)
+	if fwd != rev {
+		t.Fatalf("asymmetric base RTT: %v vs %v", fwd, rev)
+	}
+	st := net.PathCacheStats()
+	if st.Derivations != 1 {
+		t.Fatalf("reverse orientation re-derived: derivations = %d", st.Derivations)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("reverse orientation missed: hits = %d", st.Hits)
+	}
+}

@@ -121,6 +121,11 @@ type Config struct {
 	TraceLossProb float64
 	// JitterMaxMs bounds per-probe queueing jitter.
 	JitterMaxMs float64
+	// DisablePathCache forces every probe to re-derive the path model
+	// instead of reading the memo — the reference mode equivalence tests
+	// compare against. Outputs are byte-identical either way; only the
+	// work repeats.
+	DisablePathCache bool
 }
 
 // DefaultConfig returns production-calibrated defaults.
@@ -141,6 +146,10 @@ func DefaultConfig(seed uint64) Config {
 type Network struct {
 	cfg Config
 
+	// pairs memoizes the seeded path model per unordered city pair; see
+	// cache.go. It is internally synchronized and must not be copied.
+	pairs pairCache
+
 	mu       sync.RWMutex
 	ases     map[uint32]*AS
 	hosts    map[netip.Addr]*Host
@@ -151,7 +160,9 @@ type Network struct {
 // New creates an empty network with the given configuration.
 func New(cfg Config) *Network {
 	if cfg.FiberKmPerMs == 0 {
+		disable := cfg.DisablePathCache
 		cfg = DefaultConfig(cfg.Seed)
+		cfg.DisablePathCache = disable
 	}
 	return &Network{
 		cfg:      cfg,

@@ -4,118 +4,155 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"strconv"
 
 	"github.com/gamma-suite/gamma/internal/geo"
 	"github.com/gamma-suite/gamma/internal/rng"
 )
 
-const maxHops = 30
+const (
+	maxHops      = 30
+	probesPerHop = 3
+)
 
 // pathInflation returns the deterministic fiber-path stretch factor for an
 // unordered city pair. Real paths are never great circles; the factor stays
 // above Config.PathInflationMin (> 1.50), which guarantees that probes to a
 // host's true location can never appear faster than the 133 km/ms SOL bound.
-func (n *Network) pathInflation(a, b geo.City) float64 {
-	ka, kb := a.ID(), b.ID()
-	if kb < ka {
-		ka, kb = kb, ka
-	}
-	r := rng.New(n.cfg.Seed, "path-inflation", ka, kb)
-	return rng.Float64InRange(r, n.cfg.PathInflationMin, n.cfg.PathInflationMax)
-}
+func (n *Network) pathInflation(a, b geo.City) float64 { return n.pairParams(a, b).inflation }
 
 // hopCount returns the number of router hops on the path between two cities.
 // Like pathInflation it is symmetric in its arguments.
-func (n *Network) hopCount(a, b geo.City) int {
-	d := geo.DistanceKm(a.Coord, b.Coord)
-	ka, kb := a.ID(), b.ID()
-	if kb < ka {
-		ka, kb = kb, ka
-	}
-	r := rng.New(n.cfg.Seed, "hop-count", ka, kb)
-	h := 3 + int(d/900) + r.IntN(4)
-	if h > 22 {
-		h = 22
-	}
-	return h
-}
+func (n *Network) hopCount(a, b geo.City) int { return n.pairParams(a, b).hops }
 
 // BaseRTTMs returns the deterministic floor round-trip time between two
 // cities: fiber propagation over the inflated path plus per-hop forwarding
 // overhead, with no queueing jitter. Same-city pairs still pay metro delay.
-func (n *Network) BaseRTTMs(a, b geo.City) float64 {
-	d := geo.DistanceKm(a.Coord, b.Coord)
-	infl := n.pathInflation(a, b)
-	prop := 2 * d * infl / n.cfg.FiberKmPerMs
-	perHop := 0.08 * float64(n.hopCount(a, b))
-	metro := 0.4 // intra-facility switching floor
-	return prop + perHop + metro
-}
+func (n *Network) BaseRTTMs(a, b geo.City) float64 { return n.pairParams(a, b).baseRTT }
 
-// routerAddr derives a stable pseudo-address for an intermediate hop. The
+// routerAddrFrom maps a hop hash into a stable pseudo-address. The
 // 198.18.0.0/15 benchmarking range keeps router addresses disjoint from
 // simulated host space.
-func routerAddr(seed uint64, pathKey string, hop int) netip.Addr {
-	h := rng.Hash(pathKey, fmt.Sprintf("hop-%d-%d", hop, seed))
+func routerAddrFrom(h uint64) netip.Addr {
 	return netip.AddrFrom4([4]byte{198, 18 + byte(h>>16&1), byte(h >> 8), 1 + byte(h%254)})
+}
+
+// TraceBuf holds reusable backing storage for TracerouteInto. A zero value
+// is ready to use; the first trace sizes it. Results returned through a
+// buffer alias its arrays, so a result is valid only until the next
+// TracerouteInto call with the same buffer — callers that keep results
+// must copy them (or use Traceroute, which allocates fresh storage).
+type TraceBuf struct {
+	hops []Hop
+	rtts []float64
+}
+
+// grow sizes the buffer for the deepest possible trace.
+//
+//gamma:coldpath buffer growth runs once per TraceBuf lifetime
+func (b *TraceBuf) grow() {
+	b.hops = make([]Hop, 0, maxHops)
+	b.rtts = make([]float64, 0, probesPerHop*maxHops)
+}
+
+// errUnknownVantage builds the unknown-vantage error.
+//
+//gamma:coldpath error construction: an unknown vantage is a caller bug, not probe traffic
+func errUnknownVantage(id string) error {
+	return fmt.Errorf("netsim: unknown vantage %q", id)
 }
 
 // Traceroute launches a traceroute from a registered vantage toward dst,
 // reproducing the behaviours Gamma has to cope with in the field: blocked
 // probes, silent routers, unresponsive destinations, and in-flight loss.
+// It allocates a fresh result; the study's probe loop uses TracerouteInto
+// with a reused buffer instead.
 func (n *Network) Traceroute(vantageID string, dst netip.Addr) (TraceResult, error) {
+	var buf TraceBuf
+	return n.TracerouteInto(vantageID, dst, &buf)
+}
+
+// TracerouteInto is the zero-allocation probe engine behind Traceroute:
+// identical draws, identical bytes, but hop and RTT storage comes from buf
+// and the seeded stream keys are folded through stack buffers instead of
+// fmt.Sprintf and string concatenation. The returned result aliases buf
+// (see TraceBuf).
+//
+//gamma:hotpath per-probe engine: one call per (volunteer, resolved address); reused buffers, stack-built keys
+func (n *Network) TracerouteInto(vantageID string, dst netip.Addr, buf *TraceBuf) (TraceResult, error) {
 	v, ok := n.VantageByID(vantageID)
 	if !ok {
-		return TraceResult{}, fmt.Errorf("netsim: unknown vantage %q", vantageID)
+		return TraceResult{}, errUnknownVantage(vantageID)
 	}
+	if cap(buf.hops) < maxHops || cap(buf.rtts) < probesPerHop*maxHops {
+		buf.grow()
+	}
+	hops := buf.hops[:0]
+	rtts := buf.rtts[:0]
+
 	res := TraceResult{From: vantageID, Dst: dst}
 	if v.TracerouteBlocked {
 		// Middlebox swallows every probe: the volunteer sees rows of "* * *".
 		for i := 1; i <= 5; i++ {
-			res.Hops = append(res.Hops, Hop{Index: i})
+			hops = append(hops, Hop{Index: i})
 		}
+		res.Hops = hops
 		return res, nil
 	}
 
 	host, known := n.HostByAddr(dst)
-	pathKey := v.ID + "->" + dst.String()
-	r := rng.New(n.cfg.Seed, "trace", pathKey)
+
+	// The jitter stream is keyed ("trace", v.ID + "->" + dst.String());
+	// fold the path key from fragments so no string is materialized. The
+	// same fragments minus the "trace" prefix seed every router address on
+	// the path, so that partial hash is kept for the hop loop.
+	var ab [48]byte
+	adst := dst.AppendTo(ab[:0])
+	r := rng.NewStream(n.cfg.Seed, rng.NewHasher().Key("trace").Write(v.ID).Write("->").KeyBytes(adst).Sum())
+	pathHash := rng.NewHasher().Write(v.ID).Write("->").KeyBytes(adst)
 
 	if !known {
 		// No such destination: probes wander then die.
-		hops := 4 + r.IntN(5)
-		for i := 1; i <= hops; i++ {
-			res.Hops = append(res.Hops, Hop{Index: i})
+		wander := 4 + r.IntN(5)
+		for i := 1; i <= wander; i++ {
+			hops = append(hops, Hop{Index: i})
 		}
+		res.Hops = hops
 		return res, nil
 	}
 
-	hops := n.hopCount(v.City, host.City)
-	base := n.BaseRTTMs(v.City, host.City)
-	lost := rng.Bernoulli(r, n.cfg.TraceLossProb)
-	lossAt := hops + 1
+	pp := n.pairParams(v.City, host.City)
+	nHops := pp.hops
+	base := pp.baseRTT
+	lost := r.Bernoulli(n.cfg.TraceLossProb)
+	lossAt := nHops + 1
 	if lost || !host.Responsive {
 		// The trace never completes; probes stop answering partway or at the end.
-		lossAt = 1 + r.IntN(hops)
+		lossAt = 1 + r.IntN(nHops)
 		if !host.Responsive && !lost {
-			lossAt = hops // silent destination: all intermediate hops respond
+			lossAt = nHops // silent destination: all intermediate hops respond
 		}
 	}
 
-	for i := 1; i <= hops; i++ {
+	// Router-address hashes append "hop-<i>-<seed>" to the path key; the
+	// seed's decimal suffix is loop-invariant, so render it once.
+	var sb [24]byte
+	seedSuf := strconv.AppendUint(append(sb[:0], '-'), n.cfg.Seed, 10)
+
+	for i := 1; i <= nHops; i++ {
 		hop := Hop{Index: i}
-		isDst := i == hops
+		isDst := i == nHops
 		if i > lossAt || (isDst && (lost || !host.Responsive)) {
-			res.Hops = append(res.Hops, hop)
+			hops = append(hops, hop)
 			continue
 		}
-		if !isDst && i > 1 && rng.Bernoulli(r, n.cfg.HopNoResponseProb) {
+		if !isDst && i > 1 && r.Bernoulli(n.cfg.HopNoResponseProb) {
 			// The first hop is the volunteer's own gateway and always
 			// answers; silence starts at provider routers. This matters:
 			// when hop 1 is missing, the source constraint falls back to
 			// the raw last-hop RTT (access delay included), which lets
 			// geolocation errors slip past the SOL check.
-			res.Hops = append(res.Hops, hop)
+			hops = append(hops, hop)
 			continue
 		}
 		// RTT grows along the path: the first hop is the local gateway
@@ -124,8 +161,8 @@ func (n *Network) Traceroute(vantageID string, dst netip.Addr) (TraceResult, err
 		// keeps (last hop - first hop) ≈ base, which the source-based
 		// constraint relies on when subtracting local-network delay.
 		frac := 0.0
-		if hops > 1 {
-			frac = float64(i-1) / float64(hops-1)
+		if nHops > 1 {
+			frac = float64(i-1) / float64(nHops-1)
 		}
 		if isDst {
 			frac = 1.0
@@ -135,38 +172,48 @@ func (n *Network) Traceroute(vantageID string, dst netip.Addr) (TraceResult, err
 		if isDst {
 			hop.Addr = dst
 		} else {
-			hop.Addr = routerAddr(n.cfg.Seed, pathKey, i)
+			var hb [32]byte
+			hk := strconv.AppendInt(append(hb[:0], "hop-"...), int64(i), 10)
+			hk = append(hk, seedSuf...)
+			hop.Addr = routerAddrFrom(pathHash.KeyBytes(hk).Sum())
 		}
-		for p := 0; p < 3; p++ {
-			jitter := rng.Float64InRange(r, 0, n.cfg.JitterMaxMs)
-			if rng.Bernoulli(r, 0.03) { // occasional queue spike
-				jitter += rng.Float64InRange(r, 2, 12)
+		start := len(rtts)
+		for p := 0; p < probesPerHop; p++ {
+			jitter := r.Float64InRange(0, n.cfg.JitterMaxMs)
+			if r.Bernoulli(0.03) { // occasional queue spike
+				jitter += r.Float64InRange(2, 12)
 			}
-			hop.RTTMs = append(hop.RTTMs, round2(hopBase+jitter))
+			rtts = append(rtts, round2(hopBase+jitter))
 		}
-		res.Hops = append(res.Hops, hop)
+		hop.RTTMs = rtts[start : start+probesPerHop : start+probesPerHop]
+		hops = append(hops, hop)
 	}
-	last := res.Hops[len(res.Hops)-1]
+	last := hops[len(hops)-1]
+	res.Hops = hops
 	res.Reached = last.Responded && last.Addr == dst
 	return res, nil
 }
 
 // Ping measures the best-of-three RTT from a vantage to dst. ok is false
 // when the destination does not answer.
+//
+//gamma:hotpath best-of-three RTT probe; one call per resolved address
 func (n *Network) Ping(vantageID string, dst netip.Addr) (rtt float64, ok bool, err error) {
 	v, vok := n.VantageByID(vantageID)
 	if !vok {
-		return 0, false, fmt.Errorf("netsim: unknown vantage %q", vantageID)
+		return 0, false, errUnknownVantage(vantageID)
 	}
 	host, known := n.HostByAddr(dst)
 	if !known || !host.Responsive {
 		return 0, false, nil
 	}
-	r := rng.New(n.cfg.Seed, "ping", v.ID, dst.String())
-	base := v.AccessDelayMs + n.BaseRTTMs(v.City, host.City)
+	var ab [48]byte
+	adst := dst.AppendTo(ab[:0])
+	r := rng.NewStream(n.cfg.Seed, rng.NewHasher().Key("ping").Key(v.ID).KeyBytes(adst).Sum())
+	base := v.AccessDelayMs + n.pairParams(v.City, host.City).baseRTT
 	best := math.Inf(1)
-	for p := 0; p < 3; p++ {
-		sample := base + rng.Float64InRange(r, 0, n.cfg.JitterMaxMs)
+	for p := 0; p < probesPerHop; p++ {
+		sample := base + r.Float64InRange(0, n.cfg.JitterMaxMs)
 		if sample < best {
 			best = sample
 		}

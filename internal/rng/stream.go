@@ -1,0 +1,139 @@
+package rng
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Hasher is the incremental form of Hash: a value-type FNV-1a accumulator
+// that lets hot paths build a key path from fragments (string literals,
+// stack []byte buffers, integers rendered with strconv.Append*) without
+// concatenating them first. The invariant, pinned by TestHasherMatchesHash,
+// is
+//
+//	Hash(k1, k2) == NewHasher().Key(k1).Key(k2).Sum()
+//
+// so streams seeded through either form are interchangeable. Hasher is a
+// plain uint64 wrapper: chaining never allocates and a partial hash (for
+// example the per-trace prefix shared by every router address on a path)
+// can be copied and extended independently.
+type Hasher struct {
+	h uint64
+}
+
+// NewHasher returns an accumulator in the initial FNV-1a state.
+func NewHasher() Hasher { return Hasher{h: fnvOffset64} }
+
+// Write folds a string fragment into the hash without a key separator.
+// Adjacent Write calls are equivalent to one Write of the concatenation.
+func (s Hasher) Write(k string) Hasher {
+	h := s.h
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= fnvPrime64
+	}
+	s.h = h
+	return s
+}
+
+// WriteBytes folds a byte fragment into the hash without a separator.
+func (s Hasher) WriteBytes(b []byte) Hasher {
+	h := s.h
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	s.h = h
+	return s
+}
+
+// Sep folds the key separator (a 0 byte: XOR with zero is the identity, so
+// only the multiply remains). Hash appends one after every key.
+func (s Hasher) Sep() Hasher {
+	s.h *= fnvPrime64
+	return s
+}
+
+// Key folds one complete key: its bytes followed by the separator.
+func (s Hasher) Key(k string) Hasher { return s.Write(k).Sep() }
+
+// KeyBytes folds one complete key supplied as bytes.
+func (s Hasher) KeyBytes(b []byte) Hasher { return s.WriteBytes(b).Sep() }
+
+// Sum returns the accumulated hash.
+func (s Hasher) Sum() uint64 { return s.h }
+
+// Stream is a value-type PCG stream producing the exact draw sequence of
+// rng.New(seed, keys...) for keyHash == Hash(keys...), without the two
+// heap allocations rand.New(rand.NewPCG(...)) costs. Probe hot paths embed
+// one on the stack per trace. The method set mirrors the subset of
+// *rand.Rand (plus the package helpers) the simulators draw from;
+// TestStreamMatchesRand pins bit-identical output against the rand.Rand
+// reference for every method.
+type Stream struct {
+	pcg rand.PCG
+}
+
+// NewStream returns a stream seeded exactly like rng.New(seed, keys...)
+// with keyHash = Hash(keys...).
+func NewStream(seed, keyHash uint64) Stream {
+	var s Stream
+	s.pcg.Seed(seed, keyHash)
+	return s
+}
+
+// Uint64 returns the next raw PCG output.
+func (s *Stream) Uint64() uint64 { return s.pcg.Uint64() }
+
+// Float64 returns a uniform value in [0, 1), mirroring rand.Rand.Float64:
+// 53 high bits scaled by 2^-53.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()<<11>>11) / (1 << 53)
+}
+
+// uint64n returns a uniform value in [0, n), mirroring rand.Rand's
+// unbiased Lemire reduction (the 64-bit form; math/rand/v2 documents that
+// its 32-bit fast path preserves this exact output sequence).
+func (s *Stream) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // n is a power of two: mask
+		return s.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// IntN returns a uniform value in [0, n); it panics if n <= 0, like
+// rand.Rand.IntN.
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic("invalid argument to IntN")
+	}
+	return int(s.uint64n(uint64(n)))
+}
+
+// Float64InRange returns a uniform value in [lo, hi), mirroring the
+// package-level Float64InRange helper.
+func (s *Stream) Float64InRange(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + s.Float64()*(hi-lo)
+}
+
+// Bernoulli returns true with probability p, mirroring the package-level
+// Bernoulli helper: degenerate probabilities consume no draw.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}

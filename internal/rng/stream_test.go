@@ -1,0 +1,131 @@
+package rng
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestHasherMatchesHash pins the incremental-hasher invariant: building a
+// key path from fragments produces exactly the value Hash returns for the
+// assembled keys.
+func TestHasherMatchesHash(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"trace"},
+		{"trace", "v-DE-1->20.0.0.5"},
+		{"ping", "v-JP-3", "20.1.2.3"},
+		{"path-inflation", "Berlin, DE", "Tokyo, JP"},
+		{"a", "", "b"},
+	}
+	for _, keys := range cases {
+		want := Hash(keys...)
+		h := NewHasher()
+		for _, k := range keys {
+			h = h.Key(k)
+		}
+		if got := h.Sum(); got != want {
+			t.Errorf("Hasher.Key chain over %q = %#x, Hash = %#x", keys, got, want)
+		}
+		// The same keys folded as bytes.
+		h = NewHasher()
+		for _, k := range keys {
+			h = h.KeyBytes([]byte(k))
+		}
+		if got := h.Sum(); got != want {
+			t.Errorf("Hasher.KeyBytes chain over %q = %#x, Hash = %#x", keys, got, want)
+		}
+	}
+}
+
+// TestHasherFragments pins that a key may be assembled from Write fragments
+// plus an explicit Sep — the form the zero-alloc probe path uses for
+// "v.ID->dstAddr" style keys.
+func TestHasherFragments(t *testing.T) {
+	want := Hash("trace", "v-DE-1->20.0.0.5")
+	got := NewHasher().Key("trace").
+		Write("v-DE-1").Write("->").WriteBytes([]byte("20.0.0.5")).Sep().
+		Sum()
+	if got != want {
+		t.Fatalf("fragment assembly = %#x, want %#x", got, want)
+	}
+}
+
+// TestStreamMatchesRand pins Stream against the rand.Rand reference: every
+// method must produce bit-identical sequences, including the helpers'
+// no-draw edge cases, across seeds and interleaved call patterns.
+func TestStreamMatchesRand(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		for _, keys := range [][]string{{"trace", "x"}, {"ping", "v", "addr"}} {
+			ref := New(seed, keys...)
+			s := NewStream(seed, Hash(keys...))
+			for i := 0; i < 2000; i++ {
+				switch i % 6 {
+				case 0:
+					if g, w := s.Uint64(), ref.Uint64(); g != w {
+						t.Fatalf("seed %d step %d: Uint64 = %d, want %d", seed, i, g, w)
+					}
+				case 1:
+					if g, w := s.Float64(), ref.Float64(); g != w {
+						t.Fatalf("seed %d step %d: Float64 = %v, want %v", seed, i, g, w)
+					}
+				case 2:
+					n := 1 + i%37
+					if g, w := s.IntN(n), ref.IntN(n); g != w {
+						t.Fatalf("seed %d step %d: IntN(%d) = %d, want %d", seed, i, n, g, w)
+					}
+				case 3:
+					// Power-of-two and huge ranges exercise both uint64n arms.
+					n := 1 << (i % 31)
+					if g, w := s.IntN(n), ref.IntN(n); g != w {
+						t.Fatalf("seed %d step %d: IntN(%d) = %d, want %d", seed, i, n, g, w)
+					}
+				case 4:
+					if g, w := s.Float64InRange(2, 12), Float64InRange(ref, 2, 12); g != w {
+						t.Fatalf("seed %d step %d: Float64InRange = %v, want %v", seed, i, g, w)
+					}
+				case 5:
+					p := float64(i%5) / 4 // includes the 0 and 1 no-draw cases
+					if g, w := s.Bernoulli(p), Bernoulli(ref, p); g != w {
+						t.Fatalf("seed %d step %d: Bernoulli(%v) = %v, want %v", seed, i, p, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamDegenerateRanges pins the helper edge cases the probe engine
+// relies on: hi <= lo and p outside (0,1) must not consume a draw.
+func TestStreamDegenerateRanges(t *testing.T) {
+	s := NewStream(7, Hash("edge"))
+	ref := New(7, "edge")
+	if got := s.Float64InRange(5, 5); got != 5 {
+		t.Fatalf("Float64InRange(5,5) = %v, want 5", got)
+	}
+	if s.Bernoulli(0) || s.Bernoulli(-1) {
+		t.Fatal("Bernoulli(<=0) must be false")
+	}
+	if !s.Bernoulli(1) || !s.Bernoulli(2) {
+		t.Fatal("Bernoulli(>=1) must be true")
+	}
+	// No draws were consumed above, so the streams still agree.
+	if g, w := s.Uint64(), ref.Uint64(); g != w {
+		t.Fatalf("stream desynced after degenerate calls: %d != %d", g, w)
+	}
+}
+
+// BenchmarkStreamTrace measures the seeded-stream setup plus a typical
+// trace's worth of draws, the pattern TracerouteInto runs per probe.
+func BenchmarkStreamTrace(b *testing.B) {
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		h := NewHasher().Key("trace").Write("v-DE-1").Write("->").WriteBytes([]byte("20.0.0." + strconv.Itoa(i%250))).Sep()
+		s := NewStream(42, h.Sum())
+		for p := 0; p < 30; p++ {
+			sink += s.Float64InRange(0, 1.8)
+		}
+	}
+	_ = sink
+}

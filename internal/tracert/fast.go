@@ -1,0 +1,381 @@
+package tracert
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// The render/parse round trip runs once per traceroute on the study hot
+// path (simProber deliberately exercises the portability layer), and the
+// fmt/encoding-json implementations dominated its profile. The renderers
+// below build the exact same bytes with strconv.Append* into a pre-sized
+// buffer — a differential test pins them against the original
+// fmt.Fprintf/json.Marshal forms — and the parsers get allocation-light
+// scanning fast paths that handle the canonical tool shapes and fall back
+// to the original general parsers for anything unusual (tabs, exotic
+// whitespace, JSON escapes), so fuzzed or real-world input keeps the old
+// semantics exactly.
+
+// appendAddr appends an address's String() form, including the "invalid
+// IP" placeholder fmt would print for a zero Addr.
+func appendAddr(b []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(b, "invalid IP"...)
+	}
+	return a.AppendTo(b)
+}
+
+// appendPadInt appends v right-aligned in a field of the given width,
+// like fmt's %<width>d.
+func appendPadInt(b []byte, v int64, width int) []byte {
+	var tmp [20]byte
+	s := strconv.AppendInt(tmp[:0], v, 10)
+	for i := len(s); i < width; i++ {
+		b = append(b, ' ')
+	}
+	return append(b, s...)
+}
+
+// appendPadFloat appends v with prec decimals right-aligned in a field of
+// the given width, like fmt's %<width>.<prec>f.
+func appendPadFloat(b []byte, v float64, width, prec int) []byte {
+	var tmp [40]byte
+	s := appendFixedFloat(tmp[:0], v, prec)
+	for i := len(s); i < width; i++ {
+		b = append(b, ' ')
+	}
+	return append(b, s...)
+}
+
+// appendJSONFloat appends a float in encoding/json's canonical encoding:
+// shortest 'f' form, switching to 'e' with a trimmed exponent for very
+// small or very large magnitudes.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// asciiSimple reports whether text contains only printable ASCII and '\n'
+// — the alphabet every renderer in this package emits. Inputs with tabs,
+// carriage returns, or other unicode whitespace take the slow parsers,
+// whose strings.Fields semantics differ for those bytes.
+func asciiSimple(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c != '\n' && (c < ' ' || c > '~') {
+			return false
+		}
+	}
+	return true
+}
+
+// trimSimple is strings.TrimSpace restricted to the asciiSimple alphabet.
+func trimSimple(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\n') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\n') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// cutLine splits off the first line of s.
+func cutLine(s string) (line, rest string) {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// splitFieldsInto fills dst with the space-separated fields of line,
+// reusing its backing array — the allocation-free strings.Fields for
+// asciiSimple input.
+func splitFieldsInto(dst []string, line string) []string {
+	dst = dst[:0]
+	for i := 0; i < len(line); {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		dst = append(dst, line[start:i])
+	}
+	return dst
+}
+
+// parseLinuxFast is ParseLinux for asciiSimple input: identical logic,
+// with the line split and per-line strings.Fields allocations replaced by
+// a cursor and a reused fields buffer.
+func parseLinuxFast(text string) (Normalized, error) {
+	body := trimSimple(text)
+	line, rest := cutLine(body)
+	if !strings.HasPrefix(line, "traceroute to ") {
+		return Normalized{}, fmt.Errorf("tracert: not traceroute output")
+	}
+	var out Normalized
+	if i := strings.IndexByte(line, '('); i >= 0 {
+		if j := strings.IndexByte(line[i:], ')'); j > 0 {
+			out.Target = line[i+1 : i+j]
+		}
+	}
+	if out.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: malformed traceroute header %q", line)
+	}
+	var fbuf [16]string
+	fields := fbuf[:0]
+	for rest != "" {
+		line, rest = cutLine(rest)
+		fields = splitFieldsInto(fields, line)
+		if len(fields) < 2 {
+			continue
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return Normalized{}, fmt.Errorf("tracert: bad hop index in %q", line)
+		}
+		hop := NormHop{Hop: idx}
+		if fields[1] != "*" {
+			hop.Addr = fields[1]
+			for k := 2; k+1 < len(fields); k++ {
+				if fields[k+1] == "ms" {
+					v, err := strconv.ParseFloat(fields[k], 64)
+					if err == nil {
+						hop.RTTMs = append(hop.RTTMs, v)
+					}
+				}
+			}
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+// parseWindowsFast is ParseWindows for asciiSimple input.
+func parseWindowsFast(text string) (Normalized, error) {
+	rest := trimSimple(text)
+	var out Normalized
+	var fbuf [16]string
+	fields := fbuf[:0]
+	for rest != "" {
+		var line string
+		line, rest = cutLine(rest)
+		line = trimSimple(line)
+		if strings.HasPrefix(line, "Tracing route to ") {
+			tail := line[len("Tracing route to "):]
+			fields = splitFieldsInto(fields, tail)
+			if len(fields) > 0 {
+				out.Target = fields[0]
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "Trace complete") {
+			continue
+		}
+		fields = splitFieldsInto(fields, line)
+		if len(fields) < 2 {
+			continue
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil {
+			continue // stray prose
+		}
+		hop := NormHop{Hop: idx}
+		if strings.Contains(line, "Request timed out") {
+			out.Hops = append(out.Hops, hop)
+			continue
+		}
+		// Fields alternate "<n> ms" or "*" three times, then the address.
+		fs := fields[1:]
+		for i := 0; i < len(fs); i++ {
+			switch {
+			case fs[i] == "*":
+				// lost probe
+			case fs[i] == "<1" && i+1 < len(fs) && fs[i+1] == "ms":
+				hop.RTTMs = append(hop.RTTMs, 0.5)
+				i++
+			case i+1 < len(fs) && fs[i+1] == "ms":
+				if v, err := strconv.ParseFloat(fs[i], 64); err == nil {
+					hop.RTTMs = append(hop.RTTMs, v)
+					i++
+				}
+			default:
+				hop.Addr = fs[i]
+			}
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	if out.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: not tracert output")
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+// parseMTRFast is ParseMTR for asciiSimple input.
+func parseMTRFast(text string) (Normalized, error) {
+	rest := trimSimple(text)
+	var out Normalized
+	var fbuf [16]string
+	fields := fbuf[:0]
+	for rest != "" {
+		var line string
+		line, rest = cutLine(rest)
+		line = trimSimple(line)
+		if strings.HasPrefix(line, "HOST:") {
+			fields = splitFieldsInto(fields, line)
+			for i, f := range fields {
+				if f == "->" && i+1 < len(fields) {
+					out.Target = fields[i+1]
+				}
+			}
+			continue
+		}
+		sep := strings.Index(line, ".|--")
+		if sep < 0 {
+			continue
+		}
+		idx, err := strconv.Atoi(trimSimple(line[:sep]))
+		if err != nil {
+			continue
+		}
+		fields = splitFieldsInto(fields, line[sep+len(".|--"):])
+		hop := NormHop{Hop: idx}
+		if len(fields) >= 7 && fields[0] != "???" {
+			hop.Addr = fields[0]
+			// fields: addr loss% snt last avg best wrst stdev
+			best, err1 := strconv.ParseFloat(fields[5], 64)
+			avg, err2 := strconv.ParseFloat(fields[4], 64)
+			wrst, err3 := strconv.ParseFloat(fields[6], 64)
+			if err1 == nil && err2 == nil && err3 == nil {
+				hop.RTTMs = []float64{best, avg, wrst}
+			}
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	if out.Target == "" {
+		return Normalized{}, fmt.Errorf("tracert: not mtr output")
+	}
+	out.Reached = reached(out)
+	return out, nil
+}
+
+// scanScapy is a strict scanner for the exact record shape renderScapy
+// emits (no insignificant whitespace, no string escapes). ok is false for
+// anything else; ParseScapy then falls back to encoding/json.
+func scanScapy(text string) (scapyRecord, bool) {
+	var rec scapyRecord
+	s := text
+	if !strings.HasPrefix(s, `{"target":"`) {
+		return rec, false
+	}
+	s = s[len(`{"target":"`):]
+	i := strings.IndexByte(s, '"')
+	if i < 0 || strings.IndexByte(s[:i], '\\') >= 0 {
+		return rec, false
+	}
+	rec.Target = s[:i]
+	s = s[i+1:]
+	if !strings.HasPrefix(s, `,"hops":`) {
+		return rec, false
+	}
+	s = s[len(`,"hops":`):]
+	if strings.HasPrefix(s, "null}") {
+		return rec, trimSimple(s[len("null}"):]) == ""
+	}
+	if !strings.HasPrefix(s, "[") {
+		return rec, false
+	}
+	s = s[1:]
+	for {
+		if !strings.HasPrefix(s, `{"ttl":`) {
+			return rec, false
+		}
+		s = s[len(`{"ttl":`):]
+		end := numEnd(s)
+		ttl, err := strconv.Atoi(s[:end])
+		if err != nil {
+			return rec, false
+		}
+		s = s[end:]
+		hop := scapyHop{TTL: ttl}
+		if strings.HasPrefix(s, `,"src":"`) {
+			s = s[len(`,"src":"`):]
+			i := strings.IndexByte(s, '"')
+			if i < 0 || strings.IndexByte(s[:i], '\\') >= 0 {
+				return rec, false
+			}
+			hop.Src = s[:i]
+			s = s[i+1:]
+		}
+		if strings.HasPrefix(s, `,"rtts_s":[`) {
+			s = s[len(`,"rtts_s":[`):]
+			for {
+				end := numEnd(s)
+				v, err := strconv.ParseFloat(s[:end], 64)
+				if err != nil {
+					return rec, false
+				}
+				hop.RTTs = append(hop.RTTs, v)
+				s = s[end:]
+				if strings.HasPrefix(s, ",") {
+					s = s[1:]
+					continue
+				}
+				break
+			}
+			if !strings.HasPrefix(s, "]") {
+				return rec, false
+			}
+			s = s[1:]
+		}
+		if !strings.HasPrefix(s, "}") {
+			return rec, false
+		}
+		s = s[1:]
+		rec.Hops = append(rec.Hops, hop)
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		break
+	}
+	if !strings.HasPrefix(s, "]}") {
+		return rec, false
+	}
+	return rec, trimSimple(s[len("]}"):]) == ""
+}
+
+// numEnd returns the length of the JSON-number prefix of s.
+func numEnd(s string) int {
+	i := 0
+	for i < len(s) {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}

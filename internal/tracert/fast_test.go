@@ -1,0 +1,340 @@
+package tracert
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/netip"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gamma-suite/gamma/internal/netsim"
+)
+
+// The fmt.Fprintf / json.Marshal renderers this package shipped before the
+// zero-alloc rewrite, kept verbatim as the reference the differential
+// tests compare bytes against.
+
+func renderLinuxRef(res netsim.TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traceroute to %s (%s), 30 hops max, 60 byte packets\n", res.Dst, res.Dst)
+	for _, h := range res.Hops {
+		if !h.Responded {
+			fmt.Fprintf(&b, "%2d  * * *\n", h.Index)
+			continue
+		}
+		fmt.Fprintf(&b, "%2d  %s (%s)", h.Index, h.Addr, h.Addr)
+		for _, rtt := range h.RTTMs {
+			fmt.Fprintf(&b, "  %.3f ms", rtt)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderWindowsRef(res netsim.TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nTracing route to %s over a maximum of 30 hops\n\n", res.Dst)
+	for _, h := range res.Hops {
+		if !h.Responded {
+			fmt.Fprintf(&b, "%3d     *        *        *     Request timed out.\n", h.Index)
+			continue
+		}
+		fmt.Fprintf(&b, "%3d", h.Index)
+		for _, rtt := range h.RTTMs {
+			ms := int(math.Round(rtt))
+			if ms < 1 {
+				fmt.Fprintf(&b, "    <1 ms")
+			} else {
+				fmt.Fprintf(&b, "  %4d ms", ms)
+			}
+		}
+		fmt.Fprintf(&b, "  %s\n", h.Addr)
+	}
+	b.WriteString("\nTrace complete.\n")
+	return b.String()
+}
+
+func renderMTRRef(res netsim.TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Start: 2024-03-16T09:00:00+0000\n")
+	fmt.Fprintf(&b, "HOST: gamma-volunteer -> %s    Loss%%   Snt   Last   Avg  Best  Wrst StDev\n", res.Dst)
+	for _, h := range res.Hops {
+		if !h.Responded {
+			fmt.Fprintf(&b, "%3d.|-- ???                      100.0     3    0.0   0.0   0.0   0.0   0.0\n", h.Index)
+			continue
+		}
+		best, wrst, sum := math.Inf(1), 0.0, 0.0
+		for _, v := range h.RTTMs {
+			if v < best {
+				best = v
+			}
+			if v > wrst {
+				wrst = v
+			}
+			sum += v
+		}
+		avg := sum / float64(len(h.RTTMs))
+		var ss float64
+		for _, v := range h.RTTMs {
+			ss += (v - avg) * (v - avg)
+		}
+		stdev := math.Sqrt(ss / float64(len(h.RTTMs)))
+		last := h.RTTMs[len(h.RTTMs)-1]
+		fmt.Fprintf(&b, "%3d.|-- %-22s   0.0%%   %3d  %5.1f %5.1f %5.1f %5.1f  %4.1f\n",
+			h.Index, h.Addr, len(h.RTTMs), last, avg, best, wrst, stdev)
+	}
+	return b.String()
+}
+
+func renderScapyRef(res netsim.TraceResult) (string, error) {
+	rec := scapyRecord{Target: res.Dst.String()}
+	for _, h := range res.Hops {
+		sh := scapyHop{TTL: h.Index}
+		if h.Responded {
+			sh.Src = h.Addr.String()
+			for _, ms := range h.RTTMs {
+				sh.RTTs = append(sh.RTTs, ms/1000)
+			}
+		}
+		rec.Hops = append(rec.Hops, sh)
+	}
+	out, err := json.Marshal(rec)
+	return string(out), err
+}
+
+// TestRenderMatchesReference pins the append-based renderers byte for byte
+// against the fmt/json reference implementations over generated traces.
+func TestRenderMatchesReference(t *testing.T) {
+	f := func(hopCount uint8, responseMask uint16, rttSeed uint16, reached bool) bool {
+		res := genResult(hopCount, responseMask, rttSeed, reached)
+		if got, want := renderLinux(res), renderLinuxRef(res); got != want {
+			t.Logf("linux:\n got %q\nwant %q", got, want)
+			return false
+		}
+		if got, want := renderWindows(res), renderWindowsRef(res); got != want {
+			t.Logf("windows:\n got %q\nwant %q", got, want)
+			return false
+		}
+		if got, want := renderMTR(res), renderMTRRef(res); got != want {
+			t.Logf("mtr:\n got %q\nwant %q", got, want)
+			return false
+		}
+		got, gerr := renderScapy(res)
+		want, werr := renderScapyRef(res)
+		if (gerr == nil) != (werr == nil) || got != want {
+			t.Logf("scapy:\n got %q (%v)\nwant %q (%v)", got, gerr, want, werr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// TestRenderMatchesReferenceEdgeCases covers shapes quick generation can
+// miss: no hops, sub-millisecond RTTs, an empty RTT list on a responded
+// hop, and an invalid (zero) address.
+func TestRenderMatchesReferenceEdgeCases(t *testing.T) {
+	cases := []netsim.TraceResult{
+		{From: "v", Dst: addr("20.0.0.1")},
+		{From: "v", Dst: addr("20.0.0.1"), Hops: []netsim.Hop{
+			{Index: 1, Responded: true, Addr: addr("198.18.0.1"), RTTMs: []float64{0.2, 0.4, 0.49}},
+			{Index: 2, Responded: true, Addr: addr("198.18.0.2")},
+			{Index: 3},
+		}},
+		{From: "v", Dst: addr("20.0.0.9"), Hops: []netsim.Hop{
+			{Index: 1, Responded: true, RTTMs: []float64{1000000.5, 0.0001, 3}},
+		}},
+	}
+	for i, res := range cases {
+		if got, want := renderLinux(res), renderLinuxRef(res); got != want {
+			t.Errorf("case %d linux:\n got %q\nwant %q", i, got, want)
+		}
+		if got, want := renderWindows(res), renderWindowsRef(res); got != want {
+			t.Errorf("case %d windows:\n got %q\nwant %q", i, got, want)
+		}
+		if i != 1 { // both MTR renderers reject a responded hop without RTTs
+			if got, want := renderMTR(res), renderMTRRef(res); got != want {
+				t.Errorf("case %d mtr:\n got %q\nwant %q", i, got, want)
+			}
+		}
+		got, _ := renderScapy(res)
+		want, _ := renderScapyRef(res)
+		if got != want {
+			t.Errorf("case %d scapy:\n got %q\nwant %q", i, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesMarshal pins the canonical float encoding
+// against encoding/json across magnitude regimes, including the
+// exponent-trimming 'e' branches.
+func TestAppendJSONFloatMatchesMarshal(t *testing.T) {
+	vals := []float64{0, 0.0005, 0.0123, 1, 1.5, 999.999, 1e-7, 9.99e-7, 1e-9,
+		2.5e-21, 1e21, 3.7e22, 123456789.125, 0.1, 1.0 / 3.0}
+	for _, v := range vals {
+		for _, f := range []float64{v, -v} {
+			want, err := json.Marshal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := string(appendJSONFloat(nil, f)); got != string(want) {
+				t.Errorf("appendJSONFloat(%v) = %q, json.Marshal = %q", f, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendFixedFloatMatchesStrconv pins the Ryu-routed fixed-point
+// formatter against strconv's 'f' output, concentrating on the regimes
+// where the layout branch (rather than the fallback) runs: rounding
+// carries across powers of ten, leading-zero fractions, tie-adjacent
+// magnitudes, and raw random bit patterns.
+func TestAppendFixedFloatMatchesStrconv(t *testing.T) {
+	check := func(v float64, prec int) {
+		t.Helper()
+		got := string(appendFixedFloat(nil, v, prec))
+		want := string(strconv.AppendFloat(nil, v, 'f', prec, 64))
+		if got != want {
+			t.Errorf("appendFixedFloat(%g, %d) = %q, strconv = %q", v, prec, got, want)
+		}
+	}
+	fixed := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 0.05, 0.005, 0.0005, 0.00005,
+		0.9995, 0.99949999, 9.9995, 99.9995, 999.9995, 999.99949999,
+		0.0999999, 0.1, 0.10000001, 1.0 / 3.0, 2.0 / 3.0,
+		2.5, 3.5, 0.125, 0.375, 1.0005, 12.3456789,
+		1e14, 1e15 - 1, 1e15, 1e16, 1e-7, 1e-8, 5e-4, 4.9999e-4,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Nextafter(1, 0), math.Nextafter(1, 2),
+		math.Nextafter(0.1, 0), math.Nextafter(0.1, 1),
+		math.Nextafter(1000, 0), math.Nextafter(1000, 2000),
+		1000000.5, 0.0001, 3, 0.2, 0.4, 0.49, 17.5004999, 17.5005,
+	}
+	for _, v := range fixed {
+		for _, prec := range []int{1, 2, 3, 6, 9} {
+			check(v, prec)
+			check(-v, prec)
+		}
+	}
+	// Dense sweep around every power of ten the renderers can see, where
+	// the exponent estimate and carry handling are most stressed.
+	for e := -6; e <= 16; e++ {
+		p := math.Pow(10, float64(e))
+		for _, f := range []float64{0.9995, 0.99999, 1, 1.00001, 1.0005, 4.99995, 5.00005, 9.9995, 9.99999} {
+			for _, prec := range []int{1, 3} {
+				check(p*f, prec)
+			}
+		}
+	}
+	f := func(bits uint64, precSel uint8) bool {
+		v := math.Float64frombits(bits)
+		prec := 1 + int(precSel%9)
+		got := string(appendFixedFloat(nil, v, prec))
+		want := string(strconv.AppendFloat(nil, v, 'f', prec, 64))
+		if got != want {
+			t.Logf("appendFixedFloat(%b=%g, %d) = %q, strconv = %q", bits, v, prec, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseFastMatchesSlow pins the scanning parsers against the original
+// Split/Fields implementations on rendered output of every dialect.
+func TestParseFastMatchesSlow(t *testing.T) {
+	f := func(hopCount uint8, responseMask uint16, rttSeed uint16, reached bool) bool {
+		res := genResult(hopCount, responseMask, rttSeed, reached)
+		lin := renderLinux(res)
+		win := renderWindows(res)
+		mtr := renderMTR(res)
+		sc, err := renderScapy(res)
+		if err != nil {
+			return false
+		}
+		checks := []struct {
+			name       string
+			text       string
+			fast, slow func(string) (Normalized, error)
+		}{
+			{"linux", lin, parseLinuxFast, parseLinuxSlow},
+			{"windows", win, parseWindowsFast, parseWindowsSlow},
+			{"mtr", mtr, parseMTRFast, parseMTRSlow},
+		}
+		for _, c := range checks {
+			fastOut, fastErr := c.fast(c.text)
+			slowOut, slowErr := c.slow(c.text)
+			if (fastErr == nil) != (slowErr == nil) || !reflect.DeepEqual(fastOut, slowOut) {
+				t.Logf("%s diverged on %q:\nfast %+v (%v)\nslow %+v (%v)", c.name, c.text, fastOut, fastErr, slowOut, slowErr)
+				return false
+			}
+		}
+		// Scapy: the strict scanner must accept its own renderer's output
+		// and agree with the encoding/json path.
+		rec, ok := scanScapy(sc)
+		var ref scapyRecord
+		if err := json.Unmarshal([]byte(sc), &ref); err != nil {
+			return false
+		}
+		if !ok || !reflect.DeepEqual(rec, ref) {
+			t.Logf("scapy scanner diverged on %q:\nfast %+v (ok=%v)\nref %+v", sc, rec, ok, ref)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseFallbacks pins that non-canonical input still parses: tabs
+// force the slow Fields path, and whitespace or escapes in scapy records
+// force encoding/json — both must agree with the documented semantics.
+func TestParseFallbacks(t *testing.T) {
+	lin := "traceroute to 20.0.0.1 (20.0.0.1), 30 hops max, 60 byte packets\n 1\t198.18.0.1 (198.18.0.1)\t1.500 ms\n"
+	if asciiSimple(lin) {
+		t.Fatal("tabbed input should not take the fast path")
+	}
+	out, err := ParseLinux(lin)
+	if err != nil || len(out.Hops) != 1 || out.Hops[0].Addr != "198.18.0.1" || len(out.Hops[0].RTTMs) != 1 {
+		t.Fatalf("tabbed linux parse = %+v, %v", out, err)
+	}
+	spaced := `{ "target": "20.0.0.1", "hops": [ { "ttl": 1, "src": "198.18.0.1", "rtts_s": [ 0.0015 ] } ] }`
+	if _, ok := scanScapy(spaced); ok {
+		t.Fatal("spaced scapy record should not take the strict scanner")
+	}
+	norm, err := ParseScapy(spaced)
+	if err != nil || norm.Target != "20.0.0.1" || len(norm.Hops) != 1 || norm.Hops[0].RTTMs[0] != 1.5 {
+		t.Fatalf("spaced scapy parse = %+v, %v", norm, err)
+	}
+}
+
+// BenchmarkRenderParse measures the full portability-layer round trip the
+// study pays per traceroute, per dialect.
+func BenchmarkRenderParse(b *testing.B) {
+	res := genResult(12, 0xbeef, 321, true)
+	for _, f := range []Format{FormatLinux, FormatWindows, FormatScapy, FormatMTR} {
+		b.Run(f.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				text, err := Render(res, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Parse(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,141 @@
+package tracert
+
+import "strconv"
+
+// appendFixedFloat appends v exactly as strconv.AppendFloat(b, v, 'f',
+// prec, 64) would — the %.<prec>f the renderers need — but routes the
+// common case through strconv's Ryu fixed-digit path. strconv only uses
+// Ryu for shortest and for fixed-significant-digit ('e'/'g') formatting;
+// 'f' with a fixed precision always takes the big-decimal slow path,
+// which dominated the render profile. Rounding to <prec> decimals is
+// rounding to a known number of significant digits once the value's
+// decimal exponent is known, so we format with 'e' (fast), then lay the
+// digits back out in fixed-point form.
+//
+// Every input outside the proven envelope — non-positive, huge, tiny
+// tie-adjacent magnitudes, or any surprise in the 'e' output — falls back
+// to strconv, so the bytes are identical for all inputs by construction;
+// the differential test hammers the layout branch.
+func appendFixedFloat(b []byte, v float64, prec int) []byte {
+	if !(v > 0) || v >= 1e15 || prec <= 0 || prec > 9 {
+		// Zero (either sign), negatives, NaN, Inf, huge: strconv handles
+		// every edge of those.
+		return strconv.AppendFloat(b, v, 'f', prec, 64)
+	}
+
+	// Decimal exponent estimate: 10^e10 <= v < 10^(e10+1). For v >= 1 the
+	// comparisons are exact (positive powers of ten up to 1e15 are exact
+	// doubles); for v < 1 the estimate can be off by one near a boundary,
+	// which the exponent check below turns into a fallback.
+	e10 := 0
+	if v >= 1 {
+		p := 1.0
+		for v >= p*10 {
+			p *= 10
+			e10++
+		}
+	} else {
+		p := 1.0
+		for v < p {
+			p /= 10
+			e10--
+		}
+	}
+
+	sig := prec + e10 + 1
+	if sig < 0 {
+		// v < 10^(e10+1) <= 10^-(prec+1), strictly below half an ulp of
+		// the last printed place: rounds to zero.
+		b = append(b, '0', '.')
+		for i := 0; i < prec; i++ {
+			b = append(b, '0')
+		}
+		return b
+	}
+	if sig == 0 || sig > 18 {
+		// sig == 0 sits next to the 0.5*10^-prec tie; too subtle to decide
+		// with inexact negative powers. sig > 18 exceeds Ryu's fixed range.
+		return strconv.AppendFloat(b, v, 'f', prec, 64)
+	}
+
+	var tmp [32]byte
+	s := strconv.AppendFloat(tmp[:0], v, 'e', sig-1, 64)
+	// Shape: d[.dd...]e±XX — split digits and exponent.
+	ei := len(s) - 1
+	for ei > 0 && s[ei] != 'e' {
+		ei--
+	}
+	if ei <= 0 {
+		return strconv.AppendFloat(b, v, 'f', prec, 64)
+	}
+	exp, expNeg := 0, false
+	for _, c := range s[ei+1:] {
+		switch {
+		case c == '-':
+			expNeg = true
+		case c == '+':
+		case c >= '0' && c <= '9':
+			exp = exp*10 + int(c-'0')
+		default:
+			return strconv.AppendFloat(b, v, 'f', prec, 64)
+		}
+	}
+	if expNeg {
+		exp = -exp
+	}
+	var digits [20]byte
+	nd := 0
+	digits[nd] = s[0]
+	nd++
+	if sig > 1 {
+		if s[1] != '.' {
+			return strconv.AppendFloat(b, v, 'f', prec, 64)
+		}
+		for _, c := range s[2:ei] {
+			if nd >= len(digits) {
+				return strconv.AppendFloat(b, v, 'f', prec, 64)
+			}
+			digits[nd] = c
+			nd++
+		}
+	}
+	if nd != sig {
+		return strconv.AppendFloat(b, v, 'f', prec, 64)
+	}
+
+	// exp == e10 is the clean case (or an exact-power carry from just
+	// below, which lays out to the same bytes). exp == e10+1 for v >= 1 is
+	// a rounding carry across a power of ten — e10 is exact there, and the
+	// carried value needs one more integer digit with an all-zero tail.
+	// Anything else means the v < 1 estimate was off: fall back.
+	if exp != e10 && !(v >= 1 && exp == e10+1) {
+		return strconv.AppendFloat(b, v, 'f', prec, 64)
+	}
+
+	if exp >= 0 {
+		intDigits := exp + 1
+		if nd < intDigits {
+			return strconv.AppendFloat(b, v, 'f', prec, 64)
+		}
+		b = append(b, digits[:intDigits]...)
+		b = append(b, '.')
+		b = append(b, digits[intDigits:nd]...)
+		for i := nd - intDigits; i < prec; i++ {
+			b = append(b, '0')
+		}
+		return b
+	}
+	b = append(b, '0', '.')
+	zeros := -exp - 1
+	if zeros+nd > prec {
+		return strconv.AppendFloat(b[:len(b)-2], v, 'f', prec, 64)
+	}
+	for i := 0; i < zeros; i++ {
+		b = append(b, '0')
+	}
+	b = append(b, digits[:nd]...)
+	for i := zeros + nd; i < prec; i++ {
+		b = append(b, '0')
+	}
+	return b
+}

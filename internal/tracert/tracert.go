@@ -132,13 +132,18 @@ func Render(res netsim.TraceResult, f Format) (string, error) {
 }
 
 // renderMTR emits `mtr --report` style output: one summary row per hop.
+// The bytes match the original fmt.Fprintf implementation exactly (see
+// the differential test against the reference renderers).
 func renderMTR(res netsim.TraceResult) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Start: 2024-03-16T09:00:00+0000\n")
-	fmt.Fprintf(&b, "HOST: gamma-volunteer -> %s    Loss%%   Snt   Last   Avg  Best  Wrst StDev\n", res.Dst)
+	b := make([]byte, 0, 128+len(res.Hops)*88)
+	b = append(b, "Start: 2024-03-16T09:00:00+0000\n"...)
+	b = append(b, "HOST: gamma-volunteer -> "...)
+	b = appendAddr(b, res.Dst)
+	b = append(b, "    Loss%   Snt   Last   Avg  Best  Wrst StDev\n"...)
 	for _, h := range res.Hops {
+		b = appendPadInt(b, int64(h.Index), 3)
 		if !h.Responded {
-			fmt.Fprintf(&b, "%3d.|-- ???                      100.0     3    0.0   0.0   0.0   0.0   0.0\n", h.Index)
+			b = append(b, ".|-- ???                      100.0     3    0.0   0.0   0.0   0.0   0.0\n"...)
 			continue
 		}
 		best, wrst, sum := math.Inf(1), 0.0, 0.0
@@ -158,15 +163,39 @@ func renderMTR(res netsim.TraceResult) string {
 		}
 		stdev := math.Sqrt(ss / float64(len(h.RTTMs)))
 		last := h.RTTMs[len(h.RTTMs)-1]
-		fmt.Fprintf(&b, "%3d.|-- %-22s   0.0%%   %3d  %5.1f %5.1f %5.1f %5.1f  %4.1f\n",
-			h.Index, h.Addr, len(h.RTTMs), last, avg, best, wrst, stdev)
+		b = append(b, ".|-- "...)
+		addrStart := len(b)
+		b = appendAddr(b, h.Addr)
+		for len(b)-addrStart < 22 { // %-22s left justification
+			b = append(b, ' ')
+		}
+		b = append(b, "   0.0%   "...)
+		b = appendPadInt(b, int64(len(h.RTTMs)), 3)
+		b = append(b, ' ', ' ')
+		b = appendPadFloat(b, last, 5, 1)
+		b = append(b, ' ')
+		b = appendPadFloat(b, avg, 5, 1)
+		b = append(b, ' ')
+		b = appendPadFloat(b, best, 5, 1)
+		b = append(b, ' ')
+		b = appendPadFloat(b, wrst, 5, 1)
+		b = append(b, ' ', ' ')
+		b = appendPadFloat(b, stdev, 4, 1)
+		b = append(b, '\n')
 	}
-	return b.String()
+	return string(b)
 }
 
 // ParseMTR parses `mtr --report` output. Only Best/Avg/Wrst are
 // recoverable; they become the normalized probe samples.
 func ParseMTR(text string) (Normalized, error) {
+	if asciiSimple(text) {
+		return parseMTRFast(text)
+	}
+	return parseMTRSlow(text)
+}
+
+func parseMTRSlow(text string) (Normalized, error) {
 	lines := strings.Split(strings.TrimSpace(text), "\n")
 	var out Normalized
 	for _, line := range lines {
@@ -210,43 +239,60 @@ func ParseMTR(text string) (Normalized, error) {
 }
 
 func renderLinux(res netsim.TraceResult) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "traceroute to %s (%s), 30 hops max, 60 byte packets\n", res.Dst, res.Dst)
+	b := make([]byte, 0, 96+len(res.Hops)*80)
+	b = append(b, "traceroute to "...)
+	b = appendAddr(b, res.Dst)
+	b = append(b, " ("...)
+	b = appendAddr(b, res.Dst)
+	b = append(b, "), 30 hops max, 60 byte packets\n"...)
 	for _, h := range res.Hops {
+		b = appendPadInt(b, int64(h.Index), 2)
 		if !h.Responded {
-			fmt.Fprintf(&b, "%2d  * * *\n", h.Index)
+			b = append(b, "  * * *\n"...)
 			continue
 		}
-		fmt.Fprintf(&b, "%2d  %s (%s)", h.Index, h.Addr, h.Addr)
+		b = append(b, ' ', ' ')
+		b = appendAddr(b, h.Addr)
+		b = append(b, " ("...)
+		b = appendAddr(b, h.Addr)
+		b = append(b, ')')
 		for _, rtt := range h.RTTMs {
-			fmt.Fprintf(&b, "  %.3f ms", rtt)
+			b = append(b, ' ', ' ')
+			b = appendFixedFloat(b, rtt, 3)
+			b = append(b, " ms"...)
 		}
-		b.WriteByte('\n')
+		b = append(b, '\n')
 	}
-	return b.String()
+	return string(b)
 }
 
 func renderWindows(res netsim.TraceResult) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "\nTracing route to %s over a maximum of 30 hops\n\n", res.Dst)
+	b := make([]byte, 0, 128+len(res.Hops)*64)
+	b = append(b, "\nTracing route to "...)
+	b = appendAddr(b, res.Dst)
+	b = append(b, " over a maximum of 30 hops\n\n"...)
 	for _, h := range res.Hops {
+		b = appendPadInt(b, int64(h.Index), 3)
 		if !h.Responded {
-			fmt.Fprintf(&b, "%3d     *        *        *     Request timed out.\n", h.Index)
+			b = append(b, "     *        *        *     Request timed out.\n"...)
 			continue
 		}
-		fmt.Fprintf(&b, "%3d", h.Index)
 		for _, rtt := range h.RTTMs {
 			ms := int(math.Round(rtt))
 			if ms < 1 {
-				fmt.Fprintf(&b, "    <1 ms")
+				b = append(b, "    <1 ms"...)
 			} else {
-				fmt.Fprintf(&b, "  %4d ms", ms)
+				b = append(b, ' ', ' ')
+				b = appendPadInt(b, int64(ms), 4)
+				b = append(b, " ms"...)
 			}
 		}
-		fmt.Fprintf(&b, "  %s\n", h.Addr)
+		b = append(b, ' ', ' ')
+		b = appendAddr(b, h.Addr)
+		b = append(b, '\n')
 	}
-	b.WriteString("\nTrace complete.\n")
-	return b.String()
+	b = append(b, "\nTrace complete.\n"...)
+	return string(b)
 }
 
 // scapyRecord mirrors the JSON a scapy sr() post-processing script emits.
@@ -262,19 +308,51 @@ type scapyHop struct {
 }
 
 func renderScapy(res netsim.TraceResult) (string, error) {
-	rec := scapyRecord{Target: res.Dst.String()}
+	// Hand-rolled marshal of scapyRecord, byte-identical to json.Marshal
+	// for this schema (fields in struct order, omitempty semantics,
+	// canonical float encoding): the record's strings are IP addresses, so
+	// no escaping can occur.
 	for _, h := range res.Hops {
-		sh := scapyHop{TTL: h.Index}
-		if h.Responded {
-			sh.Src = h.Addr.String()
-			for _, ms := range h.RTTMs {
-				sh.RTTs = append(sh.RTTs, ms/1000)
+		for _, ms := range h.RTTMs {
+			if math.IsInf(ms, 0) || math.IsNaN(ms) {
+				return "", fmt.Errorf("tracert: unsupported RTT value %v", ms)
 			}
 		}
-		rec.Hops = append(rec.Hops, sh)
 	}
-	out, err := json.Marshal(rec)
-	return string(out), err
+	b := make([]byte, 0, 64+len(res.Hops)*72)
+	b = append(b, `{"target":"`...)
+	b = appendAddr(b, res.Dst)
+	b = append(b, `","hops":`...)
+	if len(res.Hops) == 0 {
+		b = append(b, "null}"...)
+		return string(b), nil
+	}
+	b = append(b, '[')
+	for i, h := range res.Hops {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"ttl":`...)
+		b = strconv.AppendInt(b, int64(h.Index), 10)
+		if h.Responded {
+			b = append(b, `,"src":"`...)
+			b = appendAddr(b, h.Addr)
+			b = append(b, '"')
+			if len(h.RTTMs) > 0 {
+				b = append(b, `,"rtts_s":[`...)
+				for j, ms := range h.RTTMs {
+					if j > 0 {
+						b = append(b, ',')
+					}
+					b = appendJSONFloat(b, ms/1000)
+				}
+				b = append(b, ']')
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "]}"...)
+	return string(b), nil
 }
 
 // Detect guesses the dialect of a probe-tool output.
@@ -321,6 +399,13 @@ func Parse(text string) (Normalized, error) {
 
 // ParseLinux parses traceroute(8) output.
 func ParseLinux(text string) (Normalized, error) {
+	if asciiSimple(text) {
+		return parseLinuxFast(text)
+	}
+	return parseLinuxSlow(text)
+}
+
+func parseLinuxSlow(text string) (Normalized, error) {
 	lines := strings.Split(strings.TrimSpace(text), "\n")
 	if len(lines) == 0 || !strings.HasPrefix(lines[0], "traceroute to ") {
 		return Normalized{}, fmt.Errorf("tracert: not traceroute output")
@@ -364,6 +449,13 @@ func ParseLinux(text string) (Normalized, error) {
 
 // ParseWindows parses tracert.exe output.
 func ParseWindows(text string) (Normalized, error) {
+	if asciiSimple(text) {
+		return parseWindowsFast(text)
+	}
+	return parseWindowsSlow(text)
+}
+
+func parseWindowsSlow(text string) (Normalized, error) {
 	lines := strings.Split(strings.TrimSpace(text), "\n")
 	var out Normalized
 	for _, line := range lines {
@@ -416,11 +508,16 @@ func ParseWindows(text string) (Normalized, error) {
 	return out, nil
 }
 
-// ParseScapy parses the scapy JSON record.
+// ParseScapy parses the scapy JSON record. The strict scanner handles the
+// canonical compact shape without the reflection round trip; anything
+// else (whitespace, escapes, reordered keys) falls back to encoding/json.
 func ParseScapy(text string) (Normalized, error) {
-	var rec scapyRecord
-	if err := json.Unmarshal([]byte(text), &rec); err != nil {
-		return Normalized{}, fmt.Errorf("tracert: bad scapy record: %w", err)
+	rec, ok := scanScapy(text)
+	if !ok {
+		rec = scapyRecord{}
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return Normalized{}, fmt.Errorf("tracert: bad scapy record: %w", err)
+		}
 	}
 	if rec.Target == "" {
 		return Normalized{}, fmt.Errorf("tracert: scapy record missing target")

@@ -1,0 +1,144 @@
+package websim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cacheWeb builds a web of n sites, the even-numbered ones carrying a DE
+// variant, so the page memo sees both variant and collapsed-base keys.
+func cacheWeb(t *testing.T, n int) *Web {
+	t.Helper()
+	w := NewWeb()
+	for i := 0; i < n; i++ {
+		site := Site{
+			Domain: fmt.Sprintf("site%02d.example", i),
+			Resources: []Resource{
+				{URL: fmt.Sprintf("https://cdn.example/app%d.js", i), Type: "script"},
+				{URL: fmt.Sprintf("https://img.example/hero%d.png", i), Type: "img"},
+			},
+		}
+		if i%2 == 0 {
+			site.Variants = map[string][]Resource{"DE": {
+				{URL: fmt.Sprintf("https://tracker.de/pixel%d.gif", i), Type: "img"},
+			}}
+		}
+		if err := w.AddSite(site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// TestPageCacheMatchesHTMLFor pins the memoized document against direct
+// rendering for every (site, country) combination, including countries
+// that collapse onto the base document.
+func TestPageCacheMatchesHTMLFor(t *testing.T) {
+	const n = 6
+	w := cacheWeb(t, n)
+	for i := 0; i < n; i++ {
+		domain := fmt.Sprintf("site%02d.example", i)
+		site, ok := w.Site(domain)
+		if !ok {
+			t.Fatal("missing site")
+		}
+		for _, cc := range []string{"", "DE", "US"} {
+			got, ok := w.PageHTML(domain, cc)
+			if !ok || got != site.HTMLFor(cc) {
+				t.Fatalf("PageHTML(%s, %q) diverges from HTMLFor (ok=%v)", domain, cc, ok)
+			}
+		}
+	}
+	// Distinct documents: one base per site plus one DE variant per even
+	// site; "US" and "" share the base entry.
+	wantDocs := uint64(n + (n+1)/2)
+	if st := w.PageCacheStats(); st.Derivations != wantDocs {
+		t.Errorf("derivations = %d, want one per distinct document (%d)", st.Derivations, wantDocs)
+	}
+	if _, ok := w.PageHTML("nosuch.example", ""); ok {
+		t.Error("PageHTML invented a site")
+	}
+}
+
+// TestPageCacheDisabled pins that the disabled cache still renders
+// correctly and records no traffic.
+func TestPageCacheDisabled(t *testing.T) {
+	w := cacheWeb(t, 2)
+	w.SetPageCacheDisabled(true)
+	site, _ := w.Site("site00.example")
+	for i := 0; i < 3; i++ {
+		if got, ok := w.PageHTML("site00.example", "DE"); !ok || got != site.HTMLFor("DE") {
+			t.Fatal("disabled cache diverged from HTMLFor")
+		}
+	}
+	if st := w.PageCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Derivations != 0 {
+		t.Errorf("disabled cache saw traffic: %+v", st)
+	}
+}
+
+// TestPageCacheConcurrentRace hammers the page memo from 8 goroutines over
+// overlapping (site, country) pairs. Run under -race this is the locking
+// regression test; the stats prove each document derives exactly once.
+func TestPageCacheConcurrentRace(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+		nSites     = 6
+	)
+	w := cacheWeb(t, nSites)
+	type query struct{ domain, cc string }
+	var queries []query
+	want := map[query]string{}
+	for i := 0; i < nSites; i++ {
+		domain := fmt.Sprintf("site%02d.example", i)
+		site, _ := w.Site(domain)
+		for _, cc := range []string{"", "DE", "US"} {
+			q := query{domain, cc}
+			queries = append(queries, q)
+			want[q] = site.HTMLFor(cc)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Phase-shifted walk so fills overlap in every interleaving.
+				for i := range queries {
+					q := queries[(i+g)%len(queries)]
+					got, ok := w.PageHTML(q.domain, q.cc)
+					if !ok || got != want[q] {
+						select {
+						case errs <- fmt.Sprintf("PageHTML(%s, %q) diverged (ok=%v)", q.domain, q.cc, ok):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	st := w.PageCacheStats()
+	wantDocs := uint64(nSites + (nSites+1)/2)
+	if st.Derivations != wantDocs {
+		t.Errorf("derivations = %d, want one per distinct document (%d)", st.Derivations, wantDocs)
+	}
+	total := uint64(goroutines * rounds * len(queries))
+	if st.Hits+st.Misses != total {
+		t.Errorf("hits(%d)+misses(%d) != calls(%d)", st.Hits, st.Misses, total)
+	}
+	if st.Misses < st.Derivations {
+		t.Errorf("misses(%d) < derivations(%d)", st.Misses, st.Derivations)
+	}
+}

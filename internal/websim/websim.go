@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies a site within the study's target-list taxonomy.
@@ -157,6 +158,8 @@ type Web struct {
 	sites    map[string]*Site
 	children map[string][]Resource // resource URL -> chained loads
 	cookies  map[string][]string   // resource URL -> cookies the response sets
+
+	pages pageCache
 }
 
 // NewWeb creates an empty web.
@@ -166,6 +169,94 @@ func NewWeb() *Web {
 		children: make(map[string][]Resource),
 		cookies:  make(map[string][]string),
 	}
+}
+
+// pageKey identifies a materialized homepage. Countries without a variant
+// collapse onto the base document ("") so the cache holds one entry per
+// distinct document, not one per country.
+type pageKey struct{ domain, country string }
+
+// PageCacheStats counts page-memo traffic. Hits+Misses is the number of
+// PageHTML calls; Derivations is how many documents were actually built.
+type PageCacheStats struct {
+	Hits, Misses, Derivations uint64
+}
+
+// pageCache memoizes HTMLFor output per (site, effective country). Page
+// markup is a pure function of the site's registered state — AddSite
+// stores a private copy and nothing mutates it afterwards — so every
+// session re-rendering the same document was pure waste. Read-mostly:
+// lock-free-ish RLock probes on the hot path, a fill mutex serializing
+// derivations so each document is built exactly once.
+type pageCache struct {
+	mu       sync.RWMutex
+	m        map[pageKey]string
+	fillMu   sync.Mutex
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	derived  atomic.Uint64
+	disabled atomic.Bool
+}
+
+// SetPageCacheDisabled turns the page memo off (every PageHTML call
+// re-renders). The reference mode for cached-vs-uncached equivalence tests.
+func (w *Web) SetPageCacheDisabled(off bool) { w.pages.disabled.Store(off) }
+
+// PageCacheStats returns a snapshot of the page memo counters.
+func (w *Web) PageCacheStats() PageCacheStats {
+	return PageCacheStats{
+		Hits:        w.pages.hits.Load(),
+		Misses:      w.pages.misses.Load(),
+		Derivations: w.pages.derived.Load(),
+	}
+}
+
+// PageHTML returns the homepage document the site serves to a client in
+// the given country, byte-identical to Site.HTMLFor but memoized per
+// distinct document. ok is false for unknown domains.
+func (w *Web) PageHTML(domain, country string) (html string, ok bool) {
+	site, ok := w.Site(domain)
+	if !ok {
+		return "", false
+	}
+	if w.pages.disabled.Load() {
+		return site.HTMLFor(country), true
+	}
+	key := pageKey{domain: site.Domain}
+	if _, variant := site.Variants[country]; variant {
+		key.country = country
+	}
+	w.pages.mu.RLock()
+	html, cached := w.pages.m[key]
+	w.pages.mu.RUnlock()
+	if cached {
+		w.pages.hits.Add(1)
+		return html, true
+	}
+	return w.pageFill(site, key), true
+}
+
+// pageFill renders and stores a document on a cache miss, serialized so
+// concurrent sessions landing on the same page derive it once.
+func (w *Web) pageFill(site Site, key pageKey) string {
+	w.pages.misses.Add(1)
+	w.pages.fillMu.Lock()
+	defer w.pages.fillMu.Unlock()
+	w.pages.mu.RLock()
+	html, cached := w.pages.m[key]
+	w.pages.mu.RUnlock()
+	if cached {
+		return html
+	}
+	w.pages.derived.Add(1)
+	html = site.HTMLFor(key.country)
+	w.pages.mu.Lock()
+	if w.pages.m == nil {
+		w.pages.m = make(map[pageKey]string)
+	}
+	w.pages.m[key] = html
+	w.pages.mu.Unlock()
+	return html
 }
 
 // AddSite registers a site and indexes its resource graph.

@@ -127,8 +127,13 @@ func (b *builder) foreignTrackerPool(cc string, r *rand.Rand) string {
 }
 
 // matchingHostnames returns an org's hostnames whose effective destination
-// for cc is foreign (true) or local (false).
+// for cc is foreign (true) or local (false). Results are memoized; callers
+// must treat the returned slice as read-only.
 func (b *builder) matchingHostnames(rt *orgRuntime, cc string, foreign bool) []string {
+	key := matchKey{org: rt.spec.Name, cc: cc, foreign: foreign}
+	if out, ok := b.matchMemo[key]; ok {
+		return out
+	}
 	var out []string
 	for _, h := range rt.hostnames {
 		dest, ok := rt.effectiveDest(cc, h)
@@ -139,6 +144,10 @@ func (b *builder) matchingHostnames(rt *orgRuntime, cc string, foreign bool) []s
 			out = append(out, h)
 		}
 	}
+	if b.matchMemo == nil {
+		b.matchMemo = make(map[matchKey][]string)
+	}
+	b.matchMemo[key] = out
 	return out
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/gamma-suite/gamma/internal/atlas"
+	"github.com/gamma-suite/gamma/internal/browser"
 	"github.com/gamma-suite/gamma/internal/dnssim"
 	"github.com/gamma-suite/gamma/internal/filterlist"
 	"github.com/gamma-suite/gamma/internal/geo"
@@ -73,6 +74,10 @@ type World struct {
 	// coverage/error profiles (§4.1 cites studies showing they are not
 	// fully reliable); used by the database-comparison experiment.
 	AltDBs map[string]*geodb.DB
+
+	// Pages is the study-wide parsed-homepage memo every volunteer's
+	// browser shares (nil when built with Options.DisableCaches).
+	Pages *browser.ParseCache
 
 	EasyList      *filterlist.List
 	EasyPrivacy   *filterlist.List
@@ -199,6 +204,20 @@ type builder struct {
 	lists        *siteLists
 	opts         Options
 	world        *World
+
+	// matchMemo caches matchingHostnames per (org, country, locality).
+	// Its inputs (hostnames, serving maps) are frozen by the time site
+	// building starts, and the builder is single-threaded, so a plain map
+	// suffices. Site generation queries the same few hundred combinations
+	// tens of thousands of times.
+	matchMemo map[matchKey][]string
+}
+
+// matchKey identifies one matchingHostnames result.
+type matchKey struct {
+	org     string
+	cc      string
+	foreign bool
 }
 
 // Options customizes world construction for scenario studies.
@@ -212,6 +231,13 @@ type Options struct {
 	// different ISP (and different city where available) — the study's
 	// stated "single ISP in each country" limitation, lifted.
 	SecondaryVantages bool
+	// DisableCaches turns off every measurement-plane memo (netsim path
+	// parameters, websim page markup, the browser parse cache, dnssim
+	// resolution). The caches are behaviorally invisible — the
+	// cached-vs-uncached equivalence test runs a full study both ways and
+	// compares bytes — so this exists for that test and for profiling the
+	// unmemoized baseline.
+	DisableCaches bool
 }
 
 // Build constructs the world for a seed. Identical seeds produce identical
@@ -220,10 +246,12 @@ func Build(seed uint64) (*World, error) { return BuildWithOptions(seed, Options{
 
 // BuildWithOptions constructs a world with scenario overrides applied.
 func BuildWithOptions(seed uint64, opts Options) (*World, error) {
+	ncfg := netsim.DefaultConfig(seed)
+	ncfg.DisablePathCache = opts.DisableCaches
 	b := &builder{
 		seed:         seed,
 		reg:          geo.Default(),
-		net:          netsim.New(netsim.DefaultConfig(seed)),
+		net:          netsim.New(ncfg),
 		specs:        countrySpecs(),
 		byOrg:        make(map[string]*orgRuntime),
 		nextASN:      orgASNBase,
@@ -233,6 +261,10 @@ func BuildWithOptions(seed uint64, opts Options) (*World, error) {
 	b.dns = dnssim.NewServer(b.net)
 	b.web = websim.NewWeb()
 	b.orgdb = trackerdb.NewDB(tld.Default())
+	if opts.DisableCaches {
+		b.web.SetPageCacheDisabled(true)
+		b.dns.SetResolveMemoDisabled(true)
+	}
 	b.world = &World{
 		Seed:                seed,
 		Registry:            b.reg,
@@ -249,6 +281,9 @@ func BuildWithOptions(seed uint64, opts Options) (*World, error) {
 		TrackerHostnames:    make(map[string]string),
 		CloakedDomains:      make(map[string]string),
 		BannedSites:         make(map[string][]string),
+	}
+	if !opts.DisableCaches {
+		b.world.Pages = browser.NewParseCache()
 	}
 	steps := []func() error{
 		b.buildCloudASes,

@@ -23,3 +23,12 @@ go test -run '^$' -bench 'BenchmarkServeQueries|BenchmarkSnapshotBuild|Benchmark
 # inside 10s.
 go test -run '^$' -bench 'BenchmarkSelfRun' \
 	-benchtime=1x -count=1 ./internal/lint/
+# Measurement-plane hot paths: the zero-alloc probe engine (allocs/op must
+# read 0 for BenchmarkTraceroute) and the memoized end-to-end study. One
+# smoke iteration each; BENCH_9.json holds the long-benchtime numbers.
+go test -run '^$' -bench 'BenchmarkTraceroute$|BenchmarkPing|BenchmarkBaseRTT' \
+	-benchmem -benchtime=1x -count=1 ./internal/netsim/
+go test -run '^$' -bench 'BenchmarkRenderParse' \
+	-benchtime=1x -count=1 ./internal/tracert/
+go test -run '^$' -bench 'BenchmarkRunStudyEndToEnd' \
+	-benchmem -benchtime=1x -count=1 .
