@@ -21,13 +21,23 @@
 //	GET  /v1/flows                country/continent/organization flow matrices
 //	GET  /v1/figures              figure ids
 //	GET  /v1/figures/{id}         one paper figure's data payload
+//	GET  /v1/snapshots            the addressable snapshot history, newest first
 //	GET  /healthz                 liveness
-//	GET  /debug/metrics           per-endpoint counters + latency histograms
+//	GET  /debug/metrics           per-endpoint counters + latency histograms + breaker states
 //	POST /admin/reload[?seed=N]   rebuild and atomically swap the snapshot
+//	POST /admin/rollback          restore the previously installed snapshot
 //
-// Reloads are validation-gated: a failed rebuild or an invalid
-// replacement snapshot reports 422 and leaves the current snapshot
-// serving. SIGINT/SIGTERM drain in-flight requests before exit.
+// Any /v1 read accepts ?snapshot=<id> to serve from a still-retained
+// historical generation (-history controls the ring depth). Reloads are
+// validation-gated twice: a failed rebuild or an invalid replacement
+// reports 422 with the current snapshot still serving, and a replacement
+// that installs but fails the post-install self-probe is auto-rolled
+// back. When sharded, each shard sits behind a circuit breaker
+// (-breaker-failures / -breaker-cooldown): while a shard's circuit is
+// open, listings serve a deterministic surviving-shards merge marked
+// with the Gamma-Degraded header, and single-key requests owned by the
+// open shard return 503 with Retry-After. SIGINT/SIGTERM drain in-flight
+// requests before exit.
 package main
 
 import (
@@ -62,6 +72,11 @@ type config struct {
 	acquire     time.Duration
 	drain       time.Duration
 	selfcheck   bool
+
+	history         int
+	breakerFailures int
+	breakerCooldown time.Duration
+	shardDeadline   time.Duration
 }
 
 func main() {
@@ -75,6 +90,10 @@ func main() {
 	flag.DurationVar(&cfg.acquire, "acquire-timeout", time.Second, "how long a request may wait for admission before 503")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown drain window")
 	flag.BoolVar(&cfg.selfcheck, "selfcheck", false, "boot on an ephemeral port, probe every endpoint against the snapshot, reload, exit")
+	flag.IntVar(&cfg.history, "history", serve.DefaultHistoryDepth, "installed snapshots kept addressable for ?snapshot= reads and rollback")
+	flag.IntVar(&cfg.breakerFailures, "breaker-failures", 0, "consecutive shard failures that open its circuit; 0 = default (5)")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 0, "open-circuit cooldown before a half-open trial; 0 = default (10s)")
+	flag.DurationVar(&cfg.shardDeadline, "shard-deadline", 0, "per-request budget for one shard read; 0 = default (100ms)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gammad:", err)
@@ -110,13 +129,20 @@ func run(cfg config) error {
 	// re-partitions the reloaded snapshot across the set shard by shard.
 	var srv *serve.Server
 	if cfg.shards > 1 {
-		set, err := serve.NewShardSet(snap, cfg.shards)
+		set, err := serve.NewShardSetWithOptions(snap, cfg.shards, serve.ShardSetOptions{
+			Breaker: sched.BreakerConfig{
+				FailureThreshold: cfg.breakerFailures,
+				Cooldown:         cfg.breakerCooldown,
+			},
+			LoadBudget:   cfg.shardDeadline,
+			HistoryDepth: cfg.history,
+		})
 		if err != nil {
 			return err
 		}
 		srv = serve.NewSharded(set, opts)
 	} else {
-		store, err := serve.NewStore(snap)
+		store, err := serve.NewStoreWithOptions(snap, serve.StoreOptions{HistoryDepth: cfg.history})
 		if err != nil {
 			return err
 		}

@@ -104,6 +104,63 @@ func runSelfcheck(srv *serve.Server, snap *serve.Snapshot, shards int) error {
 		return fmt.Errorf("selfcheck after reload: %w", err)
 	}
 
+	// History probe: the ring must now hold both generations with the
+	// reloaded one live, and the original must stay readable through a
+	// ?snapshot= time-travel read, byte-identical to the oracle.
+	var sp serve.SnapshotsPayload
+	resp, err = http.Get(base + "/v1/snapshots")
+	if err != nil {
+		return fmt.Errorf("selfcheck snapshots: %w", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sp)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("selfcheck snapshots: %w", err)
+	}
+	if sp.Count != 2 || len(sp.Snapshots) != 2 || !sp.Snapshots[0].Live || sp.Snapshots[1].Live {
+		return fmt.Errorf("selfcheck snapshots: count=%d, rows=%d", sp.Count, len(sp.Snapshots))
+	}
+	histID := sp.Snapshots[1].ID
+	resp, err = http.Get(base + "/v1/countries?snapshot=" + histID)
+	if err != nil {
+		return fmt.Errorf("selfcheck historical read: %w", err)
+	}
+	histBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selfcheck historical read = %d: %v", resp.StatusCode, err)
+	}
+	if want, _ := snap.Body("/v1/countries"); !bytes.Equal(histBody, want) {
+		return fmt.Errorf("selfcheck historical read: ?snapshot=%s body differs from the original generation", histID)
+	}
+
+	// Rollback probe: restore the pre-reload generation and verify every
+	// endpoint still answers byte-identically (same corpus, same bytes —
+	// the pure-function property again, now across install AND rollback).
+	resp, err = http.Post(base+"/admin/rollback", "", nil)
+	if err != nil {
+		return fmt.Errorf("selfcheck rollback: %w", err)
+	}
+	rollBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("selfcheck rollback: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selfcheck rollback = %d: %s", resp.StatusCode, rollBody)
+	}
+	var rb struct {
+		RolledBack bool   `json:"rolled_back"`
+		Snapshot   string `json:"snapshot"`
+		Swaps      uint64 `json:"swaps"`
+	}
+	if err := json.Unmarshal(rollBody, &rb); err != nil || !rb.RolledBack || rb.Snapshot != histID || rb.Swaps != 2 {
+		return fmt.Errorf("selfcheck rollback response malformed: %s", rollBody)
+	}
+	if err := probe(); err != nil {
+		return fmt.Errorf("selfcheck after rollback: %w", err)
+	}
+
 	var mp serve.MetricsPayload
 	resp, err = http.Get(base + "/debug/metrics")
 	if err != nil {
@@ -114,8 +171,12 @@ func runSelfcheck(srv *serve.Server, snap *serve.Snapshot, shards int) error {
 	if err != nil {
 		return fmt.Errorf("selfcheck metrics: %w", err)
 	}
-	if mp.Swaps != 1 || mp.Panics != 0 {
+	if mp.Swaps != 2 || mp.Panics != 0 {
 		return fmt.Errorf("selfcheck metrics: swaps=%d panics=%d", mp.Swaps, mp.Panics)
+	}
+	if mp.Rollbacks != 1 || mp.Degraded != 0 || mp.Unavailable != 0 {
+		return fmt.Errorf("selfcheck metrics: rollbacks=%d degraded=%d unavailable=%d",
+			mp.Rollbacks, mp.Degraded, mp.Unavailable)
 	}
 	if shards > 1 {
 		if len(mp.Shards) != shards {
@@ -123,8 +184,12 @@ func runSelfcheck(srv *serve.Server, snap *serve.Snapshot, shards int) error {
 		}
 		countries, trackers := 0, 0
 		for _, row := range mp.Shards {
-			if row.Swaps != 1 {
-				return fmt.Errorf("selfcheck metrics: shard %d swaps=%d, want 1", row.Shard, row.Swaps)
+			if row.Swaps != 2 {
+				return fmt.Errorf("selfcheck metrics: shard %d swaps=%d, want 2", row.Shard, row.Swaps)
+			}
+			if row.Breaker != "closed" || row.Trips != 0 {
+				return fmt.Errorf("selfcheck metrics: shard %d breaker=%s trips=%d, want closed/0",
+					row.Shard, row.Breaker, row.Trips)
 			}
 			countries += row.Countries
 			trackers += row.Trackers
@@ -136,7 +201,7 @@ func runSelfcheck(srv *serve.Server, snap *serve.Snapshot, shards int) error {
 	} else if len(mp.Shards) != 0 {
 		return fmt.Errorf("selfcheck metrics: monolithic daemon reported %d shard rows", len(mp.Shards))
 	}
-	fmt.Fprintln(os.Stderr, "gammad: selfcheck OK (probed twice across a live reload, zero drift)")
+	fmt.Fprintln(os.Stderr, "gammad: selfcheck OK (probed three times across a live reload and rollback, zero drift)")
 	return nil
 }
 

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every request through; consecutive failures
+	// are counted and trip the breaker open at the configured threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits every request until the cooldown
+	// elapses on the injected clock.
+	BreakerOpen
+	// BreakerHalfOpen admits a single trial request; its outcome decides
+	// between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics payloads.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip a closed
+	// breaker open; <= 0 uses 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker short-circuits before
+	// admitting a half-open trial; <= 0 uses 10s.
+	Cooldown time.Duration
+}
+
+func (cfg BreakerConfig) withDefaults() BreakerConfig {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Second
+	}
+	return cfg
+}
+
+// Breaker is a circuit breaker over one failable resource: closed while
+// the resource behaves, open after FailureThreshold consecutive
+// failures, half-open (one trial request) after the cooldown. All time
+// is read from the Clock passed at each call — never the wall — so the
+// full state machine is driven deterministically by a FakeClock in
+// tests, and the closed-state fast path performs no clock read at all.
+//
+// The state lives in plain atomics: Allow/Success/Failure are safe for
+// concurrent use and never allocate. Concurrent callers racing a state
+// transition may, at worst, admit one extra trial request — the counters
+// never lose a transition. A Breaker must not be copied after first use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	state    atomic.Int32  // BreakerState
+	fails    atomic.Int32  // consecutive failures while closed
+	openedAt atomic.Int64  // clock nanos at the transition into open
+	trial    atomic.Bool   // half-open: a trial request is in flight
+	trips    atomic.Uint64 // total closed/half-open → open transitions
+}
+
+// Configure normalizes and installs the config. It is called once,
+// before the breaker sees traffic; NewBreaker does it for callers that
+// want a standalone breaker rather than a slice element.
+func (b *Breaker) Configure(cfg BreakerConfig) { b.cfg = cfg.withDefaults() }
+
+// NewBreaker returns a configured breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{}
+	b.Configure(cfg)
+	return b
+}
+
+// State reports the current state.
+func (b *Breaker) State() BreakerState { return BreakerState(b.state.Load()) }
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 { return b.trips.Load() }
+
+// Allow reports whether a request may proceed. When it returns false,
+// retryAfter is how long the caller should wait before trying again —
+// the remaining cooldown of an open breaker, or the full cooldown while
+// a half-open trial is pending. The closed-state path is one atomic
+// load; the clock is consulted only once the breaker has opened.
+func (b *Breaker) Allow(clock Clock) (ok bool, retryAfter time.Duration) {
+	switch BreakerState(b.state.Load()) {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		elapsed := clock.Now().UnixNano() - b.openedAt.Load()
+		if remain := b.cfg.Cooldown - time.Duration(elapsed); remain > 0 {
+			return false, remain
+		}
+		// Cooldown over: this request becomes the half-open trial. The
+		// CAS loser stays shut out until the trial resolves.
+		if b.state.CompareAndSwap(int32(BreakerOpen), int32(BreakerHalfOpen)) {
+			b.trial.Store(true)
+			return true, 0
+		}
+		return false, b.cfg.Cooldown
+	default: // BreakerHalfOpen
+		if b.trial.CompareAndSwap(false, true) {
+			return true, 0
+		}
+		return false, b.cfg.Cooldown
+	}
+}
+
+// Success records a request the resource answered. A half-open trial
+// success re-closes the breaker; in the closed state the consecutive-
+// failure count is reset (write elided when already zero, keeping the
+// steady state read-only).
+func (b *Breaker) Success() {
+	if BreakerState(b.state.Load()) == BreakerHalfOpen {
+		b.fails.Store(0)
+		b.trial.Store(false)
+		b.state.Store(int32(BreakerClosed))
+		return
+	}
+	if b.fails.Load() != 0 {
+		b.fails.Store(0)
+	}
+}
+
+// Failure records a failed request. The threshold'th consecutive
+// failure while closed — or any failure of a half-open trial — opens
+// the breaker and stamps the cooldown start from the injected clock.
+func (b *Breaker) Failure(clock Clock) {
+	switch BreakerState(b.state.Load()) {
+	case BreakerHalfOpen:
+		b.open(clock)
+	case BreakerClosed:
+		if int(b.fails.Add(1)) >= b.cfg.FailureThreshold {
+			if b.state.CompareAndSwap(int32(BreakerClosed), int32(BreakerOpen)) {
+				b.openedAt.Store(clock.Now().UnixNano())
+				b.fails.Store(0)
+				b.trips.Add(1)
+			}
+		}
+	}
+}
+
+// open transitions half-open → open after a failed trial.
+func (b *Breaker) open(clock Clock) {
+	b.openedAt.Store(clock.Now().UnixNano())
+	b.trial.Store(false)
+	if b.state.CompareAndSwap(int32(BreakerHalfOpen), int32(BreakerOpen)) {
+		b.trips.Add(1)
+	}
+}

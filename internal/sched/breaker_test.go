@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycleExactTransitions(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1700000000, 0))
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 30 * time.Second})
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Failures below the threshold leave the breaker closed and admitting.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(clock); !ok {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Failure(clock)
+		if b.State() != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, b.State())
+		}
+	}
+	// A success resets the consecutive count: two more failures still
+	// don't trip it, the third does.
+	b.Success()
+	b.Failure(clock)
+	b.Failure(clock)
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+	b.Failure(clock)
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("threshold'th failure: state = %v, trips = %d", b.State(), b.Trips())
+	}
+
+	// Open: denied, with the remaining cooldown as retry hint.
+	if ok, retry := b.Allow(clock); ok || retry != 30*time.Second {
+		t.Fatalf("open breaker: ok=%v retry=%v", ok, retry)
+	}
+	clock.Advance(10 * time.Second)
+	if ok, retry := b.Allow(clock); ok || retry != 20*time.Second {
+		t.Fatalf("open breaker mid-cooldown: ok=%v retry=%v", ok, retry)
+	}
+
+	// Cooldown elapses: exactly one trial is admitted, others shut out.
+	clock.Advance(20 * time.Second)
+	if ok, _ := b.Allow(clock); !ok {
+		t.Fatal("cooldown elapsed but no trial admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after trial admission = %v", b.State())
+	}
+	if ok, retry := b.Allow(clock); ok || retry != 30*time.Second {
+		t.Fatalf("second request during trial: ok=%v retry=%v", ok, retry)
+	}
+
+	// The trial fails: re-open, cooldown restarts from now.
+	b.Failure(clock)
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("failed trial: state = %v, trips = %d", b.State(), b.Trips())
+	}
+	if ok, retry := b.Allow(clock); ok || retry != 30*time.Second {
+		t.Fatalf("re-opened breaker: ok=%v retry=%v", ok, retry)
+	}
+
+	// Next cooldown, successful trial: closed again, fully admitting.
+	clock.Advance(30 * time.Second)
+	if ok, _ := b.Allow(clock); !ok {
+		t.Fatal("second trial not admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful trial = %v", b.State())
+	}
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.Allow(clock); !ok {
+			t.Fatalf("re-closed breaker denied request %d", i)
+		}
+		b.Success()
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d after recovery, want 2", b.Trips())
+	}
+}
+
+func TestBreakerDefaultsAndZeroConfig(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1700000000, 0))
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 4; i++ {
+		b.Failure(clock)
+		if b.State() != BreakerClosed {
+			t.Fatalf("default threshold tripped at %d failures", i+1)
+		}
+	}
+	b.Failure(clock)
+	if b.State() != BreakerOpen {
+		t.Fatal("default threshold (5) did not trip at 5 failures")
+	}
+	clock.Advance(10*time.Second - time.Nanosecond)
+	if ok, _ := b.Allow(clock); ok {
+		t.Fatal("breaker admitted before the default 10s cooldown elapsed")
+	}
+	clock.Advance(time.Nanosecond)
+	if ok, _ := b.Allow(clock); !ok {
+		t.Fatal("breaker denied the trial after the default cooldown")
+	}
+}
+
+// TestBreakerClosedPathReadsNoClock pins that the steady state consults
+// the clock zero times: a panicking clock proves Allow/Success never
+// touch it while the breaker is closed.
+func TestBreakerClosedPathReadsNoClock(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.Allow(panicClock{}); !ok {
+			t.Fatal("closed breaker denied")
+		}
+		b.Success()
+	}
+}
+
+type panicClock struct{}
+
+func (panicClock) Now() time.Time                       { panic("clock read on the closed fast path") }
+func (panicClock) After(time.Duration) <-chan time.Time { panic("timer armed on the closed fast path") }

@@ -140,3 +140,37 @@ func BenchmarkSwapUnderLoad(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScatterGatherDegraded measures the degraded listing path: one
+// shard's circuit held open, so every listing request re-probes the set,
+// hits the memoized surviving-shards merge, and writes the marked
+// response. This is the cold path by design — the number to watch is
+// that it stays within an order of magnitude of the healthy premerged
+// serve, since a degraded cluster still has to ride out its load.
+func BenchmarkScatterGatherDegraded(b *testing.B) {
+	snap := buildTestSnapshot(b, 0, "bench")
+	clock := sched.NewFakeClock(time.Unix(1700000000, 0))
+	set, err := NewShardSetWithOptions(snap, 4, ShardSetOptions{
+		Clock:   clock,
+		Breaker: sched.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewSharded(set, Options{Clock: clock})
+	(&set.breakers[shardOf("AA", 4)]).Failure(clock)
+	for _, path := range []string{"/v1/countries", "/v1/trackers", "/v1/figures"} {
+		b.Run(path, func(b *testing.B) {
+			w := &nopResponseWriter{h: make(http.Header)}
+			r := httptest.NewRequest(http.MethodGet, path, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.ServeHTTP(w, r)
+			}
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/gamma-suite/gamma/internal/rng"
+	"github.com/gamma-suite/gamma/internal/sched"
+)
+
+// shardAccess is the decorable seam in front of one shard's generation
+// pointer: every shard read the ShardSet performs — single-key lookups,
+// degraded listing merges, post-install self-probes — goes through it.
+// The production implementation is a direct atomic load that can
+// neither fail nor block; chaos decorators inject error bursts, latency
+// spikes, and wedged shards behind the same contract.
+//
+// The deadline contract is cooperative: budget is the most time a load
+// may take, and an implementation that cannot produce a generation
+// within it must return an error instead of blocking past it. All
+// waiting happens on the injected clock, so chaos tests advance a
+// FakeClock instead of sleeping — and the circuit breaker in front of
+// the seam turns repeated deadline errors into an open circuit that
+// stops touching the shard at all.
+type shardAccess interface {
+	load(clock sched.Clock, budget time.Duration) (*Shard, error)
+}
+
+// directAccess is the production seam: one atomic pointer load through
+// the owning ShardSet, which trivially satisfies any budget. It ignores
+// the clock, so the healthy hot path never reads time.
+type directAccess struct {
+	ss *ShardSet
+	i  int
+}
+
+func (d directAccess) load(sched.Clock, time.Duration) (*Shard, error) {
+	return d.ss.shards[d.i].Load(), nil
+}
+
+// Shard-fault sentinels. Predeclared so the failure path does not
+// allocate error values per request.
+var (
+	errShardWedged = errors.New("serve: shard wedged: no response within the load budget")
+	errShardSlow   = errors.New("serve: shard latency exceeded the load budget")
+	errShardFault  = errors.New("serve: injected shard fault")
+)
+
+// chaosMode selects what a chaosAccess does to each load.
+type chaosMode int32
+
+const (
+	// chaosHealthy passes loads through untouched — with a zero fault
+	// rate the decorated set must be byte-indistinguishable from an
+	// undecorated one (TestChaosZeroFaultsByteIdentical).
+	chaosHealthy chaosMode = iota
+	// chaosFail fails loads fast (seeded Bernoulli at rate) without
+	// consuming any virtual time.
+	chaosFail
+	// chaosSlow delays faulted loads by latency on the injected clock;
+	// a latency at or beyond the caller's budget becomes a deadline
+	// error after exactly the budget elapses.
+	chaosSlow
+	// chaosWedged never answers: every load burns the full budget on
+	// the clock and times out — the stuck-shard scenario.
+	chaosWedged
+)
+
+// chaosAccess decorates a shard's access seam with deterministic,
+// seeded faults — the serving-plane analogue of sched's Flaky*
+// measurement drivers. Each call draws from an rng keyed by
+// (seed, scope, call#), so a given seed reproduces the exact same
+// fault pattern run after run, which is what lets chaos tests assert
+// breaker transitions exactly rather than statistically.
+type chaosAccess struct {
+	inner   shardAccess
+	seed    uint64
+	scope   string
+	rate    float64       // fault probability in chaosFail/chaosSlow modes
+	latency time.Duration // injected delay in chaosSlow mode
+
+	mode  atomic.Int32
+	calls atomic.Int64 // loads that reached the decorator
+	fired atomic.Int64 // loads that were faulted or delayed
+}
+
+// newChaosAccess decorates inner. scope should identify the shard so
+// each shard draws from an independent fault stream.
+func newChaosAccess(inner shardAccess, seed uint64, scope string, rate float64, latency time.Duration) *chaosAccess {
+	return &chaosAccess{inner: inner, seed: seed, scope: scope, rate: rate, latency: latency}
+}
+
+// setMode switches the fault regime; safe to call while loads are in
+// flight (tests heal a shard mid-run to drive breaker recovery).
+func (c *chaosAccess) setMode(m chaosMode) { c.mode.Store(int32(m)) }
+
+// counts reports loads seen and faults fired, for test assertions —
+// notably that an open breaker stops loads from reaching the shard.
+func (c *chaosAccess) counts() (calls, fired int64) { return c.calls.Load(), c.fired.Load() }
+
+// load implements shardAccess.
+//
+//gamma:coldpath chaos decorator body: seeded draws and clock waits are the point, never on the healthy path
+func (c *chaosAccess) load(clock sched.Clock, budget time.Duration) (*Shard, error) {
+	n := c.calls.Add(1)
+	switch chaosMode(c.mode.Load()) {
+	case chaosWedged:
+		c.fired.Add(1)
+		<-clock.After(budget)
+		return nil, errShardWedged
+	case chaosFail:
+		if c.draw(n) {
+			c.fired.Add(1)
+			return nil, errShardFault
+		}
+	case chaosSlow:
+		if c.draw(n) {
+			c.fired.Add(1)
+			if c.latency >= budget {
+				<-clock.After(budget)
+				return nil, errShardSlow
+			}
+			<-clock.After(c.latency)
+		}
+	}
+	return c.inner.load(clock, budget)
+}
+
+// draw is the seeded per-call fault decision, reusing the
+// sched/fault.go keying idiom: (seed, scope, call#) → Bernoulli(rate).
+func (c *chaosAccess) draw(call int64) bool {
+	if c.rate >= 1 {
+		return true
+	}
+	if c.rate <= 0 {
+		return false
+	}
+	r := rng.New(c.seed, "serve-chaos", c.scope, strconv.FormatInt(call, 10))
+	return rng.Bernoulli(r, c.rate)
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gamma-suite/gamma/internal/sched"
+)
+
+// newChaosShardServer builds a sharded server on a fake clock with every
+// shard's access seam wrapped in a deterministic chaos decorator
+// (initially passing everything through). Tests flip individual shards
+// into fault regimes via the returned decorators and drive breaker time
+// by advancing the clock — no wall sleeps anywhere.
+func newChaosShardServer(t testing.TB, snap *Snapshot, n int, sopts ShardSetOptions, rate float64, latency time.Duration) (*Server, *ShardSet, *sched.FakeClock, []*chaosAccess) {
+	t.Helper()
+	clock := sched.NewFakeClock(time.Unix(1700000000, 0))
+	sopts.Clock = clock
+	set, err := NewShardSetWithOptions(snap, n, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := make([]*chaosAccess, n)
+	for i := range chaos {
+		chaos[i] = newChaosAccess(directAccess{ss: set, i: i}, 42, "shard-"+strconv.Itoa(i), rate, latency)
+		set.setAccess(i, chaos[i])
+	}
+	return NewSharded(set, Options{Clock: clock}), set, clock, chaos
+}
+
+// degradedOracle hand-builds the expected degraded listing bytes: the
+// deterministic merge of the live generations with the downed shards
+// nil'd out — the independent re-derivation the served bytes must match.
+func degradedOracle(t *testing.T, set *ShardSet, down ...int) listingSet {
+	t.Helper()
+	alive := make([]*Shard, set.n)
+	for i := range alive {
+		alive[i] = set.shards[i].Load()
+	}
+	for _, i := range down {
+		alive[i] = nil
+	}
+	ls, err := mergeListings(alive, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// TestChaosBreakerLifecycleThroughHTTP walks the full breaker state
+// machine through the HTTP surface: consecutive injected faults trip the
+// owning shard's circuit (503 + Retry-After on its keys, degraded
+// listings elsewhere), an open circuit short-circuits without touching
+// the shard, the cooldown admits exactly one half-open trial, a failed
+// trial re-opens, and a successful trial restores full service.
+func TestChaosBreakerLifecycleThroughHTTP(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "chaos")
+	const n = 4
+	srv, set, clock, chaos := newChaosShardServer(t, snap, n,
+		ShardSetOptions{Breaker: sched.BreakerConfig{FailureThreshold: 3, Cooldown: 30 * time.Second}}, 1, 0)
+	owner := shardOf("AA", n)
+	keyPath := "/v1/countries/aa"
+
+	if rec := get(t, srv, keyPath); rec.Code != http.StatusOK {
+		t.Fatalf("healthy GET %s = %d", keyPath, rec.Code)
+	}
+
+	// Three consecutive faults: each refused 503, the third opens the circuit.
+	chaos[owner].setMode(chaosFail)
+	for i := 0; i < 3; i++ {
+		rec := get(t, srv, keyPath)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("fault %d: GET %s = %d, want 503", i+1, keyPath, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("fault %d: 503 without Retry-After", i+1)
+		}
+		if !strings.Contains(rec.Body.String(), `"status":503`) {
+			t.Fatalf("fault %d: unstructured 503 body: %s", i+1, rec.Body.String())
+		}
+	}
+	br := &set.breakers[owner]
+	if br.State() != sched.BreakerOpen || br.Trips() != 1 {
+		t.Fatalf("after 3 faults: breaker %v, trips %d", br.State(), br.Trips())
+	}
+
+	// Open circuit: refused with the remaining cooldown, and the shard is
+	// no longer touched at all.
+	calls, _ := chaos[owner].counts()
+	rec := get(t, srv, keyPath)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") != "30" {
+		t.Fatalf("open circuit: GET = %d, Retry-After %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if after, _ := chaos[owner].counts(); after != calls {
+		t.Fatalf("open circuit still loads the shard: %d → %d calls", calls, after)
+	}
+
+	// Listings degrade to the surviving shards, marked and deterministic.
+	oracle := degradedOracle(t, set, owner)
+	recL := get(t, srv, "/v1/countries")
+	if recL.Code != http.StatusOK {
+		t.Fatalf("degraded listing = %d", recL.Code)
+	}
+	if got := recL.Header().Get("Gamma-Degraded"); got != "shards=3/4" {
+		t.Fatalf("Gamma-Degraded = %q, want shards=3/4", got)
+	}
+	if !bytes.Equal(recL.Body.Bytes(), oracle.countries.body) {
+		t.Fatal("degraded /v1/countries bytes diverge from the surviving-shards merge oracle")
+	}
+	// A key on a healthy shard keeps serving at full fidelity, unmarked.
+	healthyKey := "/v1/trackers/ads.tracker-x.example"
+	if shardOf("ads.tracker-x.example", n) == owner {
+		healthyKey = "/v1/countries/bb"
+	}
+	recH := get(t, srv, healthyKey)
+	want, _ := snap.Body(healthyKey)
+	if recH.Code != http.StatusOK || !bytes.Equal(recH.Body.Bytes(), want) || recH.Header().Get("Gamma-Degraded") != "" {
+		t.Fatalf("healthy-shard GET %s = %d, degraded=%q", healthyKey, recH.Code, recH.Header().Get("Gamma-Degraded"))
+	}
+
+	// Cooldown elapses; the shard is still broken: the half-open trial
+	// fails and the circuit re-opens for a fresh cooldown.
+	clock.Advance(30 * time.Second)
+	if rec := get(t, srv, keyPath); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failed trial: GET = %d", rec.Code)
+	}
+	if br.State() != sched.BreakerOpen || br.Trips() != 2 {
+		t.Fatalf("after failed trial: breaker %v, trips %d", br.State(), br.Trips())
+	}
+	if rec := get(t, srv, keyPath); rec.Header().Get("Retry-After") != "30" {
+		t.Fatalf("re-opened cooldown Retry-After = %q, want 30", rec.Header().Get("Retry-After"))
+	}
+
+	// The shard heals; the next cooldown's trial succeeds and closes the
+	// circuit — full service restored, listings byte-identical to healthy.
+	chaos[owner].setMode(chaosHealthy)
+	clock.Advance(30 * time.Second)
+	recT := get(t, srv, keyPath)
+	wantKey, _ := snap.Body(keyPath)
+	if recT.Code != http.StatusOK || !bytes.Equal(recT.Body.Bytes(), wantKey) {
+		t.Fatalf("recovery trial: GET = %d", recT.Code)
+	}
+	if br.State() != sched.BreakerClosed {
+		t.Fatalf("after successful trial: breaker %v", br.State())
+	}
+	recL2 := get(t, srv, "/v1/countries")
+	wantList, _ := snap.Body("/v1/countries")
+	if !bytes.Equal(recL2.Body.Bytes(), wantList) || recL2.Header().Get("Gamma-Degraded") != "" {
+		t.Fatal("recovered listing is not byte-identical to the healthy merge")
+	}
+}
+
+// TestChaosWedgedShardConsumesExactlyTheBudget pins the cooperative
+// deadline: a wedged shard burns exactly the load budget on the injected
+// clock and then fails — the request does not hang, and the failure
+// feeds the breaker like any other.
+func TestChaosWedgedShardConsumesExactlyTheBudget(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "wedge")
+	const n = 4
+	const budget = 50 * time.Millisecond
+	srv, set, clock, chaos := newChaosShardServer(t, snap, n,
+		ShardSetOptions{Breaker: sched.BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute}, LoadBudget: budget}, 1, 0)
+	owner := shardOf("AA", n)
+	chaos[owner].setMode(chaosWedged)
+
+	for i := 0; i < 2; i++ {
+		done := make(chan int, 1)
+		go func() {
+			rec := get(t, srv, "/v1/countries/aa")
+			done <- rec.Code
+		}()
+		clock.BlockUntilWaiters(1) // the wedged load is parked on clock.After(budget)
+		clock.Advance(budget - time.Millisecond)
+		select {
+		case code := <-done:
+			t.Fatalf("request completed (%d) before the budget elapsed", code)
+		default:
+		}
+		clock.Advance(time.Millisecond)
+		if code := <-done; code != http.StatusServiceUnavailable {
+			t.Fatalf("wedged shard: GET = %d, want 503", code)
+		}
+	}
+	if br := &set.breakers[owner]; br.State() != sched.BreakerOpen {
+		t.Fatalf("two budget timeouts did not open the breaker: %v", br.State())
+	}
+	// Open circuit: answered instantly, no clock waiter armed.
+	if rec := get(t, srv, "/v1/countries/aa"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatal("open circuit did not short-circuit the wedged shard")
+	}
+	if clock.Waiters() != 0 {
+		t.Fatalf("open circuit armed %d clock waiters", clock.Waiters())
+	}
+}
+
+// TestChaosDegradedListingsDeterministic pins the degradation contract:
+// for a fixed set of surviving generations, every degraded listing is
+// byte-identical across repeated requests, matches the independent merge
+// oracle, carries a stable ETag that honors revalidation, and the
+// degraded figure index is the canonical order filtered to survivors.
+func TestChaosDegradedListingsDeterministic(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "det")
+	const n = 4
+	srv, set, _, chaos := newChaosShardServer(t, snap, n,
+		ShardSetOptions{Breaker: sched.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}}, 1, 0)
+	owner := shardOf("AA", n)
+	chaos[owner].setMode(chaosFail)
+	if rec := get(t, srv, "/v1/countries/aa"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatal("tripping request did not 503")
+	}
+
+	oracle := degradedOracle(t, set, owner)
+	for path, want := range map[string]payload{
+		"/v1/countries": oracle.countries,
+		"/v1/trackers":  oracle.trackers,
+		"/v1/figures":   oracle.figIndex,
+	} {
+		first := get(t, srv, path)
+		if first.Code != http.StatusOK || first.Header().Get("Gamma-Degraded") != "shards=3/4" {
+			t.Fatalf("GET %s = %d, degraded %q", path, first.Code, first.Header().Get("Gamma-Degraded"))
+		}
+		if !bytes.Equal(first.Body.Bytes(), want.body) {
+			t.Fatalf("GET %s diverges from the merge oracle", path)
+		}
+		if first.Header().Get("Etag") != want.etag[0] {
+			t.Fatalf("GET %s etag %q, want %q", path, first.Header().Get("Etag"), want.etag[0])
+		}
+		for i := 0; i < 3; i++ {
+			if again := get(t, srv, path); !bytes.Equal(again.Body.Bytes(), first.Body.Bytes()) {
+				t.Fatalf("GET %s not byte-deterministic across requests", path)
+			}
+		}
+		// Degraded responses revalidate like any other: same bytes, same
+		// tag, so a conditional request 304s.
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.Header.Set("If-None-Match", want.etag[0])
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			t.Fatalf("degraded conditional GET %s = %d, want 304", path, rec.Code)
+		}
+	}
+
+	// The degraded countries listing must actually differ from the full
+	// one (the downed shard owns country AA), and the full listing count
+	// must exceed the degraded one.
+	full, _ := snap.Body("/v1/countries")
+	if bytes.Equal(oracle.countries.body, full) {
+		t.Fatal("degraded listing is identical to the full listing; fixture owns nothing on the downed shard")
+	}
+}
+
+// TestChaosZeroFaultsByteIdentical is the harness-neutrality gate: with
+// every shard decorated but injecting nothing, the chaos-wrapped set is
+// byte-indistinguishable — bodies and ETags — from the monolithic oracle
+// on every endpoint, no breaker moves, and nothing is counted degraded.
+func TestChaosZeroFaultsByteIdentical(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "neutral")
+	srv, set, _, chaos := newChaosShardServer(t, snap, 4, ShardSetOptions{}, 0, 0)
+	for i := range chaos {
+		chaos[i].setMode(chaosFail) // rate 0: the draw path runs, nothing fires
+	}
+	for _, path := range snap.Endpoints() {
+		rec := get(t, srv, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		want, _ := snap.Body(path)
+		if !bytes.Equal(rec.Body.Bytes(), want) {
+			t.Fatalf("GET %s diverges from the monolithic oracle under zero faults", path)
+		}
+		if rec.Header().Get("Gamma-Degraded") != "" {
+			t.Fatalf("GET %s marked degraded under zero faults", path)
+		}
+	}
+	for i := range chaos {
+		if _, fired := chaos[i].counts(); fired != 0 {
+			t.Fatalf("shard %d fired %d faults at rate 0", i, fired)
+		}
+		if br := &set.breakers[i]; br.State() != sched.BreakerClosed || br.Trips() != 0 {
+			t.Fatalf("shard %d breaker moved under zero faults", i)
+		}
+	}
+	var mp MetricsPayload
+	if err := json.Unmarshal(get(t, srv, "/debug/metrics").Body.Bytes(), &mp); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Degraded != 0 || mp.Unavailable != 0 {
+		t.Fatalf("zero-fault run counted degraded=%d unavailable=%d", mp.Degraded, mp.Unavailable)
+	}
+}
+
+// TestChaosAutoRollbackOnFailedSelfProbe: installing a snapshot into a
+// degraded set cannot be verified end to end, so the reload must refuse —
+// install, fail the post-install self-probe on the open shard, and
+// auto-roll back to the previous generation, all reported in one 422.
+func TestChaosAutoRollbackOnFailedSelfProbe(t *testing.T) {
+	snapA := buildTestSnapshot(t, 0, "gen-a")
+	snapB := buildTestSnapshot(t, 1, "gen-b")
+	clock := sched.NewFakeClock(time.Unix(1700000000, 0))
+	set, err := NewShardSetWithOptions(snapA, 4, ShardSetOptions{
+		Clock:   clock,
+		Breaker: sched.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := newChaosAccess(directAccess{ss: set, i: 0}, 42, "shard-0", 1, 0)
+	set.setAccess(0, ch)
+	srv := NewSharded(set, Options{Clock: clock, Reload: func(context.Context, url.Values) (*Snapshot, error) {
+		return snapB, nil
+	}})
+
+	// Trip shard 0 open with one faulted keyed request.
+	ch.setMode(chaosFail)
+	var tripped bool
+	for _, path := range snapA.Endpoints() {
+		ep, arg := route(path)
+		if ep != epCountry && ep != epTracker && ep != epFigure && ep != epFlows {
+			continue
+		}
+		var idx int
+		if ep == epFlows {
+			idx = set.flowsIdx
+		} else {
+			idx = shardOf(arg, 4)
+		}
+		if idx != 0 {
+			continue
+		}
+		if rec := get(t, srv, path); rec.Code == http.StatusServiceUnavailable {
+			tripped = true
+		}
+		break
+	}
+	if !tripped || (&set.breakers[0]).State() != sched.BreakerOpen {
+		t.Fatal("could not trip shard 0's breaker open")
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("reload into a degraded set = %d, want 422", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "auto-rolled back to snapshot gen-a") {
+		t.Fatalf("422 body does not report the auto-rollback: %s", body)
+	}
+	// The failed install is not a history point: the ring holds only the
+	// restored generation, and both the install and the rollback counted
+	// as swaps.
+	sp := set.snapshots()
+	if sp.Count != 1 || sp.Snapshots[0].ID != "gen-a" || !sp.Snapshots[0].Live {
+		t.Fatalf("history after auto-rollback: %+v", sp)
+	}
+	if set.Swaps() != 2 {
+		t.Fatalf("swaps = %d, want 2 (install + auto-rollback)", set.Swaps())
+	}
+	var mp MetricsPayload
+	if err := json.Unmarshal(get(t, srv, "/debug/metrics").Body.Bytes(), &mp); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", mp.Rollbacks)
+	}
+	// Healthy shards keep serving generation A bytes after the rollback.
+	healthyKey := "/v1/countries/aa"
+	if shardOf("AA", 4) == 0 {
+		healthyKey = "/v1/countries/bb"
+	}
+	if shardOf("BB", 4) == 0 && shardOf("AA", 4) == 0 {
+		t.Skip("fixture countries both landed on shard 0")
+	}
+	recK := get(t, srv, healthyKey)
+	want, _ := snapA.Body(healthyKey)
+	if recK.Code != http.StatusOK || !bytes.Equal(recK.Body.Bytes(), want) {
+		t.Fatalf("post-rollback GET %s = %d or wrong generation", healthyKey, recK.Code)
+	}
+}
+
+// TestChaosAvailabilitySweep drives a fixed request schedule against a
+// seeded fault regime across (fault rate × breaker threshold) and logs
+// the availability table EXPERIMENTS.md records. The run is fully
+// deterministic — seeded draws, fake clock — so the counts are exact,
+// and a second identical run must reproduce them bit for bit.
+func TestChaosAvailabilitySweep(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "sweep")
+	paths := snap.Endpoints()
+	run := func(rate float64, threshold int) (ok, degraded, unavailable int) {
+		srv, _, clock, chaos := newChaosShardServer(t, snap, 4,
+			ShardSetOptions{Breaker: sched.BreakerConfig{FailureThreshold: threshold, Cooldown: 5 * time.Second}}, rate, 0)
+		for i := range chaos {
+			chaos[i].setMode(chaosFail)
+		}
+		for i := 0; i < 600; i++ {
+			if i%50 == 49 {
+				clock.Advance(time.Second) // let cooldowns elapse and trials run
+			}
+			rec := get(t, srv, paths[i%len(paths)])
+			switch {
+			case rec.Code == http.StatusOK && rec.Header().Get("Gamma-Degraded") != "":
+				degraded++
+			case rec.Code == http.StatusOK:
+				ok++
+			case rec.Code == http.StatusServiceUnavailable:
+				unavailable++
+			default:
+				t.Fatalf("GET %s = %d", paths[i%len(paths)], rec.Code)
+			}
+		}
+		return ok, degraded, unavailable
+	}
+	t.Log("fault_rate threshold ok degraded unavailable (of 600)")
+	for _, rate := range []float64{0.05, 0.2, 0.5} {
+		for _, threshold := range []int{3, 5} {
+			ok1, dg1, un1 := run(rate, threshold)
+			ok2, dg2, un2 := run(rate, threshold)
+			if ok1 != ok2 || dg1 != dg2 || un1 != un2 {
+				t.Fatalf("rate %.2f threshold %d: sweep not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+					rate, threshold, ok1, dg1, un1, ok2, dg2, un2)
+			}
+			if ok1+dg1+un1 != 600 {
+				t.Fatalf("rate %.2f threshold %d: responses do not sum: %d", rate, threshold, ok1+dg1+un1)
+			}
+			t.Logf("%.2f %d %d %d %d", rate, threshold, ok1, dg1, un1)
+		}
+	}
+}

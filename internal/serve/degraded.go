@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+)
+
+// degradedView is one memoized degraded scatter-gather merge: the
+// listing payloads re-merged from the shard generations that were still
+// answering, plus the preallocated response decorations. It is keyed by
+// the exact generation pointers it was built from (nil = that shard's
+// circuit was open), so byte-determinism follows from immutability: the
+// same surviving generations always serve the same cached bytes.
+type degradedView struct {
+	from     []*Shard // generation pointers the merge was built from; nil = excluded
+	listings listingSet
+	header   []string // Gamma-Degraded value, "shards=<healthy>/<total>"
+	idHeader []string
+	healthy  int
+}
+
+// degradedMemo caches the most recent degraded merge. Degradation is a
+// stable condition — a breaker stays open for a whole cooldown — so one
+// entry absorbs the re-merge cost for every listing request in that
+// window, and the cache invalidates itself by pointer identity the
+// moment a shard heals, trips, or swaps generations.
+type degradedMemo struct {
+	mu  sync.Mutex
+	cur *degradedView
+}
+
+// view returns the merge for exactly the given surviving generations,
+// reusing the cached one when the pointer set is unchanged.
+//
+//gamma:coldpath degraded merges happen only while a breaker is non-closed
+func (m *degradedMemo) view(alive []*Shard, meta Meta) (*degradedView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur != nil && sameShards(m.cur.from, alive) {
+		return m.cur, nil
+	}
+	ls, err := mergeListings(alive, false)
+	if err != nil {
+		return nil, err
+	}
+	dv := &degradedView{
+		from:     append([]*Shard(nil), alive...),
+		listings: ls,
+		idHeader: []string{meta.ID},
+	}
+	for _, sh := range alive {
+		if sh != nil {
+			dv.healthy++
+		}
+	}
+	dv.header = []string{"shards=" + strconv.Itoa(dv.healthy) + "/" + strconv.Itoa(len(alive))}
+	m.cur = dv
+	return dv, nil
+}
+
+// sameShards reports element-wise pointer identity.
+func sameShards(a, b []*Shard) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -153,8 +153,9 @@ func TestEtagStableAcrossRebuildsAndShardCounts(t *testing.T) {
 		ep, arg := route(path)
 		pl1, ok1 := snapA1.payloadFor(ep, arg)
 		pl2, ok2 := snapA2.payloadFor(ep, arg)
-		plS, _, okS := set.get(ep, arg)
-		if !ok1 || !ok2 || !okS {
+		lkS := set.get(ep, arg)
+		plS := lkS.pl
+		if !ok1 || !ok2 || lkS.code != lookupOK {
 			t.Fatalf("%s did not resolve everywhere", path)
 		}
 		if pl1.etag[0] != pl2.etag[0] {

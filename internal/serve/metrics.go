@@ -41,9 +41,12 @@ type endpointMetrics struct {
 // and production stays on sched.Wall() — the walltime lint invariant
 // holds for the serving layer too.
 type metrics struct {
-	endpoints [epCount]endpointMetrics
-	panics    atomic.Uint64
-	overloads atomic.Uint64
+	endpoints   [epCount]endpointMetrics
+	panics      atomic.Uint64
+	overloads   atomic.Uint64
+	degraded    atomic.Uint64 // 200s served from a surviving-shards merge
+	unavailable atomic.Uint64 // 503s from open circuits (not admission sheds)
+	rollbacks   atomic.Uint64 // operator rollbacks plus auto-rollbacks
 }
 
 // observe records one finished request.
@@ -95,6 +98,8 @@ type ShardStats struct {
 	Trackers  int    `json:"trackers"`
 	Figures   int    `json:"figures"`
 	Flows     bool   `json:"flows,omitempty"`
+	Breaker   string `json:"breaker"`
+	Trips     uint64 `json:"trips"`
 	Swaps     uint64 `json:"swaps"`
 	Requests  uint64 `json:"requests"`
 }
@@ -103,13 +108,16 @@ type ShardStats struct {
 // emitted in fixed route order, so the body's shape is deterministic;
 // Shards is present only when serving from a ShardSet, in shard order.
 type MetricsPayload struct {
-	Snapshot  SnapshotInfo    `json:"snapshot"`
-	UptimeMs  int64           `json:"uptime_ms"`
-	Swaps     uint64          `json:"swaps"`
-	Panics    uint64          `json:"panics"`
-	Overloads uint64          `json:"overloads"`
-	Shards    []ShardStats    `json:"shards,omitempty"`
-	Endpoints []EndpointStats `json:"endpoints"`
+	Snapshot    SnapshotInfo    `json:"snapshot"`
+	UptimeMs    int64           `json:"uptime_ms"`
+	Swaps       uint64          `json:"swaps"`
+	Panics      uint64          `json:"panics"`
+	Overloads   uint64          `json:"overloads"`
+	Degraded    uint64          `json:"degraded"`
+	Unavailable uint64          `json:"unavailable"`
+	Rollbacks   uint64          `json:"rollbacks"`
+	Shards      []ShardStats    `json:"shards,omitempty"`
+	Endpoints   []EndpointStats `json:"endpoints"`
 }
 
 // collect materializes the counters for /debug/metrics. Endpoints that

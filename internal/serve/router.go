@@ -20,15 +20,20 @@ const (
 	epFlows
 	epFigures
 	epFigure
+	epSnapshots
 	epMetrics
 	epReload
+	epRollback
 	epCount
 )
 
-// endpointNames label the metrics output; indexed by endpoint.
+// endpointNames label the metrics output; indexed by endpoint. Every
+// endpoint — including the snapshots/rollback admin surface — has a
+// name, so /debug/metrics never shows an unnamed row
+// (TestMetricsRowsAllNamed is the proof obligation).
 var endpointNames = [epCount]string{
 	"unknown", "healthz", "countries", "country", "trackers", "tracker",
-	"flows", "figures", "figure", "metrics", "reload",
+	"flows", "figures", "figure", "snapshots", "metrics", "reload", "rollback",
 }
 
 // route resolves a request path to its endpoint and decoded argument.
@@ -45,6 +50,10 @@ func route(path string) (endpoint, string) {
 		return epMetrics, ""
 	case "/admin/reload":
 		return epReload, ""
+	case "/admin/rollback":
+		return epRollback, ""
+	case "/v1/snapshots":
+		return epSnapshots, ""
 	case "/v1/countries":
 		return epCountries, ""
 	case "/v1/trackers":

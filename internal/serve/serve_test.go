@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -621,5 +622,91 @@ func TestBodyMatchesEndpointEnumeration(t *testing.T) {
 	}
 	if _, ok := snap.Body("/v1/countries/zz"); ok {
 		t.Error("Body resolved an unknown country")
+	}
+}
+
+// TestAdminRequestBodyBounds pins the admin-abuse guards: both admin
+// endpoints refuse oversized request bodies and oversized query strings
+// with a structured 413 before any expensive work runs, and a
+// Content-Length lie is caught by draining through the bounded reader.
+func TestAdminRequestBodyBounds(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "bounds")
+	srv, _ := newTestServer(t, snap, Options{
+		Reload: func(context.Context, url.Values) (*Snapshot, error) {
+			t.Error("reloader ran for a request that should have been refused")
+			return nil, nil
+		},
+	})
+	post := func(target string, body io.Reader, declare int64) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, target, body)
+		if declare >= 0 {
+			req.ContentLength = declare
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	check413 := func(name string, rec *httptest.ResponseRecorder) {
+		t.Helper()
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s = %d, want 413", name, rec.Code)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: unstructured 413 body: %s", name, rec.Body.Bytes())
+		}
+	}
+	oversized := func() io.Reader { return bytes.NewReader(make([]byte, maxAdminBody+1)) }
+	for _, target := range []string{"/admin/reload", "/admin/rollback"} {
+		check413(target+" declared oversize", post(target, oversized(), maxAdminBody+1))
+		// Undeclared length (chunked-style): caught while draining.
+		check413(target+" undeclared oversize", post(target, oversized(), -1))
+		check413(target+" oversized query", post(target+"?pad="+strings.Repeat("x", maxQueryBytes+1), nil, 0))
+	}
+	// A body at exactly the bound is accepted (rollback with an empty
+	// history answers 409, proving the request got past the guards).
+	rec := post("/admin/rollback", bytes.NewReader(make([]byte, maxAdminBody)), maxAdminBody)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("bounded body refused: %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestMetricsRowsAllNamed pins the observability contract for the route
+// table: every endpoint row /debug/metrics emits carries a non-empty,
+// unique name — adding an endpoint without naming it is a test failure,
+// not a silent "unknown" row — and the row set covers the full enum.
+func TestMetricsRowsAllNamed(t *testing.T) {
+	snap := buildTestSnapshot(t, 0, "named")
+	srv, _ := newTestServer(t, snap, Options{})
+	var mp MetricsPayload
+	if err := json.Unmarshal(get(t, srv, "/debug/metrics").Body.Bytes(), &mp); err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Endpoints) != int(epCount) {
+		t.Fatalf("%d endpoint rows, want %d", len(mp.Endpoints), epCount)
+	}
+	seen := map[string]bool{}
+	for i, row := range mp.Endpoints {
+		if row.Endpoint == "" {
+			t.Errorf("endpoint row %d has no name", i)
+		}
+		if seen[row.Endpoint] {
+			t.Errorf("duplicate endpoint row %q", row.Endpoint)
+		}
+		seen[row.Endpoint] = true
+	}
+	// The enum, the name table, and the route map stay in lockstep.
+	if len(endpointNames) != int(epCount) {
+		t.Fatalf("endpointNames has %d entries, epCount is %d", len(endpointNames), epCount)
+	}
+	for _, path := range []string{"/v1/snapshots", "/admin/rollback", "/debug/metrics", "/admin/reload"} {
+		ep, _ := route(path)
+		if ep == epUnknown {
+			t.Errorf("%s does not route", path)
+			continue
+		}
+		if !seen[endpointNames[ep]] {
+			t.Errorf("%s routes to %q which has no metrics row", path, endpointNames[ep])
+		}
 	}
 }

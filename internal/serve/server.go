@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -35,6 +38,14 @@ type Options struct {
 	Reload func(ctx context.Context, params url.Values) (*Snapshot, error)
 }
 
+// Admin request bounds: /admin/* accepts only trivially small inputs
+// (reload parameters travel in the query string), so anything larger is
+// rejected up front with a structured 413 instead of being read.
+const (
+	maxAdminBody  = 1 << 16 // bytes of request body drained before refusing
+	maxQueryBytes = 4096    // raw query-string length bound, all endpoints
+)
+
 // Preallocated header values: writing them is a map assignment of a
 // shared slice, not a per-request allocation. Handlers never mutate them.
 var (
@@ -66,7 +77,7 @@ type Server struct {
 	sem            chan struct{}
 	acquireTimeout time.Duration
 	reload         func(ctx context.Context, params url.Values) (*Snapshot, error)
-	reloadMu       sync.Mutex // single-flight: concurrent reloads would race to swap
+	reloadMu       sync.Mutex // single-flight: concurrent reloads/rollbacks would race to swap
 	m              metrics
 	start          time.Time
 }
@@ -78,7 +89,8 @@ func New(store *Store, opts Options) *Server {
 
 // NewSharded builds a Server over a ShardSet: single-key endpoints route
 // straight to the owning shard, listings serve the pre-merged
-// scatter-gather view, and POST /admin/reload re-partitions the reloaded
+// scatter-gather view (degrading to a surviving-shards merge when a
+// circuit opens), and POST /admin/reload re-partitions the reloaded
 // snapshot across the set with staggered per-shard swaps.
 func NewSharded(set *ShardSet, opts Options) *Server {
 	return newServer(set, opts)
@@ -134,8 +146,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // serve dispatches one routed request and returns the response status.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, ep endpoint, arg string) int {
-	if ep == epReload {
+	switch ep {
+	case epReload:
 		return s.handleReload(w, r)
+	case epRollback:
+		return s.handleRollback(w, r)
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header()["Allow"] = allowGetHead
@@ -157,14 +172,27 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, ep endpoint, arg 
 		return s.writeConditional(w, r, healthPayload, nil)
 	case epMetrics:
 		return s.handleMetrics(w, r)
+	case epSnapshots:
+		return s.handleSnapshots(w, r)
 	case epUnknown:
 		return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
 	default:
-		pl, idHeader, ok := s.back.get(ep, arg)
-		if !ok {
+		if r.URL.RawQuery != "" {
+			if status := s.maybeServeHistorical(w, r, ep, arg); status != 0 {
+				return status
+			}
+		}
+		lk := s.back.get(ep, arg)
+		switch lk.code {
+		case lookupOK:
+			return s.writeConditional(w, r, lk.pl, lk.id)
+		case lookupDegraded:
+			return s.writeDegraded(w, r, lk)
+		case lookupUnavailable:
+			return s.writeUnavailable(w, lk)
+		default:
 			return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
 		}
-		return s.writeConditional(w, r, pl, idHeader)
 	}
 }
 
@@ -209,6 +237,71 @@ func (s *Server) writeConditional(w http.ResponseWriter, r *http.Request, pl pay
 	}
 	s.writePayload(w, r, pl, idHeader)
 	return http.StatusOK
+}
+
+// writeDegraded serves a listing merged from the surviving shards: a
+// normal (conditional, ETagged) 200 plus the Gamma-Degraded header
+// announcing how much of the set answered. The body is deterministic for
+// a given set of surviving generations — it comes from the memoized
+// degraded merge — so caches and retries behave exactly as on the
+// healthy path.
+//
+//gamma:coldpath degraded responses only occur while a breaker is non-closed
+func (s *Server) writeDegraded(w http.ResponseWriter, r *http.Request, lk lookup) int {
+	s.m.degraded.Add(1)
+	w.Header()["Gamma-Degraded"] = lk.degraded
+	return s.writeConditional(w, r, lk.pl, lk.id)
+}
+
+// writeUnavailable refuses a request whose owning shard (or, for a
+// listing, every shard) has an open circuit: a structured 503 with a
+// Retry-After derived from the breaker's remaining cooldown, never less
+// than one second.
+//
+//gamma:coldpath circuit-open refusals marshal an error body
+func (s *Server) writeUnavailable(w http.ResponseWriter, lk lookup) int {
+	s.m.unavailable.Add(1)
+	secs := int((lk.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	msg := "shard unavailable: circuit open"
+	if lk.total > 0 {
+		msg = "unavailable: " + strconv.Itoa(lk.healthy) + "/" + strconv.Itoa(lk.total) + " shards answering"
+	}
+	return s.writeError(w, http.StatusServiceUnavailable, msg, "")
+}
+
+// maybeServeHistorical handles ?snapshot=<id> time-travel reads against
+// the history ring. It returns 0 when the request carries no snapshot
+// parameter — the caller falls through to the live generation — and the
+// written status otherwise. Historical reads always serve from the
+// retained monolithic snapshot, so they stay available (full fidelity)
+// even while the live sharded generation is degraded.
+//
+//gamma:coldpath time-travel reads parse the query string and probe the history ring
+func (s *Server) maybeServeHistorical(w http.ResponseWriter, r *http.Request, ep endpoint, arg string) int {
+	if len(r.URL.RawQuery) > maxQueryBytes {
+		return s.writeError(w, http.StatusRequestEntityTooLarge, "query string exceeds the request bound", r.URL.Path)
+	}
+	q, err := url.ParseQuery(r.URL.RawQuery)
+	if err != nil {
+		return s.writeError(w, http.StatusBadRequest, "malformed query string", r.URL.Path)
+	}
+	id := q.Get("snapshot")
+	if id == "" {
+		return 0
+	}
+	snap, ok := s.back.historical(id)
+	if !ok {
+		return s.writeError(w, http.StatusNotFound, "snapshot "+id+" not in history", r.URL.Path)
+	}
+	pl, ok := snap.payloadFor(ep, arg)
+	if !ok {
+		return s.writeError(w, http.StatusNotFound, "not found", r.URL.Path)
+	}
+	return s.writeConditional(w, r, pl, snap.idHeader)
 }
 
 // etagMatches reports whether any member of an If-None-Match header
@@ -279,24 +372,13 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg, path string)
 	return status
 }
 
-// handleMetrics serves /debug/metrics: snapshot identity plus the
-// per-endpoint counters, latency histograms, and (when sharded) the
-// per-shard counter rows.
+// writeJSON emits a marshaled 200 body with the standard headers.
 //
-//gamma:coldpath observability endpoint materializes counters and marshals JSON
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
-	now := s.clock.Now()
-	body, err := json.Marshal(MetricsPayload{
-		Snapshot:  s.back.info(),
-		UptimeMs:  now.Sub(s.start).Milliseconds(),
-		Swaps:     s.back.swapCount(),
-		Panics:    s.m.panics.Load(),
-		Overloads: s.m.overloads.Load(),
-		Shards:    s.back.shardStats(),
-		Endpoints: s.m.collect(),
-	})
+//gamma:coldpath admin/observability responses marshal JSON per request
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) int {
+	body, err := json.Marshal(v)
 	if err != nil {
-		return s.writeError(w, http.StatusInternalServerError, "metrics encoding failure", "")
+		return s.writeError(w, http.StatusInternalServerError, "response encoding failure", "")
 	}
 	h := w.Header()
 	h["Content-Type"] = contentTypeJSON
@@ -306,6 +388,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 		w.Write(body)
 	}
 	return http.StatusOK
+}
+
+// handleMetrics serves /debug/metrics: snapshot identity plus the
+// per-endpoint counters, latency histograms, and (when sharded) the
+// per-shard counter rows with breaker states.
+//
+//gamma:coldpath observability endpoint materializes counters and marshals JSON
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	now := s.clock.Now()
+	return s.writeJSON(w, r, MetricsPayload{
+		Snapshot:    s.back.info(),
+		UptimeMs:    now.Sub(s.start).Milliseconds(),
+		Swaps:       s.back.swapCount(),
+		Panics:      s.m.panics.Load(),
+		Overloads:   s.m.overloads.Load(),
+		Degraded:    s.m.degraded.Load(),
+		Unavailable: s.m.unavailable.Load(),
+		Rollbacks:   s.m.rollbacks.Load(),
+		Shards:      s.back.shardStats(),
+		Endpoints:   s.m.collect(),
+	})
+}
+
+// handleSnapshots serves /v1/snapshots: the history ring, newest first,
+// with the live generation marked.
+//
+//gamma:coldpath history listing marshals the ring per request
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) int {
+	return s.writeJSON(w, r, s.back.snapshots())
+}
+
+// boundAdminRequest enforces the admin input bounds: an oversized query
+// string or request body is refused with a structured 413 before any of
+// it is interpreted. The body is drained through a LimitReader so a
+// client cannot stream an unbounded payload into the handler.
+//
+//gamma:coldpath admin-only bounding drains a size-capped body
+func (s *Server) boundAdminRequest(w http.ResponseWriter, r *http.Request) int {
+	if len(r.URL.RawQuery) > maxQueryBytes {
+		return s.writeError(w, http.StatusRequestEntityTooLarge, "query string exceeds the admin bound", "")
+	}
+	if r.ContentLength > maxAdminBody {
+		return s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the admin bound", "")
+	}
+	if r.Body != nil {
+		n, _ := io.Copy(io.Discard, io.LimitReader(r.Body, maxAdminBody+1))
+		if n > maxAdminBody {
+			return s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the admin bound", "")
+		}
+	}
+	return 0
+}
+
+// probeInstalled is the post-install self-probe: every endpoint the
+// just-installed snapshot claims to serve must answer with exactly the
+// snapshot's bytes at full fidelity. A degraded or unavailable lookup
+// fails the probe — installing into a degraded set is refused (and
+// auto-rolled back) rather than silently publishing a generation whose
+// health cannot be verified.
+//
+//gamma:coldpath post-install self-probe walks every endpoint once per reload
+func (s *Server) probeInstalled(snap *Snapshot) error {
+	for _, path := range snap.Endpoints() {
+		ep, arg := route(path)
+		lk := s.back.get(ep, arg)
+		if lk.code != lookupOK {
+			return errors.New("self-probe " + path + ": lookup not fully healthy")
+		}
+		want, ok := snap.Body(path)
+		if !ok || !bytes.Equal(lk.pl.body, want) {
+			return errors.New("self-probe " + path + ": served bytes diverge from the installed snapshot")
+		}
+	}
+	return nil
 }
 
 // reloadResponse is the POST /admin/reload success body.
@@ -318,11 +474,13 @@ type reloadResponse struct {
 }
 
 // handleReload rebuilds and hot-swaps the snapshot. The swap is
-// validation-gated: a reloader error or an invalid replacement leaves the
-// current snapshot serving (reported as 422), so a bad dataset can never
-// take the service down.
+// validation-gated twice: a reloader error or an invalid replacement
+// leaves the current snapshot serving (422), and a replacement that
+// installs but fails the post-install self-probe is automatically rolled
+// back to the previous generation (422 again) — a bad dataset can never
+// take the service down or leave it silently misserving.
 //
-//gamma:coldpath admin reload rebuilds and revalidates a whole snapshot
+//gamma:coldpath admin reload rebuilds, revalidates, and self-probes a whole snapshot
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
 		w.Header()["Allow"] = allowPost
@@ -330,6 +488,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	}
 	if s.reload == nil {
 		return s.writeError(w, http.StatusNotImplemented, "no reloader configured", "")
+	}
+	if status := s.boundAdminRequest(w, r); status != 0 {
+		return status
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -341,20 +502,63 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	if err := s.back.install(snap); err != nil {
 		return s.writeError(w, http.StatusUnprocessableEntity, err.Error(), "")
 	}
-	body, err := json.Marshal(reloadResponse{
+	if err := s.probeInstalled(snap); err != nil {
+		prev, rbErr := s.back.rollback()
+		if rbErr != nil {
+			return s.writeError(w, http.StatusInternalServerError,
+				"post-install self-probe failed ("+err.Error()+") and rollback failed: "+rbErr.Error(), "")
+		}
+		s.m.rollbacks.Add(1)
+		return s.writeError(w, http.StatusUnprocessableEntity,
+			"post-install self-probe failed: "+err.Error()+"; auto-rolled back to snapshot "+prev.meta.ID, "")
+	}
+	return s.writeJSON(w, r, reloadResponse{
 		Swapped:   true,
 		Snapshot:  snap.meta.ID,
 		Countries: len(snap.codes),
 		Trackers:  len(snap.domains),
 		Swaps:     s.back.swapCount(),
 	})
-	if err != nil {
-		return s.writeError(w, http.StatusInternalServerError, "response encoding failure", "")
+}
+
+// rollbackResponse is the POST /admin/rollback success body.
+type rollbackResponse struct {
+	RolledBack bool   `json:"rolled_back"`
+	Snapshot   string `json:"snapshot"`
+	Countries  int    `json:"countries"`
+	Trackers   int    `json:"trackers"`
+	Swaps      uint64 `json:"swaps"`
+}
+
+// handleRollback restores the previously installed snapshot from the
+// history ring. With no predecessor left it refuses with 409 and the
+// live generation keeps serving; a rebuild failure (sharded rollback
+// re-partitions the predecessor) reports 422, also without downtime.
+//
+//gamma:coldpath admin rollback rebuilds the predecessor generation
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		w.Header()["Allow"] = allowPost
+		return s.writeError(w, http.StatusMethodNotAllowed, "rollback requires POST", "")
 	}
-	h := w.Header()
-	h["Content-Type"] = contentTypeJSON
-	h.Set("Content-Length", strconv.Itoa(len(body)))
-	w.WriteHeader(http.StatusOK)
-	w.Write(body)
-	return http.StatusOK
+	if status := s.boundAdminRequest(w, r); status != 0 {
+		return status
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	prev, err := s.back.rollback()
+	if err != nil {
+		if errors.Is(err, errNoPredecessor) {
+			return s.writeError(w, http.StatusConflict, err.Error(), "")
+		}
+		return s.writeError(w, http.StatusUnprocessableEntity, err.Error(), "")
+	}
+	s.m.rollbacks.Add(1)
+	return s.writeJSON(w, r, rollbackResponse{
+		RolledBack: true,
+		Snapshot:   prev.meta.ID,
+		Countries:  len(prev.codes),
+		Trackers:   len(prev.domains),
+		Swaps:      s.back.swapCount(),
+	})
 }

@@ -152,14 +152,55 @@ type mergedView struct {
 // snapshot's listings because the rows are the same structs in the same
 // order through the same encoder.
 func buildMergedView(shards []*Shard, meta Meta) (*mergedView, error) {
+	ls, err := mergeListings(shards, true)
+	if err != nil {
+		return nil, err
+	}
+	return &mergedView{
+		meta:       meta,
+		idHeader:   []string{meta.ID},
+		countries:  ls.countries,
+		trackers:   ls.trackers,
+		figIndex:   ls.figIndex,
+		nCountries: ls.nCountries,
+		nTrackers:  ls.nTrackers,
+	}, nil
+}
+
+// listingSet is the encoded result of one scatter-gather listing merge —
+// the shared product of the full (pre-swap) merge and the degraded
+// (surviving-shards) merge.
+type listingSet struct {
+	countries payload // /v1/countries
+	trackers  payload // /v1/trackers
+	figIndex  payload // /v1/figures
+
+	nCountries int
+	nTrackers  int
+}
+
+// mergeListings merges the listing rows of the given shard generations in
+// deterministic order; nil entries are skipped, which is how the degraded
+// path expresses "this shard's circuit is open". With requireFull set the
+// merge doubles as the coverage check — every canonical figure id must be
+// owned by some shard, or the generation is rejected before any pointer
+// moves. Without it (the degraded merge), the figure index is the
+// canonical order filtered to the surviving shards' holdings, so a given
+// set of surviving generations always yields the same bytes.
+func mergeListings(shards []*Shard, requireFull bool) (listingSet, error) {
 	var summaries []CountrySummary
 	nDomains := 0
 	for _, sh := range shards {
-		nDomains += len(sh.domains)
+		if sh != nil {
+			nDomains += len(sh.domains)
+		}
 	}
 	domains := make([]string, 0, nDomains)
 	owned := map[string]bool{}
 	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
 		summaries = append(summaries, sh.summaries...)
 		domains = append(domains, sh.domains...)
 		for _, id := range sh.figIDs {
@@ -169,32 +210,33 @@ func buildMergedView(shards []*Shard, meta Meta) (*mergedView, error) {
 	sort.Slice(summaries, func(i, j int) bool { return summaries[i].Code < summaries[j].Code })
 	sort.Strings(domains)
 
-	// The figure index is emitted in canonical presentation order, and the
-	// merge doubles as the coverage check: every canonical figure id must
-	// be owned by some shard, or the generation is rejected before any
-	// pointer moves.
 	ids := analysis.FigureIDs()
-	for _, id := range ids {
-		if !owned[id] {
-			return nil, fmt.Errorf("serve: no shard owns figure %s", id)
+	if requireFull {
+		for _, id := range ids {
+			if !owned[id] {
+				return listingSet{}, fmt.Errorf("serve: no shard owns figure %s", id)
+			}
 		}
+	} else {
+		kept := make([]string, 0, len(ids))
+		for _, id := range ids {
+			if owned[id] {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
 	}
 
-	m := &mergedView{
-		meta:       meta,
-		idHeader:   []string{meta.ID},
-		nCountries: len(summaries),
-		nTrackers:  len(domains),
-	}
+	ls := listingSet{nCountries: len(summaries), nTrackers: len(domains)}
 	var err error
-	if m.countries, err = newPayload(CountryListing{Count: len(summaries), Countries: summaries}); err != nil {
-		return nil, err
+	if ls.countries, err = newPayload(CountryListing{Count: len(summaries), Countries: summaries}); err != nil {
+		return listingSet{}, err
 	}
-	if m.trackers, err = newPayload(TrackerListing{Count: len(domains), Domains: domains}); err != nil {
-		return nil, err
+	if ls.trackers, err = newPayload(TrackerListing{Count: len(domains), Domains: domains}); err != nil {
+		return listingSet{}, err
 	}
-	if m.figIndex, err = newPayload(FigureListing{Figures: ids}); err != nil {
-		return nil, err
+	if ls.figIndex, err = newPayload(FigureListing{Figures: ids}); err != nil {
+		return listingSet{}, err
 	}
-	return m, nil
+	return ls, nil
 }

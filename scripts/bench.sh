@@ -16,7 +16,7 @@ go test -run '^$' -bench 'BenchmarkMatch|BenchmarkEngineBuild|BenchmarkParse' \
 	-benchtime=1x -count=1 ./internal/filterlist/
 go test -run '^$' -bench 'BenchmarkProcessParallel' \
 	-benchtime=1x -count=1 ./internal/pipeline/
-go test -run '^$' -bench 'BenchmarkServeQueries|BenchmarkSnapshotBuild|BenchmarkSwapUnderLoad' \
+go test -run '^$' -bench 'BenchmarkServeQueries|BenchmarkSnapshotBuild|BenchmarkSwapUnderLoad|BenchmarkScatterGatherDegraded' \
 	-benchtime=1x -count=1 ./internal/serve/
 # The analyzer's own latency budget: one full self-run (load, type-check,
 # call-graph build, all seven checks over the module) must stay well
